@@ -1,0 +1,77 @@
+// Command tctp-experiments regenerates the paper's evaluation: every
+// figure (Fig. 7–10), the §V energy study, and the design ablations.
+//
+// Usage:
+//
+//	tctp-experiments -list
+//	tctp-experiments -run fig7
+//	tctp-experiments -run all -seeds 20
+//	tctp-experiments -run fig8 -seeds 5 -out fig8.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tctp/internal/experiment"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		run     = flag.String("run", "all", "experiment name, or 'all'")
+		seeds   = flag.Int("seeds", 20, "replications per data point (paper: 20)")
+		base    = flag.Uint64("base-seed", 0, "base replication seed")
+		workers = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "write results to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiment.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	params := experiment.Params{Seeds: *seeds, BaseSeed: *base, Workers: *workers}
+	names := []string{*run}
+	if *run == "all" {
+		names = experiment.Names()
+	}
+
+	if err := runAll(names, params, w); err != nil {
+		fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runAll executes the named experiments in order, writing each
+// rendered result with a header and a timing footer.
+func runAll(names []string, params experiment.Params, w io.Writer) error {
+	for _, name := range names {
+		start := time.Now()
+		fmt.Fprintf(w, "### %s (%d replications)\n", name, params.Seeds)
+		if err := experiment.Run(name, params, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[%s took %s]\n%s\n", name,
+			time.Since(start).Round(time.Millisecond), strings.Repeat("-", 60))
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tctp/internal/experiment"
+)
+
+func TestRunAllSingle(t *testing.T) {
+	var buf bytes.Buffer
+	params := experiment.Params{Seeds: 1}
+	if err := runAll([]string{"a3-init"}, params, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### a3-init (1 replications)") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "B-TCTP") {
+		t.Fatalf("missing result body:\n%s", out)
+	}
+	if !strings.Contains(out, "took") {
+		t.Fatalf("missing timing footer:\n%s", out)
+	}
+}
+
+func TestRunAllUnknownName(t *testing.T) {
+	var buf bytes.Buffer
+	err := runAll([]string{"no-such-experiment"}, experiment.Params{Seeds: 1}, &buf)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllSequence(t *testing.T) {
+	var buf bytes.Buffer
+	params := experiment.Params{Seeds: 1}
+	if err := runAll([]string{"a3-init", "a5-traversal"}, params, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	first := strings.Index(out, "### a3-init")
+	second := strings.Index(out, "### a5-traversal")
+	if first == -1 || second == -1 || second < first {
+		t.Fatalf("experiments out of order:\n%s", out)
+	}
+}

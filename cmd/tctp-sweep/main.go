@@ -1,0 +1,133 @@
+// Command tctp-sweep runs a generic parameter sweep of one algorithm
+// over fleet size and target count and emits long-form CSV — the raw
+// material for custom plots beyond the paper's figures.
+//
+// Usage:
+//
+//	tctp-sweep -alg btctp -targets 10,20,30 -mules 2,4,8 -seeds 10 > sweep.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+	"tctp/internal/xrand"
+)
+
+func main() {
+	var (
+		alg     = flag.String("alg", "btctp", "algorithm: btctp, wtctp, chb, sweep, random")
+		targets = flag.String("targets", "10,20,30,40,50", "comma-separated target counts")
+		mules   = flag.String("mules", "2,4,6,8", "comma-separated fleet sizes")
+		seeds   = flag.Int("seeds", 10, "replications per cell")
+		horizon = flag.Float64("horizon", 60_000, "simulated seconds")
+	)
+	flag.Parse()
+
+	if err := run(*alg, *targets, *mules, *seeds, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func algorithm(name string) (patrol.Algorithm, error) {
+	switch name {
+	case "btctp":
+		return patrol.Planned(&core.BTCTP{}), nil
+	case "wtctp":
+		return patrol.Planned(&core.WTCTP{}), nil
+	case "chb":
+		return patrol.Planned(&baseline.CHB{}), nil
+	case "sweep":
+		return patrol.Planned(&baseline.Sweep{}), nil
+	case "random":
+		return patrol.Online(&baseline.Random{}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func run(algName, targetsCSV, mulesCSV string, seeds int, horizon float64) error {
+	targetCounts, err := parseInts(targetsCSV)
+	if err != nil {
+		return err
+	}
+	fleetSizes, err := parseInts(mulesCSV)
+	if err != nil {
+		return err
+	}
+	alg, err := algorithm(algName)
+	if err != nil {
+		return err
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"algorithm", "targets", "mules",
+		"avg_dcdt_s", "avg_sd_s", "max_interval_s", "j_per_visit", "ci95_dcdt"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+
+	for _, nt := range targetCounts {
+		for _, nm := range fleetSizes {
+			if nm > nt+1 {
+				continue // sweep needs at least one target per mule
+			}
+			var dcdts, sds, maxIvs, jpvs []float64
+			for seed := 0; seed < seeds; seed++ {
+				src := xrand.New(uint64(seed))
+				s := field.Generate(field.Config{
+					NumTargets: nt,
+					NumMules:   nm,
+					Placement:  field.Uniform,
+				}, src)
+				res, err := patrol.Run(s, alg, patrol.Options{Horizon: horizon}, src.Split())
+				if err != nil {
+					return fmt.Errorf("targets=%d mules=%d seed=%d: %w", nt, nm, seed, err)
+				}
+				warm := res.PatrolStart + 1
+				dcdts = append(dcdts, res.Recorder.AvgDCDTAfter(warm))
+				sds = append(sds, res.Recorder.AvgSDAfter(warm))
+				maxIvs = append(maxIvs, res.Recorder.MaxInterval())
+				jpvs = append(jpvs, res.EnergyPerVisit())
+			}
+			rec := []string{
+				algName,
+				strconv.Itoa(nt),
+				strconv.Itoa(nm),
+				fmt.Sprintf("%.3f", stats.Mean(dcdts)),
+				fmt.Sprintf("%.3f", stats.Mean(sds)),
+				fmt.Sprintf("%.3f", stats.Mean(maxIvs)),
+				fmt.Sprintf("%.3f", stats.Mean(jpvs)),
+				fmt.Sprintf("%.3f", stats.CI95(dcdts)),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Data collection end to end — the application the paper's
+// introduction motivates: sensor nodes at every target produce a
+// reading each minute into a bounded buffer; the mules pick readings
+// up as they patrol and hand everything to the sink when they pass it.
+// The example measures the actual delivery pipeline (latency against a
+// deadline, buffer overflows) under B-TCTP and under the Random
+// baseline on the same scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"tctp"
+)
+
+func main() {
+	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
+		NumTargets: 20,
+		NumMules:   4,
+		Placement:  tctp.Uniform,
+	}, 33)
+
+	cfg := tctp.DataConfig{
+		GenInterval: 60,   // one reading per node per minute
+		BufferCap:   40,   // node storage: 40 readings
+		Deadline:    2500, // the paper's "given time constraint"
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tdelivered\ton-time %\toverflowed\tmean latency (s)\tmax latency (s)")
+
+	runOne := func(name string, runner func(opts tctp.Options) (*tctp.Result, error)) {
+		nw := tctp.NewDataNetwork(scenario, cfg)
+		opts := tctp.Options{
+			Horizon: 150_000,
+			Hooks:   tctp.Hooks{OnVisit: nw.OnVisit, OnDeath: nw.OnDeath},
+		}
+		if _, err := runner(opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%d\t%.0f\t%.0f\n",
+			name, nw.Delivered(), 100*nw.OnTimeFraction(), nw.Overflowed(),
+			nw.MeanLatency(), nw.MaxLatency())
+	}
+
+	runOne("B-TCTP", func(opts tctp.Options) (*tctp.Result, error) {
+		return tctp.Run(scenario, &tctp.BTCTP{}, opts, 1)
+	})
+	runOne("Random", func(opts tctp.Options) (*tctp.Result, error) {
+		return tctp.RunRandom(scenario, opts, 1)
+	})
+	w.Flush()
+
+	fmt.Println("\nB-TCTP's constant visiting interval bounds every reading's wait at")
+	fmt.Println("the node; Random lets unlucky nodes overflow and miss the deadline.")
+}

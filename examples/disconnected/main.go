@@ -1,0 +1,70 @@
+// Disconnected areas — the paper's motivating deployment: targets
+// clustered in several mutually unreachable regions, where static
+// sensor networks would need costly relay nodes but mobile data mules
+// simply drive between regions. The example compares all four
+// mechanisms (Random, Sweep, CHB, B-TCTP) on one clustered scenario —
+// the textual counterpart of the paper's Fig. 7 experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"tctp"
+)
+
+func main() {
+	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
+		NumTargets:    24,
+		NumMules:      4,
+		Placement:     tctp.Clusters,
+		NumClusters:   4,
+		ClusterRadius: 70,
+	}, 21)
+
+	fmt.Println("deployment: 24 targets in 4 disconnected clusters, 4 data mules")
+	fmt.Print(tctp.MapString(scenario, nil, 72, 26))
+	fmt.Println()
+
+	opts := tctp.Options{Horizon: 200_000}
+
+	type row struct {
+		name string
+		res  *tctp.Result
+	}
+	var rows []row
+
+	for _, planner := range []tctp.Planner{
+		&tctp.Sweep{},
+		&tctp.CHB{},
+		&tctp.BTCTP{},
+	} {
+		res, err := tctp.Run(scenario, planner, opts, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{planner.Name(), res})
+	}
+	random, err := tctp.RunRandom(scenario, opts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, row{"Random", random})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tavg interval (s)\tavg SD (s)\tmax interval (s)")
+	for _, r := range rows {
+		warm := r.res.PatrolStart + 1
+		fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.1f\n",
+			r.name,
+			r.res.Recorder.AvgDCDTAfter(warm),
+			r.res.Recorder.AvgSDAfter(warm),
+			r.res.Recorder.MaxInterval())
+	}
+	w.Flush()
+
+	fmt.Println("\nexpected shape (paper Fig. 7): B-TCTP has the steadiest intervals")
+	fmt.Println("(SD ~0); CHB and Sweep oscillate; Random is largest and erratic.")
+}

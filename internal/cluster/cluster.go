@@ -1,0 +1,189 @@
+// Package cluster partitions targets into groups for the Sweep
+// baseline (Cheng et al., IPDPS'08), which "initially divides the DMs
+// into several groups and then each DM individually patrols the
+// targets of one group". Two partitioners are provided: k-means
+// (Lloyd's algorithm with k-means++ seeding) and a deterministic
+// angular sector partition around the centroid.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tctp/internal/geom"
+	"tctp/internal/xrand"
+)
+
+// KMeans partitions pts into k groups with Lloyd's algorithm and
+// returns the cluster index of each point. Seeding is k-means++
+// (probability proportional to squared distance from the nearest
+// chosen centre), driven by src for determinism. Empty clusters are
+// re-seeded with the point farthest from its centre, so every cluster
+// in the result is non-empty whenever k ≤ len(pts).
+// It panics if k < 1 or k > len(pts).
+func KMeans(pts []geom.Point, k int, src *xrand.Source, maxIter int) []int {
+	n := len(pts)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("cluster: KMeans k=%d with %d points", k, n))
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centres := seedPlusPlus(pts, k, src)
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centres {
+				if d := p.Dist2(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+
+		// Recompute centres; re-seed empties with the globally
+		// farthest point from its assigned centre.
+		counts := make([]int, k)
+		sums := make([]geom.Vec, k)
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			sums[c] = geom.Vec{X: sums[c].X + p.X, Y: sums[c].Y + p.Y}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := p.Dist2(centres[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centres[c] = pts[far]
+				assign[far] = c
+				changed = true
+				continue
+			}
+			centres[c] = geom.Pt(sums[c].X/float64(counts[c]), sums[c].Y/float64(counts[c]))
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign
+}
+
+// seedPlusPlus picks k initial centres with the k-means++ rule.
+func seedPlusPlus(pts []geom.Point, k int, src *xrand.Source) []geom.Point {
+	centres := make([]geom.Point, 0, k)
+	centres = append(centres, pts[src.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centres) < k {
+		total := 0.0
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centres {
+				if d := p.Dist2(c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centres; duplicate
+			// arbitrary points to fill.
+			centres = append(centres, pts[src.Intn(len(pts))])
+			continue
+		}
+		r := src.Float64() * total
+		acc := 0.0
+		chosen := len(pts) - 1
+		for i, d := range d2 {
+			acc += d
+			if r <= acc {
+				chosen = i
+				break
+			}
+		}
+		centres = append(centres, pts[chosen])
+	}
+	return centres
+}
+
+// Sectors partitions pts into k angular sectors of equal point count
+// around the centroid: points are sorted by polar angle and split into
+// k consecutive runs of near-equal size. The partition is
+// deterministic. It panics if k < 1 or k > len(pts).
+func Sectors(pts []geom.Point, k int) []int {
+	n := len(pts)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("cluster: Sectors k=%d with %d points", k, n))
+	}
+	centre := geom.Centroid(pts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		aa := math.Atan2(pa.Y-centre.Y, pa.X-centre.X)
+		ab := math.Atan2(pb.Y-centre.Y, pb.X-centre.X)
+		if aa != ab {
+			return aa < ab
+		}
+		return order[a] < order[b]
+	})
+	assign := make([]int, n)
+	for rank, idx := range order {
+		c := rank * k / n
+		if c >= k {
+			c = k - 1
+		}
+		assign[idx] = c
+	}
+	return assign
+}
+
+// Groups inverts an assignment into per-cluster member lists. Cluster
+// c's members are Groups(assign, k)[c], in ascending index order.
+func Groups(assign []int, k int) [][]int {
+	out := make([][]int, k)
+	for i, c := range assign {
+		if c < 0 || c >= k {
+			panic(fmt.Sprintf("cluster: assignment %d out of range [0,%d)", c, k))
+		}
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// Cost returns the total within-cluster sum of squared distances to
+// the cluster centroids — the k-means objective, used to compare
+// partitions in tests.
+func Cost(pts []geom.Point, assign []int, k int) float64 {
+	counts := make([]int, k)
+	sums := make([]geom.Vec, k)
+	for i, p := range pts {
+		c := assign[i]
+		counts[c]++
+		sums[c] = geom.Vec{X: sums[c].X + p.X, Y: sums[c].Y + p.Y}
+	}
+	centres := make([]geom.Point, k)
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			centres[c] = geom.Pt(sums[c].X/float64(counts[c]), sums[c].Y/float64(counts[c]))
+		}
+	}
+	total := 0.0
+	for i, p := range pts {
+		total += p.Dist2(centres[assign[i]])
+	}
+	return total
+}

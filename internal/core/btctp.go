@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"tctp/internal/field"
+	"tctp/internal/tour"
+	"tctp/internal/walk"
+)
+
+// TourHeuristic selects the Hamiltonian-circuit construction used in
+// the path-construction phase. The paper uses the convex-hull-based
+// construction of ref. [5]; the alternatives exist for the A1
+// ablation.
+type TourHeuristic int
+
+// Supported constructions.
+const (
+	// HullInsertion is the paper's construction: convex-hull skeleton
+	// plus cheapest insertion.
+	HullInsertion TourHeuristic = iota
+	// NearestNeighborTour chains closest unvisited targets.
+	NearestNeighborTour
+	// GreedyEdgeTour accepts shortest edges first.
+	GreedyEdgeTour
+)
+
+// String implements fmt.Stringer.
+func (h TourHeuristic) String() string {
+	switch h {
+	case HullInsertion:
+		return "hull-insertion"
+	case NearestNeighborTour:
+		return "nearest-neighbor"
+	case GreedyEdgeTour:
+		return "greedy-edge"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// BTCTP is the Basic Target-Coverage Tour Patrolling planner (§II).
+// The zero value is the paper's configuration.
+type BTCTP struct {
+	// Heuristic selects the circuit construction (default: the
+	// paper's hull-insertion).
+	Heuristic TourHeuristic
+	// Improve applies 2-opt to the constructed circuit before
+	// partitioning (off in the paper; an ablation knob here).
+	Improve bool
+	// Energies optionally carries each mule's remaining energy for
+	// the location-initialization tie-break; nil means all equal.
+	Energies []float64
+	// Dwell is the per-collection pause the fleet will use (seconds);
+	// it feeds the phase-equalizing start holds. Zero selects the
+	// default (energy.DefaultDwell); use NoDwell for a literal zero.
+	Dwell float64
+}
+
+// Name implements Planner.
+func (b *BTCTP) Name() string { return "B-TCTP" }
+
+// Plan implements Planner. All mules share one Hamiltonian circuit
+// over every target (the sink included, §2.1); the circuit is
+// partitioned into equal-length arcs from the most-north target, and
+// the location-initialization assignment sends exactly one mule to
+// each arc endpoint.
+func (b *BTCTP) Plan(s *field.Scenario) (*FleetPlan, error) {
+	circuit, err := b.buildCircuit(s)
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := assembleFleet(s, circuit, b.Energies, effectiveDwell(b.Dwell))
+	if err != nil {
+		return nil, err
+	}
+	plan.Algorithm = b.Name()
+	return plan, nil
+}
+
+// buildCircuit constructs the common Hamiltonian circuit as a walk.
+func (b *BTCTP) buildCircuit(s *field.Scenario) (walk.Walk, error) {
+	if err := s.Validate(); err != nil {
+		return walk.Walk{}, err
+	}
+	pts := s.Points()
+	var t tour.Tour
+	switch b.Heuristic {
+	case HullInsertion:
+		t = tour.ConvexHullInsertion(pts)
+	case NearestNeighborTour:
+		t = tour.NearestNeighbor(pts, s.SinkID)
+	case GreedyEdgeTour:
+		t = tour.GreedyEdge(pts)
+	default:
+		return walk.Walk{}, fmt.Errorf("core: unknown tour heuristic %v", b.Heuristic)
+	}
+	if b.Improve {
+		t = tour.TwoOpt(pts, t)
+	}
+	t = tour.EnsureCCW(pts, t)
+	if err := tour.Validate(t, len(pts)); err != nil {
+		return walk.Walk{}, fmt.Errorf("core: circuit construction: %w", err)
+	}
+	return walk.New(t), nil
+}

@@ -1,0 +1,310 @@
+// Package core implements the paper's contribution: the three Target
+// Coverage Tour Patrolling planners.
+//
+//   - B-TCTP (§II): a common Hamiltonian circuit, an equal-length
+//     start-point partition anchored at the most-north target, and a
+//     location-initialization step that places exactly one data mule
+//     per start point so the fleet patrols with perfectly balanced
+//     visiting intervals.
+//   - W-TCTP (§III): a Weighted Patrolling Path (WPP) in which each
+//     VIP g_i lies on w_i cycles, built by repeatedly breaking an edge
+//     and reconnecting both break points to the VIP. Two break-edge
+//     policies are provided: Shortest-Length (Exp. 1) and
+//     Balancing-Length (Exp. 2). Traversal order at VIPs follows the
+//     minimal counterclockwise included-angle patrolling rule (§3.2).
+//   - RW-TCTP (§IV): a Weighted Recharge Path (WRP) that inserts the
+//     recharge station at the minimum-detour edge (Exp. 3), plus the
+//     round budget r of Equ. 4 that alternates r−1 WPP traversals with
+//     one WRP traversal so mules recharge before exhausting their
+//     batteries.
+//
+// Planners emit a FleetPlan — a purely geometric artifact (walks,
+// start points, per-mule routes) that internal/patrol turns into a
+// running simulation.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tctp/internal/energy"
+	"tctp/internal/field"
+	"tctp/internal/geom"
+	"tctp/internal/mule"
+	"tctp/internal/walk"
+)
+
+// NoDwell marks an explicitly zero collection dwell in planner
+// configurations: the planners' Dwell fields treat the zero value as
+// "use the default" (energy.DefaultDwell), so a literal zero dwell is
+// requested with this sentinel instead.
+const NoDwell = -1
+
+// effectiveDwell resolves a planner's Dwell field.
+func effectiveDwell(d float64) float64 {
+	switch {
+	case d < 0:
+		return 0
+	case d == 0:
+		return energy.DefaultDwell
+	default:
+		return d
+	}
+}
+
+// Planner is the common interface of all patrolling planners (the
+// three TCTP variants and the fixed-route baselines).
+type Planner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Plan computes the fleet's routes for the scenario.
+	Plan(s *field.Scenario) (*FleetPlan, error)
+}
+
+// Phase is one stage of a mule's repeating cycle: a stop sequence
+// traversed Repeat times before the next phase begins. B-TCTP and
+// W-TCTP plans have a single phase; RW-TCTP alternates a WPP phase
+// (Repeat = r−1) with a WRP phase (Repeat = 1).
+type Phase struct {
+	Stops  []mule.Waypoint
+	Repeat int
+}
+
+// MuleRoute is one mule's assignment: an approach traversed once (the
+// location-initialization move to the start point), then the Cycle
+// phases looped forever.
+type MuleRoute struct {
+	Approach []mule.Waypoint
+	Cycle    []Phase
+	// ExtraHold is an additional wait (seconds) at the start point
+	// before patrolling begins. The paper partitions the path into
+	// equal LENGTHS; with a nonzero collection dwell the two arcs
+	// between consecutive mules can contain different numbers of
+	// stops, which would skew the time spacing. Holding each mule by
+	// dwell·(k_j − j·S/n) restores exact 1/n time-phase separation —
+	// and is identically zero when the dwell is zero, i.e. in the
+	// paper's own idealization.
+	ExtraHold float64
+}
+
+// FleetPlan is a planner's complete output.
+type FleetPlan struct {
+	// Algorithm names the planner that produced the plan.
+	Algorithm string
+	// Walk is the master patrolling walk shared by every mule (the
+	// Hamiltonian circuit for B-TCTP, the WPP for W-TCTP/RW-TCTP),
+	// rotated to begin at the most-north target.
+	Walk walk.Walk
+	// RechargeWalk is the WRP for RW-TCTP plans; empty otherwise.
+	RechargeWalk walk.Walk
+	// StartPoints are the equal-spaced points partitioning the walk,
+	// one per mule; StartPoints[k] lies k·|walk|/n along the walk.
+	StartPoints []geom.Point
+	// Assignment maps mule index to start-point index.
+	Assignment []int
+	// Routes holds each mule's concrete route.
+	Routes []MuleRoute
+	// MaxApproach is the longest straight-line distance any mule
+	// travels to reach its start point; dividing by the mule speed
+	// gives the synchronized patrol start time.
+	MaxApproach float64
+	// Rounds is RW-TCTP's Equ. 4 budget (0 for other planners).
+	Rounds int
+}
+
+// Validate performs structural checks on the plan against the
+// scenario.
+func (p *FleetPlan) Validate(s *field.Scenario) error {
+	n := s.NumMules()
+	if len(p.StartPoints) != n {
+		return fmt.Errorf("core: %d start points for %d mules", len(p.StartPoints), n)
+	}
+	if len(p.Assignment) != n || len(p.Routes) != n {
+		return fmt.Errorf("core: assignment/routes sized %d/%d, want %d",
+			len(p.Assignment), len(p.Routes), n)
+	}
+	seen := make([]bool, n)
+	for i, a := range p.Assignment {
+		if a < 0 || a >= n {
+			return fmt.Errorf("core: mule %d assigned to start point %d", i, a)
+		}
+		if seen[a] {
+			return fmt.Errorf("core: start point %d assigned twice", a)
+		}
+		seen[a] = true
+	}
+	for i, r := range p.Routes {
+		if len(r.Cycle) == 0 {
+			return fmt.Errorf("core: mule %d has no cycle", i)
+		}
+		for j, ph := range r.Cycle {
+			if len(ph.Stops) == 0 {
+				return fmt.Errorf("core: mule %d phase %d empty", i, j)
+			}
+			if ph.Repeat < 1 {
+				return fmt.Errorf("core: mule %d phase %d repeat %d", i, j, ph.Repeat)
+			}
+		}
+	}
+	return nil
+}
+
+// assignStartPoints implements the location-initialization conflict
+// resolution of §2.2-B: every mule heads for its closest start point;
+// when several contend for one, the mule with the LOWEST remaining
+// energy keeps it and each higher-energy mule advances to the next
+// start point along the path ("the DM with higher remaining energy
+// will move to next start point"). The protocol is realized
+// deterministically by settling mules in ascending (energy, index)
+// order, probing forward cyclically from each mule's nearest start
+// point. energies may be nil (all equal, ties broken by index).
+func assignStartPoints(muleStarts, startPts []geom.Point, energies []float64) []int {
+	n := len(muleStarts)
+	if len(startPts) != n {
+		panic(fmt.Sprintf("core: %d mules but %d start points", n, len(startPts)))
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Ascending energy, then ascending index: lower energy settles
+	// first and therefore never yields its nearest free start point.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			ea, eb := 0.0, 0.0
+			if energies != nil {
+				ea, eb = energies[a], energies[b]
+			}
+			if eb < ea || (eb == ea && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+
+	taken := make([]bool, n)
+	assign := make([]int, n)
+	for _, mi := range order {
+		// Nearest start point, ties by lower index.
+		best, bestD := 0, math.Inf(1)
+		for k, sp := range startPts {
+			if d := muleStarts[mi].Dist2(sp); d < bestD {
+				best, bestD = k, d
+			}
+		}
+		for taken[best] {
+			best = (best + 1) % n
+		}
+		taken[best] = true
+		assign[mi] = best
+	}
+	return assign
+}
+
+// loopFrom builds a mule's repeating stop list: the walk's targets in
+// visiting order starting from the first target at arc offset ≥ d
+// (wrapping). A target exactly at the start point is visited
+// immediately on arrival. The second result is the walk position of
+// the first stop (which RW-TCTP needs to locate the recharge
+// insertion point inside each mule's rotated loop); the third is the
+// number of stops strictly before arc offset d — equal to the first
+// result except when d falls on the closing edge, where the loop
+// wraps to position 0 but all len(w.Seq) stops lie before d. The
+// phase-equalizing holds need the latter count.
+func loopFrom(pts []geom.Point, w walk.Walk, d float64) ([]mule.Waypoint, int, int) {
+	offsets := w.ArcOffsets(pts)
+	n := len(offsets)
+	k0 := 0 // first position with offset >= d (within tolerance)
+	stopsBefore := n
+	for k, off := range offsets {
+		if off >= d-geom.Eps {
+			k0 = k
+			stopsBefore = k
+			break
+		}
+	}
+	out := make([]mule.Waypoint, 0, n)
+	for i := 0; i < n; i++ {
+		k := (k0 + i) % n
+		id := w.Seq[k]
+		out = append(out, mule.Waypoint{Pos: pts[id], TargetID: id})
+	}
+	return out, k0, stopsBefore
+}
+
+// RouteFromArc builds a single-phase route that approaches the point
+// at arc offset d on the walk and then loops the walk's targets from
+// there. Baselines without location initialization (CHB entering the
+// circuit at the nearest point, Sweep patrolling per-group circuits)
+// share this assembly with the TCTP planners.
+func RouteFromArc(pts []geom.Point, w walk.Walk, d float64) MuleRoute {
+	stops, _, _ := loopFrom(pts, w, d)
+	entry := w.PointAt(pts, d)
+	return MuleRoute{
+		Approach: []mule.Waypoint{{Pos: entry, TargetID: mule.NoTarget}},
+		Cycle:    []Phase{{Stops: stops, Repeat: 1}},
+	}
+}
+
+// assembleFleet builds start points, the location-initialization
+// assignment, and the per-mule single-phase routes for a common walk.
+// It is shared by B-TCTP, W-TCTP, and the fixed-route baselines. The
+// returned slice holds each mule's loop anchor (the walk position of
+// its first stop). dwell is the per-collection pause used to compute
+// the phase-equalizing holds.
+func assembleFleet(s *field.Scenario, w walk.Walk, energies []float64, dwell float64) (*FleetPlan, []int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	pts := s.Points()
+	w = w.RotateToNorthmost(pts)
+	n := s.NumMules()
+	startPts := w.StartPoints(pts, n)
+	assign := assignStartPoints(s.MuleStarts, startPts, energies)
+
+	total := w.Length(pts)
+	nStops := float64(w.Size())
+	plan := &FleetPlan{
+		Walk:        w,
+		StartPoints: startPts,
+		Assignment:  assign,
+		Routes:      make([]MuleRoute, n),
+	}
+	anchors := make([]int, n)
+	holds := make([]float64, n)
+	minHold := math.Inf(1)
+	for i := 0; i < n; i++ {
+		spIdx := assign[i]
+		sp := startPts[spIdx]
+		d := float64(spIdx) * total / float64(n)
+		approachDist := s.MuleStarts[i].Dist(sp)
+		if approachDist > plan.MaxApproach {
+			plan.MaxApproach = approachDist
+		}
+		stops, k0, stopsBefore := loopFrom(pts, w, d)
+		anchors[i] = k0
+		// Phase equalization: mule at start point j has stopsBefore
+		// stops before it on the walk; holding
+		// dwell·(stopsBefore − j·S/n) makes the time phases exactly
+		// j·T/n apart (T = walk time incl. dwells). The common offset
+		// is normalized out below.
+		holds[i] = dwell * (float64(stopsBefore) - float64(spIdx)*nStops/float64(n))
+		if holds[i] < minHold {
+			minHold = holds[i]
+		}
+		plan.Routes[i] = MuleRoute{
+			Approach: []mule.Waypoint{{Pos: sp, TargetID: mule.NoTarget}},
+			Cycle: []Phase{{
+				Stops:  stops,
+				Repeat: 1,
+			}},
+		}
+	}
+	for i := range plan.Routes {
+		plan.Routes[i].ExtraHold = holds[i] - minHold
+	}
+	return plan, anchors, nil
+}

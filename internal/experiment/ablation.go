@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/energy"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+	"tctp/internal/xrand"
+)
+
+// AblationConfig shares the workload knobs of the design-choice
+// ablations (A1–A5 in DESIGN.md).
+type AblationConfig struct {
+	Targets int     // default 20
+	Mules   int     // default 4
+	Horizon float64 // default 60 000 s
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.Targets == 0 {
+		c.Targets = 20
+	}
+	if c.Mules == 0 {
+		c.Mules = 4
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 60_000
+	}
+	return c
+}
+
+func (c AblationConfig) gen(src *xrand.Source) *field.Scenario {
+	return field.Generate(field.Config{
+		NumTargets: c.Targets,
+		NumMules:   c.Mules,
+		Placement:  field.Uniform,
+	}, src)
+}
+
+// TourHeuristics runs ablation A1: how the circuit construction
+// (hull-insertion vs nearest-neighbour vs greedy-edge, with and
+// without 2-opt) affects circuit length and the steady-state DCDT.
+func TourHeuristics(p Params, cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	table := NewTable("A1 — circuit construction heuristics",
+		"heuristic", "2-opt", "circuit length (m)", "avg DCDT (s)")
+	opts := patrol.Options{Horizon: cfg.Horizon}
+	for _, h := range []core.TourHeuristic{core.HullInsertion, core.NearestNeighborTour, core.GreedyEdgeTour} {
+		for _, improve := range []bool{false, true} {
+			h, improve := h, improve
+			type sample struct{ length, dcdt float64 }
+			runs, err := replicate(p, func(seed uint64) (sample, error) {
+				alg := patrol.Planned(&core.BTCTP{Heuristic: h, Improve: improve})
+				res, err := runOn(seed, cfg.gen, alg, opts)
+				if err != nil {
+					return sample{}, err
+				}
+				// Regenerate the replication's scenario (deterministic
+				// in the seed) to measure the plan's circuit length.
+				pts := cfg.gen(scenarioSeed(seed)).Points()
+				return sample{
+					length: res.Plan.Walk.Length(pts),
+					dcdt:   res.Recorder.AvgDCDTAfter(res.PatrolStart + 1),
+				}, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("A1 %v improve=%v: %w", h, improve, err)
+			}
+			var l, d stats.Accumulator
+			for _, r := range runs {
+				l.Add(r.length)
+				d.Add(r.dcdt)
+			}
+			table.AddF(h.String(), fmt.Sprint(improve), l.Mean(), d.Mean())
+		}
+	}
+	return table, nil
+}
+
+// BreakPolicies runs ablation A2: the three break-edge policies
+// (shortest / balancing / random) compared on WPP length, DCDT and SD.
+func BreakPolicies(p Params, cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	gen := func(src *xrand.Source) *field.Scenario {
+		s := cfg.gen(src)
+		s.AssignVIPs(src, 3, 4)
+		return s
+	}
+	table := NewTable("A2 — break-edge policies (3 VIPs, weight 4)",
+		"policy", "WPP length (m)", "avg DCDT (s)", "avg SD (s)")
+	opts := patrol.Options{Horizon: cfg.Horizon * 2}
+	for _, policy := range []core.BreakPolicy{core.ShortestLength, core.BalancingLength, core.RandomBreak} {
+		policy := policy
+		type sample struct{ length, dcdt, sd float64 }
+		runs, err := replicate(p, func(seed uint64) (sample, error) {
+			alg := patrol.Planned(&core.WTCTP{Policy: policy, Rand: algorithmSeed(seed)})
+			res, err := runOn(seed, gen, alg, opts)
+			if err != nil {
+				return sample{}, err
+			}
+			warm := res.PatrolStart + 1
+			return sample{
+				length: res.Plan.Walk.Length(gen(scenarioSeed(seed)).Points()),
+				dcdt:   res.Recorder.AvgDCDTAfter(warm),
+				sd:     res.Recorder.AvgSDAfter(warm),
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A2 %v: %w", policy, err)
+		}
+		var l, d, sd stats.Accumulator
+		for _, r := range runs {
+			l.Add(r.length)
+			d.Add(r.dcdt)
+			sd.Add(r.sd)
+		}
+		table.AddF(policy.String(), l.Mean(), d.Mean(), sd.Mean())
+	}
+	return table, nil
+}
+
+// LocationInit runs ablation A3: B-TCTP with its location
+// initialization and synchronized start, B-TCTP with initialization
+// but unsynchronized start, and CHB (same circuit, no initialization
+// at all) — isolating the value of each part of the equal-spacing
+// mechanism.
+func LocationInit(p Params, cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	table := NewTable("A3 — location initialization on/off",
+		"variant", "avg SD (s)", "max interval (s)")
+	for _, v := range []struct {
+		name string
+		alg  patrol.Algorithm
+		opts patrol.Options
+	}{
+		{"B-TCTP (init + sync)", patrol.Planned(&core.BTCTP{}),
+			patrol.Options{Horizon: cfg.Horizon}},
+		{"B-TCTP (init, no sync)", patrol.Planned(&core.BTCTP{}),
+			patrol.Options{Horizon: cfg.Horizon, NoSynchronizedStart: true}},
+		{"CHB (init off)", patrol.Planned(&baseline.CHB{}),
+			patrol.Options{Horizon: cfg.Horizon}},
+	} {
+		v := v
+		type sample struct{ sd, maxIv float64 }
+		runs, err := replicate(p, func(seed uint64) (sample, error) {
+			res, err := runOn(seed, cfg.gen, v.alg, v.opts)
+			if err != nil {
+				return sample{}, err
+			}
+			warm := res.PatrolStart + 1
+			return sample{sd: res.Recorder.AvgSDAfter(warm), maxIv: res.Recorder.MaxInterval()}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A3 %s: %w", v.name, err)
+		}
+		var sd, mx stats.Accumulator
+		for _, r := range runs {
+			sd.Add(r.sd)
+			mx.Add(r.maxIv)
+		}
+		table.AddF(v.name, sd.Mean(), mx.Mean())
+	}
+	return table, nil
+}
+
+// DwellSensitivity runs ablation A4: how the collection dwell affects
+// the Equ. 4 round budget and whether the phase-equalizing holds keep
+// the steady-state SD at zero.
+func DwellSensitivity(p Params, cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	table := NewTable("A4 — dwell-time sensitivity",
+		"dwell (s)", "Equ.4 rounds", "steady avg SD (s)")
+	for _, dwell := range []float64{0, 1, 5, 10} {
+		dwell := dwell
+		model := energy.Default()
+		model.Dwell = dwell
+		opts := patrol.Options{Horizon: cfg.Horizon, Energy: model}
+		plannerDwell := dwell
+		if plannerDwell == 0 {
+			plannerDwell = core.NoDwell
+		}
+		type sample struct {
+			rounds float64
+			sd     float64
+		}
+		runs, err := replicate(p, func(seed uint64) (sample, error) {
+			alg := patrol.Planned(&core.BTCTP{Dwell: plannerDwell})
+			res, err := runOn(seed, cfg.gen, alg, opts)
+			if err != nil {
+				return sample{}, err
+			}
+			s := cfg.gen(scenarioSeed(seed))
+			length := res.Plan.Walk.Length(s.Points())
+			return sample{
+				rounds: float64(model.Rounds(length, res.Plan.Walk.Size())),
+				sd:     res.Recorder.AvgSDAfter(res.PatrolStart + dwell + 1),
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A4 dwell=%v: %w", dwell, err)
+		}
+		var rounds, sd stats.Accumulator
+		for _, r := range runs {
+			rounds.Add(r.rounds)
+			sd.Add(r.sd)
+		}
+		table.AddF(dwell, rounds.Mean(), sd.Mean())
+	}
+	return table, nil
+}
+
+// Traversal runs ablation A5: the angle-rule traversal of the WPP
+// versus the raw insertion order — same edge multiset, potentially
+// different visiting order.
+func Traversal(p Params, cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	gen := func(src *xrand.Source) *field.Scenario {
+		s := cfg.gen(src)
+		s.AssignVIPs(src, 2, 3)
+		return s
+	}
+	table := NewTable("A5 — WPP traversal order",
+		"traversal", "avg DCDT (s)", "avg SD (s)")
+	opts := patrol.Options{Horizon: cfg.Horizon * 2}
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{
+		{"angle rule (paper §3.2)", false},
+		{"insertion order", true},
+	} {
+		v := v
+		type sample struct{ dcdt, sd float64 }
+		runs, err := replicate(p, func(seed uint64) (sample, error) {
+			alg := patrol.Planned(&core.WTCTP{Policy: core.BalancingLength, DisableAngleRule: v.disable})
+			res, err := runOn(seed, gen, alg, opts)
+			if err != nil {
+				return sample{}, err
+			}
+			warm := res.PatrolStart + 1
+			return sample{dcdt: res.Recorder.AvgDCDTAfter(warm), sd: res.Recorder.AvgSDAfter(warm)}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("A5 %s: %w", v.name, err)
+		}
+		var d, sd stats.Accumulator
+		for _, r := range runs {
+			d.Add(r.dcdt)
+			sd.Add(r.sd)
+		}
+		table.AddF(v.name, d.Mean(), sd.Mean())
+	}
+	return table, nil
+}

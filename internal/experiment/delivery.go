@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+	"tctp/internal/wsn"
+	"tctp/internal/xrand"
+)
+
+// DeliveryConfig parameterizes E6 — the data-delivery study derived
+// from the paper's §I premise that mules must "collect the data back
+// to the sink node within a given time constraint". The paper never
+// evaluates this end-to-end metric; E6 closes that gap on the same
+// workloads as Fig. 7.
+type DeliveryConfig struct {
+	Targets     int     // default 20
+	Mules       int     // default 4
+	GenInterval float64 // seconds per packet per node (default 60)
+	BufferCap   int     // node buffer capacity (default 50)
+	Deadline    float64 // delivery constraint in seconds (default 3600)
+	Horizon     float64 // default 200 000 s
+}
+
+func (c DeliveryConfig) withDefaults() DeliveryConfig {
+	if c.Targets == 0 {
+		c.Targets = 20
+	}
+	if c.Mules == 0 {
+		c.Mules = 4
+	}
+	if c.GenInterval == 0 {
+		c.GenInterval = 60
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 50
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 3600
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 200_000
+	}
+	return c
+}
+
+// DeliveryResult is the E6 comparison table.
+type DeliveryResult struct {
+	Table *Table
+}
+
+// String renders the table.
+func (r *DeliveryResult) String() string { return r.Table.String() }
+
+// Delivery runs E6: end-to-end data delivery under each patrolling
+// mechanism. Expected shape: TCTP delivers the highest on-time
+// fraction with the lowest worst-case latency (bounded by its constant
+// visiting interval plus the ride to the sink); Random overflows
+// buffers and misses deadlines.
+func Delivery(p Params, cfg DeliveryConfig) (*DeliveryResult, error) {
+	cfg = cfg.withDefaults()
+	gen := func(src *xrand.Source) *field.Scenario {
+		return field.Generate(field.Config{
+			NumTargets: cfg.Targets,
+			NumMules:   cfg.Mules,
+			Placement:  field.Uniform,
+		}, src)
+	}
+
+	algs := []struct {
+		name string
+		alg  patrol.Algorithm
+	}{
+		{"Random", patrol.Online(&baseline.Random{})},
+		{"Sweep", patrol.Planned(&baseline.Sweep{})},
+		{"CHB", patrol.Planned(&baseline.CHB{})},
+		{"TCTP", patrol.Planned(&core.BTCTP{})},
+	}
+
+	type row struct {
+		delivered, onTime, overflow, meanLat, maxLat float64
+	}
+	table := NewTable(
+		fmt.Sprintf("E6 — data delivery (deadline %.0f s, buffer %d)", cfg.Deadline, cfg.BufferCap),
+		"algorithm", "delivered", "on-time %", "overflowed", "mean latency (s)", "max latency (s)")
+	for _, a := range algs {
+		a := a
+		runs, err := replicate(p, func(seed uint64) (row, error) {
+			scn := gen(scenarioSeed(seed))
+			nw := wsn.New(scn, wsn.Config{
+				GenInterval: cfg.GenInterval,
+				BufferCap:   cfg.BufferCap,
+				Deadline:    cfg.Deadline,
+			})
+			opts := patrol.Options{
+				Horizon: cfg.Horizon,
+				Hooks: patrol.Hooks{
+					OnVisit: nw.OnVisit,
+					OnDeath: nw.OnDeath,
+				},
+			}
+			if _, err := patrol.Run(scn, a.alg, opts, algorithmSeed(seed)); err != nil {
+				return row{}, err
+			}
+			return row{
+				delivered: float64(nw.Delivered()),
+				onTime:    100 * nw.OnTimeFraction(),
+				overflow:  float64(nw.Overflowed()),
+				meanLat:   nw.MeanLatency(),
+				maxLat:    nw.MaxLatency(),
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("delivery %s: %w", a.name, err)
+		}
+		var d, ot, ov, ml, mx stats.Accumulator
+		for _, r := range runs {
+			d.Add(r.delivered)
+			ot.Add(r.onTime)
+			ov.Add(r.overflow)
+			ml.Add(r.meanLat)
+			mx.Add(r.maxLat)
+		}
+		table.AddF(a.name, d.Mean(), ot.Mean(), ov.Mean(), ml.Mean(), mx.Mean())
+	}
+	return &DeliveryResult{Table: table}, nil
+}

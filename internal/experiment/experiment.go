@@ -1,0 +1,104 @@
+// Package experiment regenerates the paper's evaluation (§V): one
+// runner per figure plus the energy study the text describes, and the
+// ablations listed in DESIGN.md. Every experiment follows the paper's
+// protocol — "each simulation result is obtained from the average
+// results of 20 simulations" — with replications fanned out across
+// CPU cores; results are bit-identical regardless of worker count
+// because each replication derives its randomness from its own seed.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// Params are the protocol-level knobs shared by all experiments.
+type Params struct {
+	// Seeds is the number of replications (default 20, per §5.1).
+	Seeds int
+	// BaseSeed offsets the replication seeds so whole experiments can
+	// be re-randomized reproducibly.
+	BaseSeed uint64
+	// Workers caps the parallel replications (default GOMAXPROCS).
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seeds == 0 {
+		p.Seeds = 20
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Quick returns a protocol suitable for smoke tests and benchmarks:
+// fewer replications, same machinery.
+func Quick() Params { return Params{Seeds: 3} }
+
+// replicate runs fn once per replication seed, in parallel, and
+// returns the results in seed order. The per-replication seed is
+// BaseSeed + index; fn must derive all randomness from it. The first
+// error (in seed order) aborts the batch.
+func replicate[T any](p Params, fn func(seed uint64) (T, error)) ([]T, error) {
+	p = p.withDefaults()
+	results := make([]T, p.Seeds)
+	errs := make([]error, p.Seeds)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.Workers
+	if workers > p.Seeds {
+		workers = p.Seeds
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx], errs[idx] = fn(p.BaseSeed + uint64(idx))
+			}
+		}()
+	}
+	for i := 0; i < p.Seeds; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replication %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// scenarioSeed derives the scenario-generation seed for a replication
+// so that scenario randomness and algorithm randomness are
+// independent streams.
+func scenarioSeed(seed uint64) *xrand.Source {
+	return xrand.New(seed).Split()
+}
+
+// algorithmSeed derives the algorithm-randomness seed (Random
+// baseline picks, k-means seeding) for a replication.
+func algorithmSeed(seed uint64) *xrand.Source {
+	s := xrand.New(seed)
+	s.Split() // skip the scenario stream
+	return s.Split()
+}
+
+// runOn generates a scenario with gen, runs alg on it, and returns the
+// result; shared shape of almost every replication body.
+func runOn(seed uint64, gen func(src *xrand.Source) *field.Scenario,
+	alg patrol.Algorithm, opts patrol.Options) (*patrol.Result, error) {
+	s := gen(scenarioSeed(seed))
+	return patrol.Run(s, alg, opts, algorithmSeed(seed))
+}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tctp/internal/field"
+)
+
+// Runner executes one registered experiment with the given protocol
+// and writes its rendered result to w.
+type Runner func(p Params, w io.Writer) error
+
+// Registry maps experiment names (as accepted by
+// `tctp-experiments -run`) to runners. Every paper artifact and every
+// ablation is reachable from here.
+var Registry = map[string]Runner{
+	"fig7": func(p Params, w io.Writer) error {
+		r, err := Fig7(p, Fig7Config{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"fig8": func(p Params, w io.Writer) error {
+		r, err := Fig8(p, Fig8Config{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"fig9": func(p Params, w io.Writer) error {
+		r, err := WTCTPPolicies(p, WTCTPConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.Fig9String())
+		return err
+	},
+	"fig10": func(p Params, w io.Writer) error {
+		r, err := WTCTPPolicies(p, WTCTPConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.Fig10String())
+		return err
+	},
+	"energy": func(p Params, w io.Writer) error {
+		r, err := Energy(p, EnergyConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"fig7-clusters": func(p Params, w io.Writer) error {
+		r, err := Fig7(p, Fig7Config{Placement: field.Clusters})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"delivery": func(p Params, w io.Writer) error {
+		r, err := Delivery(p, DeliveryConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"resonance": func(p Params, w io.Writer) error {
+		r, err := Resonance(p, ResonanceConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, r.String())
+		return err
+	},
+	"a1-tour":      tableRunner(TourHeuristics),
+	"a2-break":     tableRunner(BreakPolicies),
+	"a3-init":      tableRunner(LocationInit),
+	"a4-dwell":     tableRunner(DwellSensitivity),
+	"a5-traversal": tableRunner(Traversal),
+}
+
+func tableRunner(fn func(Params, AblationConfig) (*Table, error)) Runner {
+	return func(p Params, w io.Writer) error {
+		t, err := fn(p, AblationConfig{})
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, t.String())
+		return err
+	}
+}
+
+// Names returns the registered experiment names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment, or returns an error listing the
+// valid names.
+func Run(name string, p Params, w io.Writer) error {
+	r, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("experiment: unknown %q (valid: %v)", name, Names())
+	}
+	return r(p, w)
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"tctp/internal/stats"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("demo", "a", "b", "c")
+	tb.Add("x", "y", "w")
+	tb.AddF("z", 1.2345, 7)
+	out := tb.String()
+	for _, want := range []string{"demo", "a", "b", "x", "y", "z", "1.23", "7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("demo", "col1", "col2")
+	tb.Add("v1", "v2")
+	tb.Add("v3", "v4")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[0][0] != "col1" || records[2][1] != "v4" {
+		t.Fatalf("CSV = %v", records)
+	}
+}
+
+func TestRenderSeriesAndCSV(t *testing.T) {
+	a := stats.Series{Name: "tctp"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := stats.Series{Name: "chb"}
+	b.Add(1, 30) // shorter series: the renderer must pad
+	out := RenderSeries("title", "visit", []stats.Series{a, b})
+	for _, want := range []string{"title", "visit", "tctp", "chb", "10.00", "30.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series render missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, "visit", []stats.Series{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 rows
+		t.Fatalf("CSV rows = %d", len(records))
+	}
+	if records[0][1] != "tctp" || records[0][2] != "chb" {
+		t.Fatalf("CSV header = %v", records[0])
+	}
+	if records[2][2] != "" {
+		t.Fatalf("short series not padded: %v", records[2])
+	}
+}
+
+func TestRenderSurfaceAndCSV(t *testing.T) {
+	s := stats.NewSurface("sd", "targets", "mules", []float64{10, 20}, []float64{2, 4})
+	s.Set(0, 0, 1.5)
+	s.Set(1, 1, 9.25)
+	out := RenderSurface(s)
+	for _, want := range []string{"sd", "targets", "mules", "1.50", "9.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("surface render missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := SurfaceCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 { // header + 4 cells
+		t.Fatalf("CSV rows = %d", len(records))
+	}
+	if records[0][0] != "targets" || records[0][1] != "mules" {
+		t.Fatalf("CSV header = %v", records[0])
+	}
+	// Long form: last record is (20, 4, 9.25).
+	last := records[4]
+	if last[0] != "20" || last[1] != "4" || !strings.HasPrefix(last[2], "9.25") {
+		t.Fatalf("CSV last = %v", last)
+	}
+}
+
+func TestResonanceShape(t *testing.T) {
+	cfg := ResonanceConfig{
+		Targets: 12,
+		Mules:   []int{2},
+		Weights: []int{2, 3},
+		Horizon: 100_000,
+	}
+	r, err := Resonance(quick2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resonant cell (2 mules, weight 2) must have dramatically higher
+	// VIP SD than the non-resonant (2 mules, weight 3) cell.
+	resonant := r.SD.At(0, 0)
+	clean := r.SD.At(0, 1)
+	if resonant <= clean {
+		t.Fatalf("resonant SD %.2f not above non-resonant %.2f", resonant, clean)
+	}
+	if r.String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+	"tctp/internal/xrand"
+)
+
+// ResonanceConfig parameterizes E7 — a phenomenon this reproduction
+// surfaced that the paper does not discuss: with k mules phase-spaced
+// |P̄|/k apart and a weight-w VIP whose cycles the Balancing-Length
+// policy has equalized (visits |P̄|/w apart), the VIP's visit times
+// from different mules coincide whenever w is a multiple of k. The
+// colliding visits produce zero-length intervals followed by long
+// gaps, so the VIP's interval SD spikes exactly at the resonant
+// weights — inverting Fig. 10's ordering for those cells.
+type ResonanceConfig struct {
+	Targets int     // default 20
+	Mules   []int   // fleet sizes (default {1, 2, 3})
+	Weights []int   // VIP weights (default {2, 3, 4, 5, 6})
+	Horizon float64 // default 150 000 s
+}
+
+func (c ResonanceConfig) withDefaults() ResonanceConfig {
+	if c.Targets == 0 {
+		c.Targets = 20
+	}
+	if len(c.Mules) == 0 {
+		c.Mules = []int{1, 2, 3}
+	}
+	if len(c.Weights) == 0 {
+		c.Weights = []int{2, 3, 4, 5, 6}
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 150_000
+	}
+	return c
+}
+
+// ResonanceResult is the VIP-interval SD surface over fleet size ×
+// weight under the Balancing-Length policy.
+type ResonanceResult struct {
+	SD *stats.Surface
+}
+
+// String renders the surface.
+func (r *ResonanceResult) String() string {
+	return RenderSurface(r.SD) +
+		"expected: SD spikes where weight is a multiple of the fleet size\n" +
+		"(balanced VIP visits coincide with the inter-mule phase offset).\n"
+}
+
+// Resonance runs E7: one weight-w VIP, Balancing-Length W-TCTP, fleet
+// size swept against w; the metric is the VIP's own interval SD.
+func Resonance(p Params, cfg ResonanceConfig) (*ResonanceResult, error) {
+	cfg = cfg.withDefaults()
+	out := &ResonanceResult{
+		SD: stats.NewSurface("VIP interval SD, balancing policy (s)",
+			"mules", "weight", toF(cfg.Mules), toF(cfg.Weights)),
+	}
+	for i, mules := range cfg.Mules {
+		for j, weight := range cfg.Weights {
+			mules, weight := mules, weight
+			gen := func(src *xrand.Source) *field.Scenario {
+				s := field.Generate(field.Config{
+					NumTargets: cfg.Targets,
+					NumMules:   mules,
+					Placement:  field.Uniform,
+				}, src)
+				s.AssignVIPs(src, 1, weight)
+				return s
+			}
+			alg := patrol.Planned(&core.WTCTP{Policy: core.BalancingLength})
+			opts := patrol.Options{Horizon: cfg.Horizon}
+			runs, err := replicate(p, func(seed uint64) (float64, error) {
+				scn := gen(scenarioSeed(seed))
+				res, err := patrol.Run(scn, alg, opts, algorithmSeed(seed))
+				if err != nil {
+					return 0, err
+				}
+				vip := scn.VIPs()[0]
+				return res.Recorder.SDAfter(vip, res.PatrolStart+1), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("resonance (%d mules, weight %d): %w", mules, weight, err)
+			}
+			out.SD.Set(i, j, stats.Mean(runs))
+		}
+	}
+	return out, nil
+}

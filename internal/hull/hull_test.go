@@ -1,0 +1,236 @@
+package hull
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tctp/internal/geom"
+	"tctp/internal/xrand"
+)
+
+func square() []geom.Point {
+	return []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10),
+		geom.Pt(5, 5), geom.Pt(3, 7), geom.Pt(8, 2), // interior
+	}
+}
+
+func TestConvexSquare(t *testing.T) {
+	h := Convex(square())
+	if len(h) != 4 {
+		t.Fatalf("hull has %d vertices, want 4: %v", len(h), h)
+	}
+	want := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}
+	for i, p := range want {
+		if !h[i].Eq(p) {
+			t.Fatalf("vertex %d = %v, want %v (hull %v)", i, h[i], p, h)
+		}
+	}
+}
+
+func TestConvexSmallInputs(t *testing.T) {
+	if h := Convex(nil); len(h) != 0 {
+		t.Fatalf("empty input: %v", h)
+	}
+	one := []geom.Point{geom.Pt(1, 2)}
+	if h := Convex(one); len(h) != 1 || !h[0].Eq(one[0]) {
+		t.Fatalf("single input: %v", h)
+	}
+	two := []geom.Point{geom.Pt(4, 4), geom.Pt(1, 2)}
+	h := Convex(two)
+	if len(h) != 2 {
+		t.Fatalf("two points: %v", h)
+	}
+	dup := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(1, 1)}
+	if h := Convex(dup); len(h) != 1 {
+		t.Fatalf("duplicates: %v", h)
+	}
+}
+
+func TestConvexCollinear(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3)}
+	h := Convex(pts)
+	// All points collinear: hull degenerates. Accept the two extreme
+	// points (any interior collinear vertices must be dropped).
+	if len(h) > 2 {
+		t.Fatalf("collinear hull has %d vertices: %v", len(h), h)
+	}
+}
+
+func TestConvexIsCCW(t *testing.T) {
+	h := Convex(square())
+	for i := range h {
+		a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+		if geom.Orient(a, b, c) != geom.Counterclockwise {
+			t.Fatalf("hull not strictly CCW at vertex %d", i)
+		}
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	h := Convex(square())
+	if !ContainsPoint(h, geom.Pt(5, 5)) {
+		t.Fatal("interior point rejected")
+	}
+	if !ContainsPoint(h, geom.Pt(0, 0)) {
+		t.Fatal("vertex rejected")
+	}
+	if !ContainsPoint(h, geom.Pt(5, 0)) {
+		t.Fatal("boundary point rejected")
+	}
+	if ContainsPoint(h, geom.Pt(11, 5)) {
+		t.Fatal("exterior point accepted")
+	}
+	if ContainsPoint(nil, geom.Pt(0, 0)) {
+		t.Fatal("empty hull contains nothing")
+	}
+	if !ContainsPoint([]geom.Point{geom.Pt(1, 1)}, geom.Pt(1, 1)) {
+		t.Fatal("degenerate single-point hull")
+	}
+	seg := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	if !ContainsPoint(seg, geom.Pt(5, 0)) {
+		t.Fatal("degenerate segment hull")
+	}
+}
+
+func TestPerimeterAndArea(t *testing.T) {
+	h := Convex(square())
+	if p := Perimeter(h); math.Abs(p-40) > 1e-9 {
+		t.Fatalf("Perimeter = %v, want 40", p)
+	}
+	if a := Area(h); math.Abs(a-100) > 1e-9 {
+		t.Fatalf("Area = %v, want 100", a)
+	}
+	if a := Area(h[:2]); a != 0 {
+		t.Fatalf("degenerate area = %v", a)
+	}
+}
+
+func randomPoints(src *xrand.Source, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(src.Range(0, 800), src.Range(0, 800))
+	}
+	return pts
+}
+
+// TestHullContainsAllInputs is the core hull invariant: every input
+// point is inside (or on) the computed hull.
+func TestHullContainsAllInputs(t *testing.T) {
+	src := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(src, 3+src.Intn(60))
+		h := Convex(pts)
+		for _, p := range pts {
+			if !ContainsPoint(h, p) {
+				t.Fatalf("trial %d: point %v outside hull %v", trial, p, h)
+			}
+		}
+	}
+}
+
+// TestHullVerticesAreInputs checks that hull vertices are a subset of
+// the input point set.
+func TestHullVerticesAreInputs(t *testing.T) {
+	src := xrand.New(100)
+	for trial := 0; trial < 30; trial++ {
+		pts := randomPoints(src, 3+src.Intn(40))
+		set := map[geom.Point]bool{}
+		for _, p := range pts {
+			set[p] = true
+		}
+		for _, v := range Convex(pts) {
+			if !set[v] {
+				t.Fatalf("hull vertex %v not in input", v)
+			}
+		}
+	}
+}
+
+// TestGrahamMatchesMonotone cross-validates the two implementations on
+// random inputs: same vertex cycle.
+func TestGrahamMatchesMonotone(t *testing.T) {
+	src := xrand.New(101)
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(src, 3+src.Intn(80))
+		a := Convex(pts)
+		b := GrahamScan(pts)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: sizes differ %d vs %d\n%v\n%v", trial, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if !a[i].Eq(b[i]) {
+				t.Fatalf("trial %d: vertex %d differs: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestHullIdempotent: the hull of a hull is itself.
+func TestHullIdempotent(t *testing.T) {
+	src := xrand.New(102)
+	pts := randomPoints(src, 50)
+	h := Convex(pts)
+	h2 := Convex(h)
+	if len(h) != len(h2) {
+		t.Fatalf("idempotence broken: %d vs %d vertices", len(h), len(h2))
+	}
+	for i := range h {
+		if !h[i].Eq(h2[i]) {
+			t.Fatalf("vertex %d moved: %v vs %v", i, h[i], h2[i])
+		}
+	}
+}
+
+// TestHullPerimeterMinimal: the hull perimeter never exceeds the
+// closed polyline through all the points in any order (the hull is the
+// shortest enclosing cycle of its vertex set).
+func TestHullPerimeterBound(t *testing.T) {
+	src := xrand.New(103)
+	pts := randomPoints(src, 25)
+	h := Convex(pts)
+	if Perimeter(h) > geom.CycleLen(pts)+1e-9 {
+		t.Fatal("hull perimeter exceeds an arbitrary enclosing tour")
+	}
+}
+
+func TestHullInputNotModified(t *testing.T) {
+	pts := square()
+	cp := make([]geom.Point, len(pts))
+	copy(cp, pts)
+	Convex(pts)
+	GrahamScan(pts)
+	for i := range pts {
+		if pts[i] != cp[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestHullPropertyQuick(t *testing.T) {
+	// Random coordinate sets via testing/quick; hull must contain all
+	// inputs and be CCW-convex.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 3
+		src := xrand.New(seed)
+		pts := randomPoints(src, n)
+		h := Convex(pts)
+		for _, p := range pts {
+			if !ContainsPoint(h, p) {
+				return false
+			}
+		}
+		if len(h) >= 3 {
+			for i := range h {
+				if geom.Orient(h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]) == geom.Clockwise {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package metrics records target visits during a simulation and
+// derives the paper's evaluation quantities from them:
+//
+//   - the visiting interval of a target — the time between two
+//     consecutive visits (the paper's headline metric, which the
+//     planners aim to minimize and balance);
+//   - the Data Collection Delay Time (DCDT) series of Fig. 7 — the
+//     k-th visiting interval aggregated over targets;
+//   - the per-target SD of Figs. 8 and 10 — the sample standard
+//     deviation of a target's consecutive visiting intervals.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"tctp/internal/stats"
+)
+
+// Recorder accumulates visit timestamps per target. It is not safe
+// for concurrent use; a simulation is single-threaded by design (the
+// experiment harness parallelizes across independent runs instead).
+type Recorder struct {
+	visits [][]float64
+}
+
+// NewRecorder returns a recorder for nTargets targets (indexed
+// 0..nTargets-1).
+func NewRecorder(nTargets int) *Recorder {
+	if nTargets <= 0 {
+		panic(fmt.Sprintf("metrics: NewRecorder(%d)", nTargets))
+	}
+	return &Recorder{visits: make([][]float64, nTargets)}
+}
+
+// NumTargets returns the number of tracked targets.
+func (r *Recorder) NumTargets() int { return len(r.visits) }
+
+// OnVisit records that a mule visited target at simulation time t. It
+// has the signature expected by mule.Config.OnVisit (the mule identity
+// does not matter for interval metrics: any mule's visit resets the
+// target's clock). It panics on an out-of-range target.
+func (r *Recorder) OnVisit(_, target int, t float64) {
+	if target < 0 || target >= len(r.visits) {
+		panic(fmt.Sprintf("metrics: visit to target %d of %d", target, len(r.visits)))
+	}
+	r.visits[target] = append(r.visits[target], t)
+}
+
+// VisitTimes returns the visit timestamps of target in order.
+func (r *Recorder) VisitTimes(target int) []float64 {
+	return r.visits[target]
+}
+
+// VisitCount returns the number of recorded visits to target.
+func (r *Recorder) VisitCount(target int) int {
+	return len(r.visits[target])
+}
+
+// MinVisitCount returns the smallest visit count over all targets.
+func (r *Recorder) MinVisitCount() int {
+	min := -1
+	for _, v := range r.visits {
+		if min == -1 || len(v) < min {
+			min = len(v)
+		}
+	}
+	if min == -1 {
+		return 0
+	}
+	return min
+}
+
+// Intervals returns the consecutive visiting intervals of target:
+// interval k is the time between visit k and visit k+1. A target with
+// fewer than two visits yields nil.
+func (r *Recorder) Intervals(target int) []float64 {
+	ts := r.visits[target]
+	if len(ts) < 2 {
+		return nil
+	}
+	out := make([]float64, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		out[i-1] = ts[i] - ts[i-1]
+	}
+	return out
+}
+
+// IntervalsAfter returns the visiting intervals of target restricted
+// to visits at or after t0. Use it to discard the location-
+// initialization transient when measuring steady-state behaviour.
+func (r *Recorder) IntervalsAfter(target int, t0 float64) []float64 {
+	ts := r.visits[target]
+	var kept []float64
+	for _, t := range ts {
+		if t >= t0 {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) < 2 {
+		return nil
+	}
+	out := make([]float64, len(kept)-1)
+	for i := 1; i < len(kept); i++ {
+		out[i-1] = kept[i] - kept[i-1]
+	}
+	return out
+}
+
+// SD returns the paper's per-target SD metric: the sample standard
+// deviation of the target's consecutive visiting intervals
+// (SD = sqrt(1/(n−1)·Σ(t_k − t̄)²) over the n intervals). Targets with
+// fewer than two intervals yield 0.
+func (r *Recorder) SD(target int) float64 {
+	return stats.SampleSD(r.Intervals(target))
+}
+
+// SDAfter is SD restricted to visits at or after t0.
+func (r *Recorder) SDAfter(target int, t0 float64) float64 {
+	return stats.SampleSD(r.IntervalsAfter(target, t0))
+}
+
+// MeanInterval returns the mean visiting interval of target (0 when
+// the target has fewer than two visits).
+func (r *Recorder) MeanInterval(target int) float64 {
+	return stats.Mean(r.Intervals(target))
+}
+
+// AvgSD returns the SD metric averaged over all targets that have at
+// least two intervals — the z-axis of Figs. 8 and 10.
+func (r *Recorder) AvgSD() float64 {
+	var acc stats.Accumulator
+	for t := range r.visits {
+		if iv := r.Intervals(t); len(iv) >= 2 {
+			acc.Add(stats.SampleSD(iv))
+		}
+	}
+	return acc.Mean()
+}
+
+// AvgSDAfter is AvgSD restricted to visits at or after t0.
+func (r *Recorder) AvgSDAfter(t0 float64) float64 {
+	var acc stats.Accumulator
+	for t := range r.visits {
+		if iv := r.IntervalsAfter(t, t0); len(iv) >= 2 {
+			acc.Add(stats.SampleSD(iv))
+		}
+	}
+	return acc.Mean()
+}
+
+// AvgDCDT returns the mean visiting interval averaged over all targets
+// with at least one interval — the z-axis of Fig. 9.
+func (r *Recorder) AvgDCDT() float64 {
+	var acc stats.Accumulator
+	for t := range r.visits {
+		if iv := r.Intervals(t); len(iv) > 0 {
+			acc.Add(stats.Mean(iv))
+		}
+	}
+	return acc.Mean()
+}
+
+// AvgDCDTAfter is AvgDCDT restricted to visits at or after t0.
+func (r *Recorder) AvgDCDTAfter(t0 float64) float64 {
+	var acc stats.Accumulator
+	for t := range r.visits {
+		if iv := r.IntervalsAfter(t, t0); len(iv) > 0 {
+			acc.Add(stats.Mean(iv))
+		}
+	}
+	return acc.Mean()
+}
+
+// MaxInterval returns the maximal visiting interval over all targets
+// and intervals — the quantity the paper's problem statement
+// minimizes ("the goal ... is to minimize the maximal visiting
+// interval"). Returns 0 when no target has two visits.
+func (r *Recorder) MaxInterval() float64 {
+	m := 0.0
+	for t := range r.visits {
+		for _, iv := range r.Intervals(t) {
+			if iv > m {
+				m = iv
+			}
+		}
+	}
+	return m
+}
+
+// DCDTSeries returns, for k = 1..maxK, the k-th visiting interval
+// averaged over the targets that have a k-th interval. Targets that
+// never reach the k-th interval simply stop contributing.
+func (r *Recorder) DCDTSeries(maxK int) []float64 {
+	out := make([]float64, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		var acc stats.Accumulator
+		for t := range r.visits {
+			iv := r.Intervals(t)
+			if len(iv) >= k {
+				acc.Add(iv[k-1])
+			}
+		}
+		if acc.N() == 0 {
+			break
+		}
+		out = append(out, acc.Mean())
+	}
+	return out
+}
+
+// EventDCDTSeries returns the paper's Fig. 7 curve: visit events from
+// all targets are ordered by time, each carrying the interval since
+// that target's previous visit (its "data collection delay"), and the
+// first maxK such events are returned. Under B-TCTP every event
+// carries the same interval (a flat line); under CHB and Sweep the
+// sequence cycles through the unequal inter-mule gaps or the unequal
+// group periods ("the DCDT vibrates periodically"); under Random it
+// is erratic.
+func (r *Recorder) EventDCDTSeries(maxK int) []float64 {
+	type event struct {
+		t, interval float64
+	}
+	var events []event
+	for target := range r.visits {
+		ts := r.visits[target]
+		for i := 1; i < len(ts); i++ {
+			events = append(events, event{t: ts[i], interval: ts[i] - ts[i-1]})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].interval < events[b].interval
+	})
+	if len(events) > maxK {
+		events = events[:maxK]
+	}
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = e.interval
+	}
+	return out
+}

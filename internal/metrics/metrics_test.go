@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicRecording(t *testing.T) {
+	r := NewRecorder(3)
+	if r.NumTargets() != 3 {
+		t.Fatalf("NumTargets = %d", r.NumTargets())
+	}
+	r.OnVisit(0, 1, 10)
+	r.OnVisit(1, 1, 25)
+	r.OnVisit(0, 2, 5)
+	if r.VisitCount(1) != 2 || r.VisitCount(2) != 1 || r.VisitCount(0) != 0 {
+		t.Fatal("visit counts wrong")
+	}
+	ts := r.VisitTimes(1)
+	if len(ts) != 2 || ts[0] != 10 || ts[1] != 25 {
+		t.Fatalf("VisitTimes = %v", ts)
+	}
+	if r.MinVisitCount() != 0 {
+		t.Fatalf("MinVisitCount = %d", r.MinVisitCount())
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	r := NewRecorder(2)
+	for _, at := range []float64{10, 30, 60, 100} {
+		r.OnVisit(0, 0, at)
+	}
+	iv := r.Intervals(0)
+	want := []float64{20, 30, 40}
+	if len(iv) != 3 {
+		t.Fatalf("Intervals = %v", iv)
+	}
+	for i := range want {
+		if !almost(iv[i], want[i]) {
+			t.Fatalf("Intervals = %v", iv)
+		}
+	}
+	if r.Intervals(1) != nil {
+		t.Fatal("unvisited target has intervals")
+	}
+	r.OnVisit(0, 1, 5)
+	if r.Intervals(1) != nil {
+		t.Fatal("single visit has intervals")
+	}
+}
+
+func TestIntervalsAfter(t *testing.T) {
+	r := NewRecorder(1)
+	for _, at := range []float64{0, 100, 200, 300} {
+		r.OnVisit(0, 0, at)
+	}
+	iv := r.IntervalsAfter(0, 100)
+	if len(iv) != 2 || !almost(iv[0], 100) || !almost(iv[1], 100) {
+		t.Fatalf("IntervalsAfter = %v", iv)
+	}
+	if got := r.IntervalsAfter(0, 300); got != nil {
+		t.Fatalf("IntervalsAfter(300) = %v", got)
+	}
+	// Boundary inclusive.
+	if got := r.IntervalsAfter(0, 200); len(got) != 1 {
+		t.Fatalf("IntervalsAfter(200) = %v", got)
+	}
+}
+
+func TestSDPaperFormula(t *testing.T) {
+	r := NewRecorder(1)
+	// Visits 0, 10, 30: intervals 10, 20 → mean 15, sample SD
+	// sqrt(((10-15)²+(20-15)²)/1) = sqrt(50).
+	for _, at := range []float64{0, 10, 30} {
+		r.OnVisit(0, 0, at)
+	}
+	if sd := r.SD(0); !almost(sd, math.Sqrt(50)) {
+		t.Fatalf("SD = %v, want %v", sd, math.Sqrt(50))
+	}
+}
+
+func TestSDConstantIntervalsIsZero(t *testing.T) {
+	// The B-TCTP steady state: perfectly periodic visits → SD 0.
+	r := NewRecorder(1)
+	for k := 0; k < 50; k++ {
+		r.OnVisit(0, 0, float64(k)*137.5)
+	}
+	if sd := r.SD(0); !almost(sd, 0) {
+		t.Fatalf("constant-interval SD = %v", sd)
+	}
+}
+
+func TestMeanInterval(t *testing.T) {
+	r := NewRecorder(1)
+	for _, at := range []float64{0, 10, 30} {
+		r.OnVisit(0, 0, at)
+	}
+	if m := r.MeanInterval(0); !almost(m, 15) {
+		t.Fatalf("MeanInterval = %v", m)
+	}
+}
+
+func TestAvgSDAndAvgDCDT(t *testing.T) {
+	r := NewRecorder(3)
+	// Target 0: intervals 10, 10 (SD 0, mean 10).
+	for _, at := range []float64{0, 10, 20} {
+		r.OnVisit(0, 0, at)
+	}
+	// Target 1: intervals 10, 30 (SD sqrt(200), mean 20).
+	for _, at := range []float64{0, 10, 40} {
+		r.OnVisit(0, 1, at)
+	}
+	// Target 2: one visit only — excluded from both aggregates.
+	r.OnVisit(0, 2, 5)
+
+	wantSD := (0 + math.Sqrt(200)) / 2
+	if got := r.AvgSD(); !almost(got, wantSD) {
+		t.Fatalf("AvgSD = %v, want %v", got, wantSD)
+	}
+	if got := r.AvgDCDT(); !almost(got, 15) {
+		t.Fatalf("AvgDCDT = %v, want 15", got)
+	}
+}
+
+func TestAvgAfterVariants(t *testing.T) {
+	r := NewRecorder(1)
+	// Transient: erratic until t=100; steady period 50 after.
+	for _, at := range []float64{0, 7, 100, 150, 200, 250} {
+		r.OnVisit(0, 0, at)
+	}
+	if sd := r.AvgSDAfter(100); !almost(sd, 0) {
+		t.Fatalf("steady-state SD = %v", sd)
+	}
+	if m := r.AvgDCDTAfter(100); !almost(m, 50) {
+		t.Fatalf("steady-state DCDT = %v", m)
+	}
+	if sd := r.SDAfter(0, 100); !almost(sd, 0) {
+		t.Fatalf("SDAfter = %v", sd)
+	}
+}
+
+func TestMaxInterval(t *testing.T) {
+	r := NewRecorder(2)
+	for _, at := range []float64{0, 10, 20} {
+		r.OnVisit(0, 0, at)
+	}
+	for _, at := range []float64{0, 55} {
+		r.OnVisit(0, 1, at)
+	}
+	if m := r.MaxInterval(); !almost(m, 55) {
+		t.Fatalf("MaxInterval = %v", m)
+	}
+	empty := NewRecorder(1)
+	if m := empty.MaxInterval(); m != 0 {
+		t.Fatalf("empty MaxInterval = %v", m)
+	}
+}
+
+func TestDCDTSeries(t *testing.T) {
+	r := NewRecorder(2)
+	// Target 0 intervals: 10, 20, 30. Target 1 intervals: 30.
+	for _, at := range []float64{0, 10, 30, 60} {
+		r.OnVisit(0, 0, at)
+	}
+	for _, at := range []float64{0, 30} {
+		r.OnVisit(0, 1, at)
+	}
+	s := r.DCDTSeries(5)
+	// k=1: mean(10, 30)=20; k=2: mean(20)=20; k=3: mean(30)=30;
+	// k=4: no data → series stops.
+	want := []float64{20, 20, 30}
+	if len(s) != len(want) {
+		t.Fatalf("DCDTSeries = %v", s)
+	}
+	for i := range want {
+		if !almost(s[i], want[i]) {
+			t.Fatalf("DCDTSeries = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestDCDTSeriesEmpty(t *testing.T) {
+	r := NewRecorder(1)
+	if s := r.DCDTSeries(10); len(s) != 0 {
+		t.Fatalf("series = %v", s)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewRecorder(0) did not panic")
+			}
+		}()
+		NewRecorder(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range visit did not panic")
+			}
+		}()
+		NewRecorder(2).OnVisit(0, 5, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative target did not panic")
+			}
+		}()
+		NewRecorder(2).OnVisit(0, -1, 1)
+	}()
+}
+
+// Property: for any monotone visit sequence, intervals are positive
+// and sum to last − first.
+func TestIntervalTelescopeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		r := NewRecorder(1)
+		t0 := 0.0
+		var first, last float64
+		for i, d := range raw {
+			t0 += float64(d) + 1 // strictly increasing
+			if i == 0 {
+				first = t0
+			}
+			last = t0
+			r.OnVisit(0, 0, t0)
+		}
+		iv := r.Intervals(0)
+		sum := 0.0
+		for _, x := range iv {
+			if x <= 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-(last-first)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventDCDTSeries(t *testing.T) {
+	r := NewRecorder(2)
+	// Target 0 visits at 0, 10, 30 (intervals 10 at t=10, 20 at t=30).
+	for _, at := range []float64{0, 10, 30} {
+		r.OnVisit(0, 0, at)
+	}
+	// Target 1 visits at 5, 20 (interval 15 at t=20).
+	for _, at := range []float64{5, 20} {
+		r.OnVisit(0, 1, at)
+	}
+	got := r.EventDCDTSeries(10)
+	// Time-ordered events: t=10 (iv 10), t=20 (iv 15), t=30 (iv 20).
+	want := []float64{10, 15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("EventDCDTSeries = %v", got)
+	}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("EventDCDTSeries = %v, want %v", got, want)
+		}
+	}
+	// maxK truncation.
+	if got := r.EventDCDTSeries(2); len(got) != 2 || !almost(got[1], 15) {
+		t.Fatalf("truncated series = %v", got)
+	}
+	// Empty recorder.
+	if got := NewRecorder(1).EventDCDTSeries(5); len(got) != 0 {
+		t.Fatalf("empty series = %v", got)
+	}
+}
+
+func TestEventDCDTSeriesConstantForPeriodic(t *testing.T) {
+	r := NewRecorder(3)
+	// Three targets on a perfectly periodic schedule (the B-TCTP
+	// steady state): every event interval is identical.
+	for target := 0; target < 3; target++ {
+		for k := 0; k < 10; k++ {
+			r.OnVisit(0, target, float64(target)*33.3+float64(k)*100)
+		}
+	}
+	s := r.EventDCDTSeries(25)
+	for _, iv := range s {
+		if !almost(iv, 100) {
+			t.Fatalf("periodic schedule produced varying event DCDT: %v", s)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package patrol runs a patrolling algorithm on a scenario through the
+// event-driven simulator and collects the paper's metrics. It is the
+// bridge between the planners (internal/core, internal/baseline),
+// which produce geometric routes, and the simulation substrate
+// (internal/sim, internal/mule), which executes them in time.
+package patrol
+
+import (
+	"fmt"
+
+	"tctp/internal/core"
+	"tctp/internal/energy"
+	"tctp/internal/field"
+	"tctp/internal/geom"
+	"tctp/internal/metrics"
+	"tctp/internal/mule"
+	"tctp/internal/sim"
+	"tctp/internal/xrand"
+)
+
+// Options configures a simulation run. The zero value selects the
+// paper's §5.1 parameters.
+type Options struct {
+	// Speed is the mule velocity in m/s (default 2, per §5.1).
+	Speed float64
+	// Energy is the energy model (default energy.Default()).
+	Energy energy.Model
+	// UseBattery enables the battery constraint; when false mules
+	// have unlimited energy (the B/W-TCTP experiments).
+	UseBattery bool
+	// Horizon is the simulated duration in seconds (default 100 000 s,
+	// enough for tens of circuits of an 800 m field at 2 m/s).
+	Horizon float64
+	// MaxEvents bounds the event count as a safety valve (default
+	// 5 000 000).
+	MaxEvents uint64
+	// NoSynchronizedStart lets each mule begin patrolling the moment
+	// it reaches its start point instead of waiting for the slowest
+	// mule. Synchronized start (the default) is what makes B-TCTP's
+	// equal spacing exact; disabling it is the A3-adjacent ablation.
+	NoSynchronizedStart bool
+	// Hooks receive simulation events in addition to the built-in
+	// metrics recorder — e.g. the wsn data-collection overlay or a
+	// trace.Tracer.
+	Hooks Hooks
+}
+
+// Hooks are optional event observers; any field may be nil. They are
+// invoked after the built-in bookkeeping for the same event.
+type Hooks struct {
+	OnVisit    func(muleID, targetID int, t float64)
+	OnDeath    func(muleID int, t float64, pos geom.Point)
+	OnRecharge func(muleID int, t float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Speed == 0 {
+		o.Speed = 2
+	}
+	if o.Energy == (energy.Model{}) {
+		o.Energy = energy.Default()
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 100_000
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 5_000_000
+	}
+	return o
+}
+
+// MuleStats summarizes one mule's run.
+type MuleStats struct {
+	Distance       float64
+	EnergyConsumed float64
+	Visits         int
+	Recharges      int
+	Dead           bool
+}
+
+// Result bundles everything a run produces.
+type Result struct {
+	// Algorithm names the executed algorithm.
+	Algorithm string
+	// Recorder holds the per-target visit log.
+	Recorder *metrics.Recorder
+	// Mules holds per-mule statistics.
+	Mules []MuleStats
+	// PatrolStart is the synchronized patrol start time (0 when
+	// synchronization is off or no plan is involved).
+	PatrolStart float64
+	// Plan is the fixed-route plan, when the algorithm has one.
+	Plan *core.FleetPlan
+}
+
+// TotalEnergy returns the fleet's total energy consumption in joules.
+func (r *Result) TotalEnergy() float64 {
+	t := 0.0
+	for _, m := range r.Mules {
+		t += m.EnergyConsumed
+	}
+	return t
+}
+
+// TotalVisits returns the fleet's total collection count.
+func (r *Result) TotalVisits() int {
+	t := 0
+	for _, m := range r.Mules {
+		t += m.Visits
+	}
+	return t
+}
+
+// EnergyPerVisit returns joules consumed per collection — the paper's
+// "energy efficiency of DM" notion. Returns 0 when nothing was
+// collected.
+func (r *Result) EnergyPerVisit() float64 {
+	v := r.TotalVisits()
+	if v == 0 {
+		return 0
+	}
+	return r.TotalEnergy() / float64(v)
+}
+
+// DeadMules counts mules that exhausted their battery.
+func (r *Result) DeadMules() int {
+	n := 0
+	for _, m := range r.Mules {
+		if m.Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Algorithm is anything that can be executed by Run: either a fixed-
+// route planner (via Planned) or an online policy (via Online).
+type Algorithm interface {
+	Name() string
+	// prepare returns one router per mule and, if the algorithm is
+	// plan-based, its plan.
+	prepare(s *field.Scenario, opts Options, src *xrand.Source) ([]mule.Router, *core.FleetPlan, error)
+}
+
+// Planned adapts a core.Planner (B/W/RW-TCTP, CHB, Sweep) to
+// Algorithm.
+func Planned(p core.Planner) Algorithm { return plannedAlg{p} }
+
+type plannedAlg struct{ p core.Planner }
+
+func (a plannedAlg) Name() string { return a.p.Name() }
+
+func (a plannedAlg) prepare(s *field.Scenario, opts Options, _ *xrand.Source) ([]mule.Router, *core.FleetPlan, error) {
+	plan, err := a.p.Plan(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := plan.Validate(s); err != nil {
+		return nil, nil, err
+	}
+	hold := 0.0
+	if !opts.NoSynchronizedStart {
+		hold = plan.MaxApproach / opts.Speed
+	}
+	routers := make([]mule.Router, len(plan.Routes))
+	for i := range plan.Routes {
+		routers[i] = &planRouter{route: plan.Routes[i], holdUntil: hold}
+	}
+	return routers, plan, nil
+}
+
+// RouterMaker is an online algorithm that builds one router per mule.
+type RouterMaker interface {
+	Name() string
+	NewRouters(s *field.Scenario, src *xrand.Source) []mule.Router
+}
+
+// Online adapts a RouterMaker (e.g. baseline.Random) to Algorithm.
+func Online(m RouterMaker) Algorithm { return onlineAlg{m} }
+
+type onlineAlg struct{ m RouterMaker }
+
+func (a onlineAlg) Name() string { return a.m.Name() }
+
+func (a onlineAlg) prepare(s *field.Scenario, _ Options, src *xrand.Source) ([]mule.Router, *core.FleetPlan, error) {
+	return a.m.NewRouters(s, src), nil, nil
+}
+
+// planRouter walks a core.MuleRoute: approach once (holding at the
+// final approach stop until holdUntil), then loop the cycle phases
+// forever, honouring each phase's Repeat count.
+type planRouter struct {
+	route     core.MuleRoute
+	holdUntil float64
+
+	approachIdx int
+	phase       int
+	rep         int
+	idx         int
+}
+
+// Next implements mule.Router.
+func (r *planRouter) Next(*mule.Mule) (mule.Waypoint, bool) {
+	if r.approachIdx < len(r.route.Approach) {
+		wp := r.route.Approach[r.approachIdx]
+		r.approachIdx++
+		if r.approachIdx == len(r.route.Approach) {
+			wp.NotBefore = r.holdUntil + r.route.ExtraHold
+		}
+		return wp, true
+	}
+	ph := r.route.Cycle[r.phase]
+	wp := ph.Stops[r.idx]
+	r.idx++
+	if r.idx == len(ph.Stops) {
+		r.idx = 0
+		r.rep++
+		if r.rep >= ph.Repeat {
+			r.rep = 0
+			r.phase = (r.phase + 1) % len(r.route.Cycle)
+		}
+	}
+	return wp, true
+}
+
+// Run executes the algorithm on the scenario until opts.Horizon and
+// returns the collected metrics. src drives any randomness the
+// algorithm needs (it may be nil for deterministic planners).
+func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if src == nil {
+		src = xrand.New(0)
+	}
+
+	routers, plan, err := alg.prepare(s, opts, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(routers) != s.NumMules() {
+		return nil, fmt.Errorf("patrol: %s produced %d routers for %d mules",
+			alg.Name(), len(routers), s.NumMules())
+	}
+
+	eng := sim.New()
+	rec := metrics.NewRecorder(s.NumTargets())
+	mules := make([]*mule.Mule, s.NumMules())
+	for i := range mules {
+		var battery *energy.Battery
+		if opts.UseBattery {
+			battery = energy.NewBattery(opts.Energy.Capacity)
+		}
+		onVisit := rec.OnVisit
+		if hook := opts.Hooks.OnVisit; hook != nil {
+			onVisit = func(muleID, targetID int, t float64) {
+				rec.OnVisit(muleID, targetID, t)
+				hook(muleID, targetID, t)
+			}
+		}
+		mules[i] = mule.New(eng, mule.Config{
+			ID:         i,
+			Start:      s.MuleStarts[i],
+			Speed:      opts.Speed,
+			Energy:     opts.Energy,
+			Battery:    battery,
+			Router:     routers[i],
+			OnVisit:    onVisit,
+			OnDeath:    opts.Hooks.OnDeath,
+			OnRecharge: opts.Hooks.OnRecharge,
+		})
+		mules[i].Launch()
+	}
+
+	// Drive the simulation to the horizon, bounded by the MaxEvents
+	// safety valve (protects against accidental zero-delay loops).
+	var executed uint64
+	for executed < opts.MaxEvents {
+		next, ok := eng.NextEventTime()
+		if !ok || next > opts.Horizon {
+			break
+		}
+		eng.Step()
+		executed++
+	}
+	if executed < opts.MaxEvents {
+		eng.RunUntil(opts.Horizon) // no events remain ≤ horizon; set the clock
+	}
+
+	res := &Result{
+		Algorithm: alg.Name(),
+		Recorder:  rec,
+		Mules:     make([]MuleStats, len(mules)),
+		Plan:      plan,
+	}
+	if plan != nil && !opts.NoSynchronizedStart {
+		res.PatrolStart = plan.MaxApproach / opts.Speed
+	}
+	for i, m := range mules {
+		res.Mules[i] = MuleStats{
+			Distance:       m.Distance(),
+			EnergyConsumed: m.EnergyConsumed(),
+			Visits:         m.Visits(),
+			Recharges:      m.Recharges(),
+			Dead:           m.Dead(),
+		}
+	}
+	return res, nil
+}

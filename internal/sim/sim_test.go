@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(100)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run(100)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at float64 = -1
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(100)
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.Run(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	cancel := e.Schedule(1, func() { fired = true })
+	cancel()
+	cancel() // double-cancel is a no-op
+	e.Run(100)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("Executed = %d", e.Executed())
+	}
+}
+
+func TestCancelAfterFireNoop(t *testing.T) {
+	e := New()
+	cancel := e.Schedule(1, func() {})
+	e.Run(100)
+	cancel() // must not panic or corrupt state
+	if e.Pending() != 0 {
+		t.Fatal("phantom pending events")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want horizon 10", e.Now())
+	}
+}
+
+func TestRunUntilIncludesBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(7, func() { fired = true })
+	e.RunUntil(7)
+	if !fired {
+		t.Fatal("event exactly at horizon not executed")
+	}
+}
+
+func TestRunUntilProcessesSpawnedEvents(t *testing.T) {
+	e := New()
+	var hits []float64
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.After(1, func() { hits = append(hits, e.Now()) }) // at t=2
+		e.After(9, func() { hits = append(hits, e.Now()) }) // at t=10, beyond horizon
+	})
+	e.RunUntil(5)
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntilBackwardPanics(t *testing.T) {
+	e := New()
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward RunUntil did not panic")
+		}
+	}()
+	e.RunUntil(4)
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		e.After(1, loop)
+	}
+	e.Schedule(0, loop)
+	n := e.Run(50)
+	if n != 50 || count != 50 {
+		t.Fatalf("Run executed %d events, handler ran %d", n, count)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty engine reported next event")
+	}
+	cancel := e.Schedule(4, func() {})
+	e.Schedule(9, func() {})
+	if tm, ok := e.NextEventTime(); !ok || tm != 4 {
+		t.Fatalf("NextEventTime = %v %v", tm, ok)
+	}
+	cancel()
+	if tm, ok := e.NextEventTime(); !ok || tm != 9 {
+		t.Fatalf("after cancel NextEventTime = %v %v", tm, ok)
+	}
+}
+
+func TestPendingSkipsCanceled(t *testing.T) {
+	e := New()
+	c1 := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	c1()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d", got)
+	}
+}
+
+// Property: any batch of events executes in sorted time order
+// regardless of insertion order.
+func TestExecutionOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var got []float64
+		for _, raw := range times {
+			at := float64(raw)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run(uint64(len(times)) + 1)
+		if len(got) != len(times) {
+			return false
+		}
+		return sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clock is monotone non-decreasing across any run.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		prev := -1.0
+		ok := true
+		for _, raw := range times {
+			at := float64(raw)
+			e.Schedule(at, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run(uint64(len(times)) + 1)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

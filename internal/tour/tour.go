@@ -1,0 +1,542 @@
+// Package tour constructs Hamiltonian circuits (closed tours) over a
+// set of target points. The paper's planners all start from "the same
+// Hamiltonian Circuit [constructed] based on a convex hull concept
+// proposed in [5]" (§2.2-A); ConvexHullInsertion implements that
+// construction. Alternative constructions (nearest neighbour, greedy
+// edge, random) and local-search improvers (2-opt, Or-opt) are
+// provided for the ablation experiments and as independent
+// cross-checks in tests.
+//
+// A Tour is a permutation of point indices; the circuit implicitly
+// closes from the last index back to the first.
+package tour
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tctp/internal/geom"
+	"tctp/internal/hull"
+	"tctp/internal/xrand"
+)
+
+// Tour is an ordering of point indices forming a Hamiltonian circuit.
+type Tour []int
+
+// Length returns the total length of the closed tour over pts.
+func Length(pts []geom.Point, t Tour) float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := range t {
+		total += pts[t[i]].Dist(pts[t[(i+1)%len(t)]])
+	}
+	return total
+}
+
+// Points materializes the tour as the ordered point sequence.
+func Points(pts []geom.Point, t Tour) []geom.Point {
+	out := make([]geom.Point, len(t))
+	for i, idx := range t {
+		out[i] = pts[idx]
+	}
+	return out
+}
+
+// Validate checks that t is a permutation of [0, n). A nil error means
+// the tour visits each of the n targets exactly once.
+func Validate(t Tour, n int) error {
+	if len(t) != n {
+		return fmt.Errorf("tour: length %d, want %d", len(t), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range t {
+		if v < 0 || v >= n {
+			return fmt.Errorf("tour: index %d at position %d out of range [0,%d)", v, i, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("tour: index %d visited twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Rotate returns the tour rotated so that it begins at the position
+// holding index start. It panics if start is absent.
+func Rotate(t Tour, start int) Tour {
+	for i, v := range t {
+		if v == start {
+			out := make(Tour, 0, len(t))
+			out = append(out, t[i:]...)
+			out = append(out, t[:i]...)
+			return out
+		}
+	}
+	panic(fmt.Sprintf("tour: start index %d not in tour", start))
+}
+
+// Reverse returns the tour traversed in the opposite direction,
+// keeping the same starting element.
+func Reverse(t Tour) Tour {
+	out := make(Tour, len(t))
+	if len(t) == 0 {
+		return out
+	}
+	out[0] = t[0]
+	for i := 1; i < len(t); i++ {
+		out[i] = t[len(t)-i]
+	}
+	return out
+}
+
+// SignedArea returns the signed area swept by the closed tour
+// (shoelace). Positive means counterclockwise traversal.
+func SignedArea(pts []geom.Point, t Tour) float64 {
+	n := len(t)
+	if n < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		a, b := pts[t[i]], pts[t[(i+1)%n]]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return sum / 2
+}
+
+// EnsureCCW returns the tour oriented counterclockwise (the traversal
+// direction used throughout the paper). Degenerate tours are returned
+// unchanged.
+func EnsureCCW(pts []geom.Point, t Tour) Tour {
+	if SignedArea(pts, t) < 0 {
+		return Reverse(t)
+	}
+	return t
+}
+
+// ConvexHullInsertion builds a circuit with the convex-hull-and-
+// insertion heuristic attributed to Wu et al. [5]: the convex hull of
+// the targets forms the initial skeleton cycle, then each remaining
+// interior target is inserted — cheapest insertion first — at the
+// position that minimizes the added detour. The resulting tour is
+// oriented counterclockwise. This is the "CHB" construction used by
+// both the paper's planners and the CHB baseline.
+func ConvexHullInsertion(pts []geom.Point) Tour {
+	n := len(pts)
+	switch n {
+	case 0:
+		return Tour{}
+	case 1:
+		return Tour{0}
+	case 2:
+		return Tour{0, 1}
+	}
+
+	hullPts := hull.Convex(pts)
+	used := make([]bool, n)
+	t := make(Tour, 0, n)
+	for _, hp := range hullPts {
+		// Map hull vertices back to indices; duplicates in pts map to
+		// the first unused match so every index is inserted once.
+		for i, p := range pts {
+			if !used[i] && p == hp {
+				t = append(t, i)
+				used[i] = true
+				break
+			}
+		}
+	}
+	if len(t) == 0 {
+		// All points coincide or are collinear enough for the hull to
+		// be degenerate; fall back to index order.
+		for i := 0; i < n; i++ {
+			t = append(t, i)
+		}
+		return t
+	}
+
+	var remaining []int
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			remaining = append(remaining, i)
+		}
+	}
+
+	// Cheapest insertion: repeatedly pick the (point, edge) pair with
+	// the globally smallest detour. O(k²·|t|) overall, fine for the
+	// target counts in the paper's experiments (≤ a few hundred).
+	for len(remaining) > 0 {
+		bestPoint, bestPos := -1, -1
+		bestCost := math.Inf(1)
+		for ri, pi := range remaining {
+			p := pts[pi]
+			for j := range t {
+				a := pts[t[j]]
+				b := pts[t[(j+1)%len(t)]]
+				if c := geom.DetourCost(a, b, p); c < bestCost {
+					bestCost = c
+					bestPoint = ri
+					bestPos = j + 1
+				}
+			}
+		}
+		pi := remaining[bestPoint]
+		remaining = append(remaining[:bestPoint], remaining[bestPoint+1:]...)
+		t = append(t, 0)
+		copy(t[bestPos+1:], t[bestPos:])
+		t[bestPos] = pi
+	}
+	return EnsureCCW(pts, t)
+}
+
+// NearestNeighbor builds a circuit by repeatedly travelling to the
+// closest unvisited target, starting from index start.
+func NearestNeighbor(pts []geom.Point, start int) Tour {
+	n := len(pts)
+	if n == 0 {
+		return Tour{}
+	}
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("tour: NearestNeighbor start %d out of range", start))
+	}
+	visited := make([]bool, n)
+	t := make(Tour, 0, n)
+	cur := start
+	visited[cur] = true
+	t = append(t, cur)
+	for len(t) < n {
+		best, bestD := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			if d := pts[cur].Dist2(pts[i]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		visited[best] = true
+		t = append(t, best)
+		cur = best
+	}
+	return t
+}
+
+// GreedyEdge builds a circuit by sorting all O(n²) candidate edges by
+// length and accepting each edge that keeps every vertex at degree ≤ 2
+// and creates no premature subcycle, finally closing the two loose
+// ends. Union-find tracks connectivity.
+func GreedyEdge(pts []geom.Point) Tour {
+	n := len(pts)
+	if n == 0 {
+		return Tour{}
+	}
+	if n == 1 {
+		return Tour{0}
+	}
+
+	type edge struct {
+		u, v int
+		d    float64
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{i, j, pts[i].Dist2(pts[j])})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].d != edges[b].d {
+			return edges[a].d < edges[b].d
+		}
+		if edges[a].u != edges[b].u {
+			return edges[a].u < edges[b].u
+		}
+		return edges[a].v < edges[b].v
+	})
+
+	uf := newUnionFind(n)
+	degree := make([]int, n)
+	adj := make([][]int, n)
+	accepted := 0
+	for _, e := range edges {
+		if accepted == n-1 {
+			break
+		}
+		if degree[e.u] >= 2 || degree[e.v] >= 2 {
+			continue
+		}
+		if uf.find(e.u) == uf.find(e.v) {
+			continue // would close a subcycle early
+		}
+		uf.union(e.u, e.v)
+		degree[e.u]++
+		degree[e.v]++
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+		accepted++
+	}
+
+	// Walk the Hamiltonian path from one endpoint (degree < 2).
+	start := 0
+	for i := 0; i < n; i++ {
+		if degree[i] < 2 {
+			start = i
+			break
+		}
+	}
+	t := make(Tour, 0, n)
+	prev := -1
+	cur := start
+	for len(t) < n {
+		t = append(t, cur)
+		next := -1
+		for _, nb := range adj[cur] {
+			if nb != prev {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	return t
+}
+
+// Random returns a uniformly random circuit.
+func Random(n int, src *xrand.Source) Tour {
+	return Tour(src.Perm(n))
+}
+
+// BruteForce returns a provably optimal circuit by exhaustive search.
+// It fixes index 0 as the start (circuits are rotation-invariant) and
+// enumerates the (n−1)! remaining orders, so it is only usable as a
+// test oracle for small n; it panics for n > 10.
+func BruteForce(pts []geom.Point) Tour {
+	n := len(pts)
+	if n > 10 {
+		panic(fmt.Sprintf("tour: BruteForce with %d points (max 10)", n))
+	}
+	if n == 0 {
+		return Tour{}
+	}
+	best := make(Tour, n)
+	for i := range best {
+		best[i] = i
+	}
+	if n < 4 {
+		return best
+	}
+	bestLen := Length(pts, best)
+
+	perm := make(Tour, n)
+	copy(perm, best)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			if l := Length(pts, perm); l < bestLen {
+				bestLen = l
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(1) // index 0 stays fixed
+	return best
+}
+
+// HasProperCrossing reports whether any two non-adjacent tour edges
+// properly cross. A 2-opt-optimal Euclidean tour never has one
+// (uncrossing two edges always shortens the tour), which the property
+// tests exploit.
+func HasProperCrossing(pts []geom.Point, t Tour) bool {
+	n := len(t)
+	if n < 4 {
+		return false
+	}
+	edge := func(i int) geom.Segment {
+		return geom.Segment{A: pts[t[i]], B: pts[t[(i+1)%n]]}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			if i == 0 && j == n-1 {
+				continue // adjacent around the wrap
+			}
+			if edge(i).ProperlyIntersects(edge(j)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TwoOpt improves the tour with 2-opt moves (reversing a sub-path when
+// that shortens the circuit) until no improving move exists. It
+// returns a new tour; the input is not modified.
+func TwoOpt(pts []geom.Point, t Tour) Tour {
+	n := len(t)
+	out := make(Tour, n)
+	copy(out, t)
+	if n < 4 {
+		return out
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			a, b := pts[out[i]], pts[out[(i+1)%n]]
+			for j := i + 2; j < n; j++ {
+				if i == 0 && j == n-1 {
+					continue // same edge pair
+				}
+				c, d := pts[out[j]], pts[out[(j+1)%n]]
+				delta := a.Dist(c) + b.Dist(d) - a.Dist(b) - c.Dist(d)
+				if delta < -geom.Eps {
+					// Reverse out[i+1 .. j].
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						out[lo], out[hi] = out[hi], out[lo]
+					}
+					improved = true
+					a, b = pts[out[i]], pts[out[(i+1)%n]]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OrOpt improves the tour by relocating chains of 1–3 consecutive
+// targets to a better position, repeating until no improving move
+// exists. It returns a new tour; the input is not modified.
+func OrOpt(pts []geom.Point, t Tour) Tour {
+	n := len(t)
+	out := make(Tour, n)
+	copy(out, t)
+	if n < 5 {
+		return out
+	}
+	dist := func(i, j int) float64 { return pts[out[i]].Dist(pts[out[j]]) }
+	mod := func(i int) int { return ((i % n) + n) % n }
+
+	improved := true
+	for improved {
+		improved = false
+		for segLen := 1; segLen <= 3; segLen++ {
+			for i := 0; i < n; i++ {
+				// Chain occupies positions i .. i+segLen-1 (cyclic).
+				iPrev := mod(i - 1)
+				iEnd := mod(i + segLen - 1)
+				iNext := mod(i + segLen)
+				if iPrev == iEnd || iNext == i {
+					continue
+				}
+				removeGain := dist(iPrev, i) + dist(iEnd, iNext) - dist(iPrev, iNext)
+				if removeGain <= geom.Eps {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					// Insert between positions j and j+1; skip spots
+					// inside or adjacent to the chain.
+					inside := false
+					for k := 0; k < segLen; k++ {
+						if mod(i+k) == j || mod(i+k) == mod(j+1) {
+							inside = true
+							break
+						}
+					}
+					if inside || j == iPrev {
+						continue
+					}
+					insertCost := dist(j, i) + dist(iEnd, mod(j+1)) - dist(j, mod(j+1))
+					if insertCost < removeGain-geom.Eps {
+						out = relocate(out, i, segLen, j)
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// relocate moves the cyclic chain starting at position i with length
+// segLen so it follows the element currently at position j. Positions
+// are indices into t.
+func relocate(t Tour, i, segLen, j int) Tour {
+	n := len(t)
+	chain := make([]int, segLen)
+	for k := 0; k < segLen; k++ {
+		chain[k] = t[(i+k)%n]
+	}
+	after := t[j]
+	inChain := make(map[int]bool, segLen)
+	for _, v := range chain {
+		inChain[v] = true
+	}
+	rest := make([]int, 0, n-segLen)
+	for _, v := range t {
+		if !inChain[v] {
+			rest = append(rest, v)
+		}
+	}
+	out := make(Tour, 0, n)
+	for _, v := range rest {
+		out = append(out, v)
+		if v == after {
+			out = append(out, chain...)
+		}
+	}
+	return out
+}
+
+// unionFind is a standard disjoint-set structure with path halving and
+// union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,136 @@
+// Package trace records structured simulation events (visits, deaths,
+// recharges) for debugging, examples, and failure-injection tests. A
+// Tracer fans out to the metrics recorder and keeps a bounded log that
+// can be dumped or filtered afterwards.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tctp/internal/geom"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	Visit Kind = iota
+	Death
+	Recharge
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Visit:
+		return "visit"
+	case Death:
+		return "death"
+	case Recharge:
+		return "recharge"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind   Kind
+	Time   float64
+	MuleID int
+	// Target is the visited target for Visit events, -1 otherwise.
+	Target int
+	// Pos is the location for Death events.
+	Pos geom.Point
+}
+
+// String formats the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case Visit:
+		return fmt.Sprintf("t=%.1f mule %d visits target %d", e.Time, e.MuleID, e.Target)
+	case Death:
+		return fmt.Sprintf("t=%.1f mule %d dies at %v", e.Time, e.MuleID, e.Pos)
+	case Recharge:
+		return fmt.Sprintf("t=%.1f mule %d recharges", e.Time, e.MuleID)
+	default:
+		return fmt.Sprintf("t=%.1f mule %d %v", e.Time, e.MuleID, e.Kind)
+	}
+}
+
+// Tracer accumulates events up to a cap (0 = unbounded). It is not
+// safe for concurrent use; simulations are single-threaded.
+type Tracer struct {
+	events  []Event
+	cap     int
+	dropped int
+}
+
+// New returns a tracer that keeps at most capacity events (0 for
+// unbounded).
+func New(capacity int) *Tracer {
+	return &Tracer{cap: capacity}
+}
+
+// add appends the event, honouring the cap.
+func (t *Tracer) add(e Event) {
+	if t.cap > 0 && len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// OnVisit matches mule.Config.OnVisit.
+func (t *Tracer) OnVisit(muleID, target int, at float64) {
+	t.add(Event{Kind: Visit, Time: at, MuleID: muleID, Target: target})
+}
+
+// OnDeath matches mule.Config.OnDeath.
+func (t *Tracer) OnDeath(muleID int, at float64, pos geom.Point) {
+	t.add(Event{Kind: Death, Time: at, MuleID: muleID, Target: -1, Pos: pos})
+}
+
+// OnRecharge matches mule.Config.OnRecharge.
+func (t *Tracer) OnRecharge(muleID int, at float64) {
+	t.add(Event{Kind: Recharge, Time: at, MuleID: muleID, Target: -1})
+}
+
+// Events returns the recorded events in order.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Dropped returns how many events were discarded due to the cap.
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Filter returns the events of the given kind.
+func (t *Tracer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the last n events (all if n <= 0 or n exceeds the log).
+func (t *Tracer) Dump(n int) string {
+	events := t.events
+	if n > 0 && n < len(events) {
+		events = events[len(events)-n:]
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&sb, "(%d events dropped)\n", t.dropped)
+	}
+	return sb.String()
+}

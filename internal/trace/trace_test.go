@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tctp/internal/geom"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	tr := New(0)
+	tr.OnVisit(0, 3, 10)
+	tr.OnVisit(1, 4, 20)
+	tr.OnDeath(0, 30, geom.Pt(1, 2))
+	tr.OnRecharge(1, 40)
+
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Filter(Visit); len(got) != 2 {
+		t.Fatalf("visits = %d", len(got))
+	}
+	if got := tr.Filter(Death); len(got) != 1 || got[0].MuleID != 0 {
+		t.Fatalf("deaths = %v", got)
+	}
+	if got := tr.Filter(Recharge); len(got) != 1 || got[0].Time != 40 {
+		t.Fatalf("recharges = %v", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+}
+
+func TestEventsInOrder(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 5; i++ {
+		tr.OnVisit(0, i, float64(i))
+	}
+	ev := tr.Events()
+	for i := range ev {
+		if ev[i].Target != i {
+			t.Fatalf("order broken: %v", ev)
+		}
+	}
+}
+
+func TestCapDropsExcess(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.OnVisit(0, i, float64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+	if !strings.Contains(tr.Dump(0), "7 events dropped") {
+		t.Fatal("dump does not report drops")
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := New(0)
+	tr.OnVisit(2, 7, 1.5)
+	tr.OnDeath(3, 2.5, geom.Pt(4, 5))
+	out := tr.Dump(0)
+	if !strings.Contains(out, "mule 2 visits target 7") {
+		t.Fatalf("dump: %q", out)
+	}
+	if !strings.Contains(out, "mule 3 dies") {
+		t.Fatalf("dump: %q", out)
+	}
+	// Tail limit.
+	if tail := tr.Dump(1); strings.Contains(tail, "visits target") {
+		t.Fatalf("Dump(1) returned more than the last event: %q", tail)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Visit, Death, Recharge, Kind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	e := Event{Kind: Kind(9), Time: 1, MuleID: 0}
+	if e.String() == "" {
+		t.Fatal("empty event string")
+	}
+}

@@ -1,0 +1,265 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values", same)
+	}
+}
+
+func TestKnownVector(t *testing.T) {
+	// Reference value computed from the SplitMix64 definition: the
+	// first output for seed 0 is the mix of 0x9E3779B97F4A7C15.
+	s := New(0)
+	got := s.Uint64()
+	const want uint64 = 0xE220A8397B1DCDAF
+	if got != want {
+		t.Fatalf("SplitMix64(0) first output = %#x, want %#x", got, want)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must not replay the parent's stream.
+	p := New(7)
+	p.Uint64() // advance past the value consumed by Split
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child replays parent stream at step %d", i)
+		}
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	s := New(3)
+	kids := s.SplitN(5)
+	if len(kids) != 5 {
+		t.Fatalf("SplitN returned %d sources", len(kids))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range kids {
+		v := k.Uint64()
+		if seen[v] {
+			t.Fatalf("two children produced identical first output %#x", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(17)
+	for n := 1; n <= 10; n++ {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(19)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("bucket %d count %d deviates >10%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d", v)
+		}
+	}
+	if got := s.IntRange(5, 5); got != 5 {
+		t.Fatalf("IntRange(5,5) = %d", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(29)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range(10,20) = %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(31)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Norm mean = %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Norm stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(37)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(0.5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Exp(0.5) mean = %v, want ~2", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41)
+	for n := 0; n <= 20; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	s := New(43)
+	f := func(raw uint8) bool {
+		n := int(raw%64) + 1
+		p := s.Perm(n)
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(47)
+	vals := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.ShuffleInts(vals)
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(53)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if got := New(1).Pick(0); got != -1 {
+		t.Fatalf("Pick(0) = %d, want -1", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero-value Source produced repeated zeros")
+	}
+}

@@ -1,0 +1,181 @@
+// Package tctp reproduces "Patrolling Mechanisms for Disconnected
+// Targets in Wireless Mobile Data Mules Networks" (Chang, Lin, Hsieh,
+// Ho; ICPP 2011) as a Go library.
+//
+// The package is a facade over the implementation in internal/: it
+// re-exports the scenario model, the three TCTP planners (B-TCTP,
+// W-TCTP, RW-TCTP), the paper's baselines (Random, Sweep, CHB), the
+// simulation runner, and the experiment registry that regenerates
+// every figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	s := tctp.GenerateScenario(tctp.ScenarioConfig{NumTargets: 20, NumMules: 4}, 1)
+//	res, err := tctp.Run(s, &tctp.BTCTP{}, tctp.Options{Horizon: 50_000}, 1)
+//	// res.Recorder has per-target visiting intervals; for B-TCTP the
+//	// steady-state SD is zero.
+//
+// See the runnable programs under examples/ and the experiment CLI
+// under cmd/tctp-experiments.
+package tctp
+
+import (
+	"io"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/energy"
+	"tctp/internal/experiment"
+	"tctp/internal/field"
+	"tctp/internal/geom"
+	"tctp/internal/metrics"
+	"tctp/internal/patrol"
+	"tctp/internal/viz"
+	"tctp/internal/walk"
+	"tctp/internal/wsn"
+	"tctp/internal/xrand"
+)
+
+// Scenario and workload types.
+type (
+	// Scenario is a problem instance: field, targets, sink, recharge
+	// station, mule start positions.
+	Scenario = field.Scenario
+	// ScenarioConfig parameterizes GenerateScenario.
+	ScenarioConfig = field.Config
+	// Target is one point of interest with its weight.
+	Target = field.Target
+	// Point is a planar location in metres.
+	Point = geom.Point
+	// Walk is a closed walk over target indices (the patrolling path
+	// representation; VIPs occur as often as their weight).
+	Walk = walk.Walk
+)
+
+// Target placements for ScenarioConfig.Placement.
+const (
+	// Uniform scatters targets uniformly (the paper's §5.1 model).
+	Uniform = field.Uniform
+	// Clusters scatters targets over disconnected areas (the paper's
+	// motivating deployment).
+	Clusters = field.Clusters
+	// Grid lays targets on a regular lattice (deterministic).
+	Grid = field.Grid
+)
+
+// Planner types: the paper's contribution plus the fixed-route
+// baselines.
+type (
+	// Planner is the common planner interface.
+	Planner = core.Planner
+	// FleetPlan is a planner's output: walks, start points, per-mule
+	// routes.
+	FleetPlan = core.FleetPlan
+	// BTCTP is the Basic TCTP planner (§II).
+	BTCTP = core.BTCTP
+	// WTCTP is the Weighted TCTP planner (§III).
+	WTCTP = core.WTCTP
+	// RWTCTP is the recharge-aware planner (§IV).
+	RWTCTP = core.RWTCTP
+	// BreakPolicy selects W-TCTP's break-edge rule.
+	BreakPolicy = core.BreakPolicy
+	// CHB is the convex-hull baseline of Wu et al. (MDM'09).
+	CHB = baseline.CHB
+	// Sweep is the group-patrolling baseline of Cheng et al.
+	// (IPDPS'08).
+	Sweep = baseline.Sweep
+	// Random is the online random-destination baseline.
+	Random = baseline.Random
+)
+
+// W-TCTP break-edge policies.
+const (
+	// ShortestLength minimizes total WPP length (Exp. 1).
+	ShortestLength = core.ShortestLength
+	// BalancingLength balances VIP cycle lengths (Exp. 2).
+	BalancingLength = core.BalancingLength
+	// RandomBreak picks random break edges (ablation control).
+	RandomBreak = core.RandomBreak
+)
+
+// Simulation types.
+type (
+	// Options configures a simulation run (speed, energy, horizon).
+	Options = patrol.Options
+	// Hooks are optional per-event observers for a run (visits,
+	// deaths, recharges).
+	Hooks = patrol.Hooks
+	// Result is a finished run: visit log, per-mule stats.
+	Result = patrol.Result
+	// Recorder is the per-target visit log with the paper's metrics
+	// (visiting intervals, DCDT, SD).
+	Recorder = metrics.Recorder
+	// EnergyModel carries the §5.1 energy constants.
+	EnergyModel = energy.Model
+	// DataNetwork is the sensor data-collection overlay: nodes buffer
+	// readings, mules carry them, the sink receives them; it tracks
+	// delivery latency against a deadline. Wire its OnVisit/OnDeath
+	// into Options.Hooks.
+	DataNetwork = wsn.Network
+	// DataConfig parameterizes the data workload (generation rate,
+	// buffer capacity, delivery deadline).
+	DataConfig = wsn.Config
+)
+
+// NewDataNetwork builds a data-collection overlay for the scenario.
+func NewDataNetwork(s *Scenario, cfg DataConfig) *DataNetwork {
+	return wsn.New(s, cfg)
+}
+
+// DefaultEnergy returns the paper's §5.1 energy constants
+// (8.267 J/m, 0.075 J/s, 200 kJ battery).
+func DefaultEnergy() EnergyModel { return energy.Default() }
+
+// RandSource is the deterministic random source used by scenario
+// mutators such as Scenario.AssignVIPs and by planners with random
+// components.
+type RandSource = xrand.Source
+
+// NewRandSource returns a RandSource with the given seed.
+func NewRandSource(seed uint64) *RandSource { return xrand.New(seed) }
+
+// GenerateScenario builds a deterministic random scenario from the
+// configuration and seed.
+func GenerateScenario(cfg ScenarioConfig, seed uint64) *Scenario {
+	return field.Generate(cfg, xrand.New(seed))
+}
+
+// Run plans the scenario with the planner and simulates the fleet
+// until opts.Horizon. The seed drives any algorithmic randomness.
+func Run(s *Scenario, p Planner, opts Options, seed uint64) (*Result, error) {
+	return patrol.Run(s, patrol.Planned(p), opts, xrand.New(seed))
+}
+
+// RunRandom simulates the online Random baseline on the scenario.
+func RunRandom(s *Scenario, opts Options, seed uint64) (*Result, error) {
+	return patrol.Run(s, patrol.Online(&baseline.Random{}), opts, xrand.New(seed))
+}
+
+// MapString renders the scenario (and the plan's master walk, when a
+// plan is given) as an ASCII map.
+func MapString(s *Scenario, plan *FleetPlan, width, height int) string {
+	var w *Walk
+	if plan != nil && plan.Walk.Size() > 0 {
+		w = &plan.Walk
+	}
+	return viz.Map(s, w, width, height)
+}
+
+// Experiment protocol re-exports: the registry regenerates every
+// figure of the paper plus the ablations (see DESIGN.md §5).
+type ExperimentParams = experiment.Params
+
+// ExperimentNames lists the registered experiments
+// (fig7, fig8, fig9, fig10, energy, a1-tour ... a5-traversal).
+func ExperimentNames() []string { return experiment.Names() }
+
+// RunExperiment executes a registered experiment and writes its
+// rendered result to w.
+func RunExperiment(name string, p ExperimentParams, w io.Writer) error {
+	return experiment.Run(name, p, w)
+}

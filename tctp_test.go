@@ -1,0 +1,103 @@
+package tctp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	s := GenerateScenario(ScenarioConfig{NumTargets: 12, NumMules: 3}, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, &BTCTP{}, Options{Horizon: 40_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalVisits() == 0 {
+		t.Fatal("no visits")
+	}
+	if sd := res.Recorder.AvgSDAfter(res.PatrolStart + 1); sd > 1e-6 {
+		t.Fatalf("B-TCTP steady SD = %v through the facade", sd)
+	}
+}
+
+func TestFacadeWeightedAndRecharge(t *testing.T) {
+	s := GenerateScenario(ScenarioConfig{
+		NumTargets: 12, NumMules: 2, WithRecharge: true,
+	}, 2)
+	// W-TCTP through the facade.
+	wres, err := Run(s, &WTCTP{Policy: BalancingLength}, Options{Horizon: 40_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Plan == nil || wres.Plan.Walk.Size() == 0 {
+		t.Fatal("missing plan")
+	}
+	// RW-TCTP through the facade.
+	rw := &RWTCTP{}
+	rw.Model = DefaultEnergy()
+	rres, err := Run(s, rw, Options{
+		Horizon: 80_000, UseBattery: true, Energy: DefaultEnergy(),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.DeadMules() != 0 {
+		t.Fatal("RW-TCTP mule died")
+	}
+}
+
+func TestFacadeRandom(t *testing.T) {
+	s := GenerateScenario(ScenarioConfig{NumTargets: 10, NumMules: 2}, 3)
+	res, err := RunRandom(s, Options{Horizon: 40_000}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalVisits() == 0 {
+		t.Fatal("no visits")
+	}
+}
+
+func TestFacadeMap(t *testing.T) {
+	s := GenerateScenario(ScenarioConfig{NumTargets: 10, NumMules: 2}, 4)
+	res, err := Run(s, &BTCTP{}, Options{Horizon: 10_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MapString(s, res.Plan, 60, 25)
+	if !strings.Contains(m, "legend") || !strings.Contains(m, "S") {
+		t.Fatalf("map malformed:\n%s", m)
+	}
+	if !strings.Contains(MapString(s, nil, 40, 20), "legend") {
+		t.Fatal("plan-less map malformed")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	names := ExperimentNames()
+	want := map[string]bool{
+		"fig7": false, "fig8": false, "fig9": false, "fig10": false,
+		"energy":  false,
+		"a1-tour": false, "a2-break": false, "a3-init": false,
+		"a4-dwell": false, "a5-traversal": false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("experiment %q not registered", n)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("a3-init", ExperimentParams{Seeds: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("experiment produced no output")
+	}
+}
