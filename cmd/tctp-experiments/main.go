@@ -1,12 +1,14 @@
 // Command tctp-experiments regenerates the paper's evaluation: every
 // figure (Fig. 7–10), the §V energy study, and the design ablations.
+// Each experiment is a declarative sweep executed by internal/sweep,
+// so cells and replications share one worker pool.
 //
 // Usage:
 //
 //	tctp-experiments -list
 //	tctp-experiments -run fig7
-//	tctp-experiments -run all -seeds 20
-//	tctp-experiments -run fig8 -seeds 5 -out fig8.txt
+//	tctp-experiments -run all -seeds 20 -progress
+//	tctp-experiments -run fig8 -seeds 5 -out fig8.csv -format csv
 package main
 
 import (
@@ -18,16 +20,19 @@ import (
 	"time"
 
 	"tctp/internal/experiment"
+	"tctp/internal/sweep"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list registered experiments and exit")
-		run     = flag.String("run", "all", "experiment name, or 'all'")
-		seeds   = flag.Int("seeds", 20, "replications per data point (paper: 20)")
-		base    = flag.Uint64("base-seed", 0, "base replication seed")
-		workers = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "write results to this file instead of stdout")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		run      = flag.String("run", "all", "experiment name, or 'all'")
+		seeds    = flag.Int("seeds", 20, "replications per data point (paper: 20)")
+		base     = flag.Uint64("base-seed", 0, "base replication seed")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "write results to this file instead of stdout")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -38,40 +43,71 @@ func main() {
 		return
 	}
 
+	f, err := experiment.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
+		os.Exit(1)
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
+		file, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		defer file.Close()
+		w = file
 	}
 
 	params := experiment.Params{Seeds: *seeds, BaseSeed: *base, Workers: *workers}
 	names := []string{*run}
 	if *run == "all" {
+		if f != experiment.FormatText {
+			// Concatenating heterogeneous CSV/JSON documents on one
+			// stream would be unparseable; machine formats need one
+			// experiment per invocation.
+			fmt.Fprintln(os.Stderr,
+				"tctp-experiments: -format csv/json requires a single -run experiment")
+			os.Exit(1)
+		}
 		names = experiment.Names()
 	}
 
-	if err := runAll(names, params, w); err != nil {
+	if err := runAll(names, params, w, f, *progress, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// runAll executes the named experiments in order, writing each
-// rendered result with a header and a timing footer.
-func runAll(names []string, params experiment.Params, w io.Writer) error {
+// runAll executes the named experiments in order. In text format each
+// result gets a header and a timing footer; machine formats (csv,
+// json) stay clean of decoration so the output pipes straight into
+// other tools.
+func runAll(names []string, params experiment.Params, w io.Writer,
+	f experiment.Format, progress bool, errw io.Writer) error {
 	for _, name := range names {
+		if progress {
+			name := name
+			params.Progress = func(p sweep.Progress) {
+				fmt.Fprintf(errw, "\r%s: cells %d/%d runs %d/%d",
+					name, p.CellsDone, p.CellsTotal, p.RunsDone, p.RunsTotal)
+				if p.RunsDone == p.RunsTotal {
+					fmt.Fprintln(errw)
+				}
+			}
+		}
 		start := time.Now()
-		fmt.Fprintf(w, "### %s (%d replications)\n", name, params.Seeds)
-		if err := experiment.Run(name, params, w); err != nil {
+		if f == experiment.FormatText {
+			fmt.Fprintf(w, "### %s (%d replications)\n", name, params.Seeds)
+		}
+		if err := experiment.RunFormat(name, params, w, f); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "[%s took %s]\n%s\n", name,
-			time.Since(start).Round(time.Millisecond), strings.Repeat("-", 60))
+		if f == experiment.FormatText {
+			fmt.Fprintf(w, "[%s took %s]\n%s\n", name,
+				time.Since(start).Round(time.Millisecond), strings.Repeat("-", 60))
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -11,7 +12,8 @@ import (
 func TestRunAllSingle(t *testing.T) {
 	var buf bytes.Buffer
 	params := experiment.Params{Seeds: 1}
-	if err := runAll([]string{"a3-init"}, params, &buf); err != nil {
+	if err := runAll([]string{"a3-init"}, params, &buf,
+		experiment.FormatText, false, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -28,7 +30,8 @@ func TestRunAllSingle(t *testing.T) {
 
 func TestRunAllUnknownName(t *testing.T) {
 	var buf bytes.Buffer
-	err := runAll([]string{"no-such-experiment"}, experiment.Params{Seeds: 1}, &buf)
+	err := runAll([]string{"no-such-experiment"}, experiment.Params{Seeds: 1}, &buf,
+		experiment.FormatText, false, &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -37,7 +40,8 @@ func TestRunAllUnknownName(t *testing.T) {
 func TestRunAllSequence(t *testing.T) {
 	var buf bytes.Buffer
 	params := experiment.Params{Seeds: 1}
-	if err := runAll([]string{"a3-init", "a5-traversal"}, params, &buf); err != nil {
+	if err := runAll([]string{"a3-init", "a5-traversal"}, params, &buf,
+		experiment.FormatText, false, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -45,5 +49,53 @@ func TestRunAllSequence(t *testing.T) {
 	second := strings.Index(out, "### a5-traversal")
 	if first == -1 || second == -1 || second < first {
 		t.Fatalf("experiments out of order:\n%s", out)
+	}
+}
+
+func TestRunAllCSVStaysClean(t *testing.T) {
+	var buf bytes.Buffer
+	params := experiment.Params{Seeds: 1}
+	if err := runAll([]string{"a3-init"}, params, &buf,
+		experiment.FormatCSV, false, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "###") || strings.Contains(out, "took") {
+		t.Fatalf("decoration leaked into CSV:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "variant,") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+}
+
+func TestRunAllJSON(t *testing.T) {
+	var buf bytes.Buffer
+	params := experiment.Params{Seeds: 1}
+	if err := runAll([]string{"a3-init"}, params, &buf,
+		experiment.FormatJSON, false, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var table struct {
+		Title string
+		Rows  [][]string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &table); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if table.Title == "" || len(table.Rows) != 3 {
+		t.Fatalf("table %+v", table)
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	var buf, errw bytes.Buffer
+	params := experiment.Params{Seeds: 2}
+	if err := runAll([]string{"a3-init"}, params, &buf,
+		experiment.FormatText, true, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "a3-init: cells") ||
+		!strings.Contains(errw.String(), "runs 6/6") {
+		t.Fatalf("progress missing:\n%q", errw.String())
 	}
 }

@@ -1,16 +1,25 @@
-// Command tctp-sweep runs a generic parameter sweep of one algorithm
-// over fleet size and target count and emits long-form CSV — the raw
-// material for custom plots beyond the paper's figures.
+// Command tctp-sweep runs a declarative parameter sweep through the
+// internal/sweep engine: any subset of algorithms crossed with target
+// counts, fleet sizes, mule speeds and placements, every cell
+// replicated and aggregated with streaming statistics. It is a thin
+// Spec builder — the grid execution, parallelism, and output formats
+// all live in internal/sweep.
 //
 // Usage:
 //
 //	tctp-sweep -alg btctp -targets 10,20,30 -mules 2,4,8 -seeds 10 > sweep.csv
+//	tctp-sweep -alg btctp,chb -speeds 1,2,4 -placements uniform,clusters -format json
+//	tctp-sweep -alg wtctp -format table -progress
+//
+// Cells that cannot run (more mules than targets+1) are skipped and
+// reported on stderr.
 package main
 
 import (
-	"encoding/csv"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -19,24 +28,47 @@ import (
 	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
-	"tctp/internal/stats"
-	"tctp/internal/xrand"
+	"tctp/internal/sweep"
 )
 
 func main() {
 	var (
-		alg     = flag.String("alg", "btctp", "algorithm: btctp, wtctp, chb, sweep, random")
-		targets = flag.String("targets", "10,20,30,40,50", "comma-separated target counts")
-		mules   = flag.String("mules", "2,4,6,8", "comma-separated fleet sizes")
-		seeds   = flag.Int("seeds", 10, "replications per cell")
-		horizon = flag.Float64("horizon", 60_000, "simulated seconds")
+		algs       = flag.String("alg", "btctp", "comma-separated algorithms: btctp, wtctp, chb, sweep, random")
+		targets    = flag.String("targets", "10,20,30,40,50", "comma-separated target counts")
+		mules      = flag.String("mules", "2,4,6,8", "comma-separated fleet sizes")
+		speeds     = flag.String("speeds", "2", "comma-separated mule speeds (m/s)")
+		placements = flag.String("placements", "uniform", "comma-separated placements: uniform, clusters, grid")
+		seeds      = flag.Int("seeds", 10, "replications per cell")
+		baseSeed   = flag.Uint64("base-seed", 0, "base replication seed")
+		horizon    = flag.Float64("horizon", 60_000, "simulated seconds")
+		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		format     = flag.String("format", "csv", "output format: csv, json, table")
+		progress   = flag.Bool("progress", false, "report progress on stderr")
 	)
 	flag.Parse()
 
-	if err := run(*alg, *targets, *mules, *seeds, *horizon); err != nil {
+	cfg := config{
+		Algs: *algs, Targets: *targets, Mules: *mules,
+		Speeds: *speeds, Placements: *placements,
+		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
+		Workers: *workers, Format: *format, Progress: *progress,
+	}
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// config carries the parsed flags; run is kept free of globals so
+// tests can drive it.
+type config struct {
+	Algs, Targets, Mules, Speeds, Placements string
+	Seeds                                    int
+	BaseSeed                                 uint64
+	Horizon                                  float64
+	Workers                                  int
+	Format                                   string
+	Progress                                 bool
 }
 
 func parseInts(s string) ([]int, error) {
@@ -46,6 +78,32 @@ func parseInts(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
 			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePlacements(s string) ([]field.Placement, error) {
+	parts := strings.Split(s, ",")
+	out := make([]field.Placement, 0, len(parts))
+	for _, p := range parts {
+		v, err := field.ParsePlacement(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, v)
 	}
@@ -69,65 +127,109 @@ func algorithm(name string) (patrol.Algorithm, error) {
 	}
 }
 
-func run(algName, targetsCSV, mulesCSV string, seeds int, horizon float64) error {
-	targetCounts, err := parseInts(targetsCSV)
-	if err != nil {
-		return err
+// buildSpec translates the CLI flags into a sweep.Spec.
+func buildSpec(cfg config) (sweep.Spec, error) {
+	var spec sweep.Spec
+	for _, name := range strings.Split(cfg.Algs, ",") {
+		name = strings.TrimSpace(name)
+		alg, err := algorithm(name)
+		if err != nil {
+			return spec, err
+		}
+		spec.Algorithms = append(spec.Algorithms, sweep.Algo(name, alg))
 	}
-	fleetSizes, err := parseInts(mulesCSV)
-	if err != nil {
-		return err
+	var err error
+	if spec.Targets, err = parseInts(cfg.Targets); err != nil {
+		return spec, err
 	}
-	alg, err := algorithm(algName)
-	if err != nil {
-		return err
+	if spec.Mules, err = parseInts(cfg.Mules); err != nil {
+		return spec, err
 	}
+	if spec.Speeds, err = parseFloats(cfg.Speeds); err != nil {
+		return spec, err
+	}
+	if spec.Placements, err = parsePlacements(cfg.Placements); err != nil {
+		return spec, err
+	}
+	for _, nt := range spec.Targets {
+		if nt < 1 {
+			return spec, fmt.Errorf("target count %d < 1", nt)
+		}
+	}
+	for _, nm := range spec.Mules {
+		if nm < 1 {
+			return spec, fmt.Errorf("fleet size %d < 1", nm)
+		}
+	}
+	for _, sp := range spec.Speeds {
+		if sp <= 0 {
+			return spec, fmt.Errorf("speed %g must be positive", sp)
+		}
+	}
+	if cfg.Seeds < 1 {
+		return spec, fmt.Errorf("seeds %d < 1", cfg.Seeds)
+	}
+	if cfg.Horizon <= 0 {
+		return spec, fmt.Errorf("horizon %g must be positive", cfg.Horizon)
+	}
+	spec.Name = "tctp-sweep"
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Seeds = cfg.Seeds
+	spec.BaseSeed = cfg.BaseSeed
+	spec.Workers = cfg.Workers
+	spec.Metrics = []sweep.Metric{
+		sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval(), sweep.JoulesPerVisit(),
+	}
+	spec.Skip = func(p sweep.Point) string {
+		if p.Mules > p.Targets+1 {
+			return "sweep needs at least one target per mule"
+		}
+		return ""
+	}
+	return spec, nil
+}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	header := []string{"algorithm", "targets", "mules",
-		"avg_dcdt_s", "avg_sd_s", "max_interval_s", "j_per_visit", "ci95_dcdt"}
-	if err := w.Write(header); err != nil {
+func sink(format string, w io.Writer) (sweep.Sink, error) {
+	switch format {
+	case "csv":
+		return sweep.CSV(w), nil
+	case "json":
+		return sweep.JSONL(w), nil
+	case "table":
+		return sweep.TextTable(w), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (valid: csv, json, table)", format)
+	}
+}
+
+func run(cfg config, out, errw io.Writer) error {
+	spec, err := buildSpec(cfg)
+	if err != nil {
 		return err
 	}
-
-	for _, nt := range targetCounts {
-		for _, nm := range fleetSizes {
-			if nm > nt+1 {
-				continue // sweep needs at least one target per mule
-			}
-			var dcdts, sds, maxIvs, jpvs []float64
-			for seed := 0; seed < seeds; seed++ {
-				src := xrand.New(uint64(seed))
-				s := field.Generate(field.Config{
-					NumTargets: nt,
-					NumMules:   nm,
-					Placement:  field.Uniform,
-				}, src)
-				res, err := patrol.Run(s, alg, patrol.Options{Horizon: horizon}, src.Split())
-				if err != nil {
-					return fmt.Errorf("targets=%d mules=%d seed=%d: %w", nt, nm, seed, err)
-				}
-				warm := res.PatrolStart + 1
-				dcdts = append(dcdts, res.Recorder.AvgDCDTAfter(warm))
-				sds = append(sds, res.Recorder.AvgSDAfter(warm))
-				maxIvs = append(maxIvs, res.Recorder.MaxInterval())
-				jpvs = append(jpvs, res.EnergyPerVisit())
-			}
-			rec := []string{
-				algName,
-				strconv.Itoa(nt),
-				strconv.Itoa(nm),
-				fmt.Sprintf("%.3f", stats.Mean(dcdts)),
-				fmt.Sprintf("%.3f", stats.Mean(sds)),
-				fmt.Sprintf("%.3f", stats.Mean(maxIvs)),
-				fmt.Sprintf("%.3f", stats.Mean(jpvs)),
-				fmt.Sprintf("%.3f", stats.CI95(dcdts)),
-			}
-			if err := w.Write(rec); err != nil {
-				return err
+	snk, err := sink(cfg.Format, out)
+	if err != nil {
+		return err
+	}
+	if cfg.Progress {
+		spec.Progress = func(p sweep.Progress) {
+			fmt.Fprintf(errw, "\rcells %d/%d runs %d/%d",
+				p.CellsDone, p.CellsTotal, p.RunsDone, p.RunsTotal)
+			if p.RunsDone == p.RunsTotal {
+				fmt.Fprintln(errw)
 			}
 		}
+	}
+	res, err := sweep.Run(context.Background(), spec, snk)
+	if err != nil {
+		return err
+	}
+	for _, sk := range res.Skipped {
+		fmt.Fprintf(errw, "tctp-sweep: skipped cell %v: %s\n", sk.Point, sk.Reason)
+	}
+	if len(res.Skipped) > 0 {
+		fmt.Fprintf(errw, "tctp-sweep: %d cells run, %d skipped\n",
+			len(res.Cells), len(res.Skipped))
 	}
 	return nil
 }

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixture")
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("10, 20,30")
@@ -12,6 +20,32 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := parseInts("10,x"); err == nil {
 		t.Fatal("bad integer accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1.5, 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 2 {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("1;2"); err == nil {
+		t.Fatal("bad number accepted")
+	}
+}
+
+func TestParsePlacements(t *testing.T) {
+	got, err := parsePlacements("uniform, clusters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsePlacements = %v", got)
+	}
+	if _, err := parsePlacements("hexgrid"); err == nil {
+		t.Fatal("bad placement accepted")
 	}
 }
 
@@ -30,19 +64,129 @@ func TestAlgorithmSelector(t *testing.T) {
 	}
 }
 
-func TestSweepRunSmall(t *testing.T) {
-	// Redirecting stdout is awkward; just exercise the core loop with
-	// a tiny sweep and make sure it completes without error.
-	if err := run("btctp", "8", "2", 1, 5_000); err != nil {
+// goldenConfig is the fixed workload pinned by testdata/golden.csv.
+func goldenConfig() config {
+	return config{
+		Algs: "btctp,chb", Targets: "6,8", Mules: "2,3",
+		Speeds: "2", Placements: "uniform",
+		Seeds: 3, Horizon: 5_000, Format: "csv",
+	}
+}
+
+// TestGoldenCSV pins the engine-backed CSV output byte-for-byte: any
+// change to seed derivation, aggregation order, or formatting shows up
+// as a fixture diff. Regenerate deliberately with -update.
+func TestGoldenCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	if err := run(cfg, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("btctp", "2", "8", 1, 5_000); err != nil {
+	const path = "testdata/golden.csv"
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("bogus", "8", "2", 1, 5_000); err == nil {
-		t.Fatal("bad algorithm accepted")
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output diverged from %s:\ngot:\n%s\nwant:\n%s", path, out.Bytes(), want)
 	}
-	if err := run("btctp", "8;9", "2", 1, 5_000); err == nil {
-		t.Fatal("bad targets list accepted")
+}
+
+// TestDeterministicAcrossWorkers asserts the CLI contract directly:
+// identical bytes with 1 worker and 8.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []int{1, 8} {
+		var out, errw bytes.Buffer
+		cfg := goldenConfig()
+		cfg.Workers = workers
+		if err := run(cfg, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output depends on worker count:\nworkers=1:\n%s\nworkers=8:\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+func TestSkippedCellsReported(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := goldenConfig()
+	cfg.Targets, cfg.Mules = "2,8", "2,8"
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	msg := errw.String()
+	// targets=2 cannot host 8 mules: two cells (per algorithm) skip.
+	if !strings.Contains(msg, "skipped cell") ||
+		!strings.Contains(msg, "targets=2 mules=8") ||
+		!strings.Contains(msg, "at least one target per mule") {
+		t.Fatalf("skip report missing:\n%s", msg)
+	}
+	if !strings.Contains(msg, "6 cells run, 2 skipped") {
+		t.Fatalf("run summary missing:\n%s", msg)
+	}
+	// Skipped cells leave no CSV rows behind.
+	if strings.Contains(out.String(), "2,8,") {
+		t.Fatalf("skipped cell leaked into output:\n%s", out.String())
+	}
+}
+
+func TestFormats(t *testing.T) {
+	for _, format := range []string{"json", "table"} {
+		var out, errw bytes.Buffer
+		cfg := goldenConfig()
+		cfg.Targets, cfg.Mules, cfg.Algs = "6", "2", "btctp"
+		cfg.Format = format
+		if err := run(cfg, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+	}
+	cfg := goldenConfig()
+	cfg.Format = "xml"
+	if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, cfg := range []config{
+		{Algs: "bogus", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6;7", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "x", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "fast", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "ring", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "0", Mules: "1", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "-1", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 0, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 0, Format: "csv"},
+	} {
+		if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := goldenConfig()
+	cfg.Targets, cfg.Mules, cfg.Algs = "6", "2", "btctp"
+	cfg.Progress = true
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "runs 3/3") {
+		t.Fatalf("progress missing:\n%q", errw.String())
 	}
 }

@@ -1,0 +1,3 @@
+module tctp
+
+go 1.24

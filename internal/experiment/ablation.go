@@ -1,14 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
 	"tctp/internal/core"
 	"tctp/internal/energy"
-	"tctp/internal/field"
 	"tctp/internal/patrol"
-	"tctp/internal/stats"
+	"tctp/internal/sweep"
 	"tctp/internal/xrand"
 )
 
@@ -33,12 +33,28 @@ func (c AblationConfig) withDefaults() AblationConfig {
 	return c
 }
 
-func (c AblationConfig) gen(src *xrand.Source) *field.Scenario {
-	return field.Generate(field.Config{
-		NumTargets: c.Targets,
-		NumMules:   c.Mules,
-		Placement:  field.Uniform,
-	}, src)
+// spec shares the workload axes of every ablation: one target count,
+// one fleet size, the algorithm axis carries the ablated variants.
+func (c AblationConfig) spec(p Params, name string, horizon float64) sweep.Spec {
+	spec := p.spec(name)
+	spec.Targets = []int{c.Targets}
+	spec.Mules = []int{c.Mules}
+	spec.Horizons = []float64{horizon}
+	return spec
+}
+
+// runCells executes the spec and hands each finished cell to row.
+func runCells(spec sweep.Spec, name string, row func(c *sweep.CellResult) error) error {
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	for _, c := range res.Cells {
+		if err := row(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TourHeuristics runs ablation A1: how the circuit construction
@@ -46,37 +62,36 @@ func (c AblationConfig) gen(src *xrand.Source) *field.Scenario {
 // without 2-opt) affects circuit length and the steady-state DCDT.
 func TourHeuristics(p Params, cfg AblationConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
-	table := NewTable("A1 — circuit construction heuristics",
-		"heuristic", "2-opt", "circuit length (m)", "avg DCDT (s)")
-	opts := patrol.Options{Horizon: cfg.Horizon}
+	spec := cfg.spec(p, "a1-tour", cfg.Horizon)
+	type def struct {
+		h       core.TourHeuristic
+		improve bool
+	}
+	var defs []def
 	for _, h := range []core.TourHeuristic{core.HullInsertion, core.NearestNeighborTour, core.GreedyEdgeTour} {
 		for _, improve := range []bool{false, true} {
 			h, improve := h, improve
-			type sample struct{ length, dcdt float64 }
-			runs, err := replicate(p, func(seed uint64) (sample, error) {
-				alg := patrol.Planned(&core.BTCTP{Heuristic: h, Improve: improve})
-				res, err := runOn(seed, cfg.gen, alg, opts)
-				if err != nil {
-					return sample{}, err
-				}
-				// Regenerate the replication's scenario (deterministic
-				// in the seed) to measure the plan's circuit length.
-				pts := cfg.gen(scenarioSeed(seed)).Points()
-				return sample{
-					length: res.Plan.Walk.Length(pts),
-					dcdt:   res.Recorder.AvgDCDTAfter(res.PatrolStart + 1),
-				}, nil
+			defs = append(defs, def{h, improve})
+			spec.Algorithms = append(spec.Algorithms, sweep.Variant{
+				Name: fmt.Sprintf("%v/2opt=%v", h, improve),
+				Make: func(*xrand.Source) patrol.Algorithm {
+					return patrol.Planned(&core.BTCTP{Heuristic: h, Improve: improve})
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("A1 %v improve=%v: %w", h, improve, err)
-			}
-			var l, d stats.Accumulator
-			for _, r := range runs {
-				l.Add(r.length)
-				d.Add(r.dcdt)
-			}
-			table.AddF(h.String(), fmt.Sprint(improve), l.Mean(), d.Mean())
 		}
+	}
+	spec.Metrics = []sweep.Metric{sweep.CircuitLength(), sweep.AvgDCDT()}
+
+	table := NewTable("A1 — circuit construction heuristics",
+		"heuristic", "2-opt", "circuit length (m)", "avg DCDT (s)")
+	err := runCells(spec, "A1", func(c *sweep.CellResult) error {
+		d := defs[c.Index]
+		table.AddF(d.h.String(), fmt.Sprint(d.improve),
+			c.Metric("circuit_m").Mean, c.Metric("avg_dcdt_s").Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }
@@ -85,40 +100,29 @@ func TourHeuristics(p Params, cfg AblationConfig) (*Table, error) {
 // (shortest / balancing / random) compared on WPP length, DCDT and SD.
 func BreakPolicies(p Params, cfg AblationConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
-	gen := func(src *xrand.Source) *field.Scenario {
-		s := cfg.gen(src)
-		s.AssignVIPs(src, 3, 4)
-		return s
-	}
-	table := NewTable("A2 — break-edge policies (3 VIPs, weight 4)",
-		"policy", "WPP length (m)", "avg DCDT (s)", "avg SD (s)")
-	opts := patrol.Options{Horizon: cfg.Horizon * 2}
+	spec := cfg.spec(p, "a2-break", cfg.Horizon*2)
+	spec.VIPs = []int{3}
+	spec.VIPWeights = []int{4}
 	for _, policy := range []core.BreakPolicy{core.ShortestLength, core.BalancingLength, core.RandomBreak} {
 		policy := policy
-		type sample struct{ length, dcdt, sd float64 }
-		runs, err := replicate(p, func(seed uint64) (sample, error) {
-			alg := patrol.Planned(&core.WTCTP{Policy: policy, Rand: algorithmSeed(seed)})
-			res, err := runOn(seed, gen, alg, opts)
-			if err != nil {
-				return sample{}, err
-			}
-			warm := res.PatrolStart + 1
-			return sample{
-				length: res.Plan.Walk.Length(gen(scenarioSeed(seed)).Points()),
-				dcdt:   res.Recorder.AvgDCDTAfter(warm),
-				sd:     res.Recorder.AvgSDAfter(warm),
-			}, nil
+		spec.Algorithms = append(spec.Algorithms, sweep.Variant{
+			Name: policy.String(),
+			Make: func(src *xrand.Source) patrol.Algorithm {
+				return patrol.Planned(&core.WTCTP{Policy: policy, Rand: src})
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("A2 %v: %w", policy, err)
-		}
-		var l, d, sd stats.Accumulator
-		for _, r := range runs {
-			l.Add(r.length)
-			d.Add(r.dcdt)
-			sd.Add(r.sd)
-		}
-		table.AddF(policy.String(), l.Mean(), d.Mean(), sd.Mean())
+	}
+	spec.Metrics = []sweep.Metric{sweep.CircuitLength(), sweep.AvgDCDT(), sweep.AvgSD()}
+
+	table := NewTable("A2 — break-edge policies (3 VIPs, weight 4)",
+		"policy", "WPP length (m)", "avg DCDT (s)", "avg SD (s)")
+	err := runCells(spec, "A2", func(c *sweep.CellResult) error {
+		table.AddF(c.Point.Algorithm, c.Metric("circuit_m").Mean,
+			c.Metric("avg_dcdt_s").Mean, c.Metric("avg_sd_s").Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }
@@ -130,85 +134,78 @@ func BreakPolicies(p Params, cfg AblationConfig) (*Table, error) {
 // mechanism.
 func LocationInit(p Params, cfg AblationConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
+	spec := cfg.spec(p, "a3-init", cfg.Horizon)
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("B-TCTP (init + sync)", patrol.Planned(&core.BTCTP{})),
+		{
+			Name:    "B-TCTP (init, no sync)",
+			Make:    func(*xrand.Source) patrol.Algorithm { return patrol.Planned(&core.BTCTP{}) },
+			Options: func(o *patrol.Options) { o.NoSynchronizedStart = true },
+		},
+		sweep.Algo("CHB (init off)", patrol.Planned(&baseline.CHB{})),
+	}
+	spec.Metrics = []sweep.Metric{sweep.AvgSD(), sweep.MaxInterval()}
+
 	table := NewTable("A3 — location initialization on/off",
 		"variant", "avg SD (s)", "max interval (s)")
-	for _, v := range []struct {
-		name string
-		alg  patrol.Algorithm
-		opts patrol.Options
-	}{
-		{"B-TCTP (init + sync)", patrol.Planned(&core.BTCTP{}),
-			patrol.Options{Horizon: cfg.Horizon}},
-		{"B-TCTP (init, no sync)", patrol.Planned(&core.BTCTP{}),
-			patrol.Options{Horizon: cfg.Horizon, NoSynchronizedStart: true}},
-		{"CHB (init off)", patrol.Planned(&baseline.CHB{}),
-			patrol.Options{Horizon: cfg.Horizon}},
-	} {
-		v := v
-		type sample struct{ sd, maxIv float64 }
-		runs, err := replicate(p, func(seed uint64) (sample, error) {
-			res, err := runOn(seed, cfg.gen, v.alg, v.opts)
-			if err != nil {
-				return sample{}, err
-			}
-			warm := res.PatrolStart + 1
-			return sample{sd: res.Recorder.AvgSDAfter(warm), maxIv: res.Recorder.MaxInterval()}, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("A3 %s: %w", v.name, err)
-		}
-		var sd, mx stats.Accumulator
-		for _, r := range runs {
-			sd.Add(r.sd)
-			mx.Add(r.maxIv)
-		}
-		table.AddF(v.name, sd.Mean(), mx.Mean())
+	err := runCells(spec, "A3", func(c *sweep.CellResult) error {
+		table.AddF(c.Point.Algorithm,
+			c.Metric("avg_sd_s").Mean, c.Metric("max_interval_s").Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }
 
 // DwellSensitivity runs ablation A4: how the collection dwell affects
 // the Equ. 4 round budget and whether the phase-equalizing holds keep
-// the steady-state SD at zero.
+// the steady-state SD at zero. The dwell rides on the variant's Tag so
+// the metric functions can rebuild the energy model and shift the
+// steady-state cutoff per variant.
 func DwellSensitivity(p Params, cfg AblationConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
-	table := NewTable("A4 — dwell-time sensitivity",
-		"dwell (s)", "Equ.4 rounds", "steady avg SD (s)")
-	for _, dwell := range []float64{0, 1, 5, 10} {
+	spec := cfg.spec(p, "a4-dwell", cfg.Horizon)
+	dwells := []float64{0, 1, 5, 10}
+	for _, dwell := range dwells {
 		dwell := dwell
 		model := energy.Default()
 		model.Dwell = dwell
-		opts := patrol.Options{Horizon: cfg.Horizon, Energy: model}
 		plannerDwell := dwell
 		if plannerDwell == 0 {
 			plannerDwell = core.NoDwell
 		}
-		type sample struct {
-			rounds float64
-			sd     float64
-		}
-		runs, err := replicate(p, func(seed uint64) (sample, error) {
-			alg := patrol.Planned(&core.BTCTP{Dwell: plannerDwell})
-			res, err := runOn(seed, cfg.gen, alg, opts)
-			if err != nil {
-				return sample{}, err
-			}
-			s := cfg.gen(scenarioSeed(seed))
-			length := res.Plan.Walk.Length(s.Points())
-			return sample{
-				rounds: float64(model.Rounds(length, res.Plan.Walk.Size())),
-				sd:     res.Recorder.AvgSDAfter(res.PatrolStart + dwell + 1),
-			}, nil
+		spec.Algorithms = append(spec.Algorithms, sweep.Variant{
+			Name: fmt.Sprintf("dwell=%v", dwell),
+			Tag:  dwell,
+			Make: func(*xrand.Source) patrol.Algorithm {
+				return patrol.Planned(&core.BTCTP{Dwell: plannerDwell})
+			},
+			Options: func(o *patrol.Options) { o.Energy = model },
 		})
-		if err != nil {
-			return nil, fmt.Errorf("A4 dwell=%v: %w", dwell, err)
-		}
-		var rounds, sd stats.Accumulator
-		for _, r := range runs {
-			rounds.Add(r.rounds)
-			sd.Add(r.sd)
-		}
-		table.AddF(dwell, rounds.Mean(), sd.Mean())
+	}
+	spec.Metrics = []sweep.Metric{
+		{Name: "rounds", Fn: func(e sweep.Env) float64 {
+			model := energy.Default()
+			model.Dwell = e.Variant.Tag
+			length := e.Result.Plan.Walk.Length(e.Scenario.Points())
+			return float64(model.Rounds(length, e.Result.Plan.Walk.Size()))
+		}},
+		{Name: "steady_sd", Fn: func(e sweep.Env) float64 {
+			return e.Result.Recorder.AvgSDAfter(e.Result.PatrolStart + e.Variant.Tag + 1)
+		}},
+	}
+
+	table := NewTable("A4 — dwell-time sensitivity",
+		"dwell (s)", "Equ.4 rounds", "steady avg SD (s)")
+	err := runCells(spec, "A4", func(c *sweep.CellResult) error {
+		table.AddF(dwells[c.Index],
+			c.Metric("rounds").Mean, c.Metric("steady_sd").Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }
@@ -218,41 +215,26 @@ func DwellSensitivity(p Params, cfg AblationConfig) (*Table, error) {
 // different visiting order.
 func Traversal(p Params, cfg AblationConfig) (*Table, error) {
 	cfg = cfg.withDefaults()
-	gen := func(src *xrand.Source) *field.Scenario {
-		s := cfg.gen(src)
-		s.AssignVIPs(src, 2, 3)
-		return s
+	spec := cfg.spec(p, "a5-traversal", cfg.Horizon*2)
+	spec.VIPs = []int{2}
+	spec.VIPWeights = []int{3}
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("angle rule (paper §3.2)",
+			patrol.Planned(&core.WTCTP{Policy: core.BalancingLength})),
+		sweep.Algo("insertion order",
+			patrol.Planned(&core.WTCTP{Policy: core.BalancingLength, DisableAngleRule: true})),
 	}
+	spec.Metrics = []sweep.Metric{sweep.AvgDCDT(), sweep.AvgSD()}
+
 	table := NewTable("A5 — WPP traversal order",
 		"traversal", "avg DCDT (s)", "avg SD (s)")
-	opts := patrol.Options{Horizon: cfg.Horizon * 2}
-	for _, v := range []struct {
-		name    string
-		disable bool
-	}{
-		{"angle rule (paper §3.2)", false},
-		{"insertion order", true},
-	} {
-		v := v
-		type sample struct{ dcdt, sd float64 }
-		runs, err := replicate(p, func(seed uint64) (sample, error) {
-			alg := patrol.Planned(&core.WTCTP{Policy: core.BalancingLength, DisableAngleRule: v.disable})
-			res, err := runOn(seed, gen, alg, opts)
-			if err != nil {
-				return sample{}, err
-			}
-			warm := res.PatrolStart + 1
-			return sample{dcdt: res.Recorder.AvgDCDTAfter(warm), sd: res.Recorder.AvgSDAfter(warm)}, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("A5 %s: %w", v.name, err)
-		}
-		var d, sd stats.Accumulator
-		for _, r := range runs {
-			d.Add(r.dcdt)
-			sd.Add(r.sd)
-		}
-		table.AddF(v.name, d.Mean(), sd.Mean())
+	err := runCells(spec, "A5", func(c *sweep.CellResult) error {
+		table.AddF(c.Point.Algorithm,
+			c.Metric("avg_dcdt_s").Mean, c.Metric("avg_sd_s").Mean)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
 }

@@ -2,9 +2,11 @@
 // runner per figure plus the energy study the text describes, and the
 // ablations listed in DESIGN.md. Every experiment follows the paper's
 // protocol — "each simulation result is obtained from the average
-// results of 20 simulations" — with replications fanned out across
-// CPU cores; results are bit-identical regardless of worker count
-// because each replication derives its randomness from its own seed.
+// results of 20 simulations" — by declaring a sweep.Spec and running
+// it through the internal/sweep engine, which parallelizes cells ×
+// replications across CPU cores; results are bit-identical regardless
+// of worker count because each replication derives its randomness from
+// its own seed and aggregation folds in seed order.
 package experiment
 
 import (
@@ -14,6 +16,7 @@ import (
 
 	"tctp/internal/field"
 	"tctp/internal/patrol"
+	"tctp/internal/sweep"
 	"tctp/internal/xrand"
 )
 
@@ -24,8 +27,23 @@ type Params struct {
 	// BaseSeed offsets the replication seeds so whole experiments can
 	// be re-randomized reproducibly.
 	BaseSeed uint64
-	// Workers caps the parallel replications (default GOMAXPROCS).
+	// Workers caps the parallel simulations (default GOMAXPROCS).
 	Workers int
+	// Progress, when non-nil, receives the engine's progress snapshots
+	// (cmd/tctp-experiments wires it to -progress).
+	Progress func(sweep.Progress)
+}
+
+// spec seeds a sweep.Spec with the protocol knobs; runners fill in the
+// axes and metrics.
+func (p Params) spec(name string) sweep.Spec {
+	return sweep.Spec{
+		Name:     name,
+		Seeds:    p.Seeds,
+		BaseSeed: p.BaseSeed,
+		Workers:  p.Workers,
+		Progress: p.Progress,
+	}
 }
 
 func (p Params) withDefaults() Params {
@@ -45,7 +63,10 @@ func Quick() Params { return Params{Seeds: 3} }
 // replicate runs fn once per replication seed, in parallel, and
 // returns the results in seed order. The per-replication seed is
 // BaseSeed + index; fn must derive all randomness from it. The first
-// error (in seed order) aborts the batch.
+// error (in seed order) aborts the batch. It survives for experiments
+// whose per-replication shape does not fit a sweep cell (the wsn
+// delivery overlay); everything grid-shaped goes through
+// internal/sweep instead.
 func replicate[T any](p Params, fn func(seed uint64) (T, error)) ([]T, error) {
 	p = p.withDefaults()
 	results := make([]T, p.Seeds)
@@ -80,20 +101,15 @@ func replicate[T any](p Params, fn func(seed uint64) (T, error)) ([]T, error) {
 	return results, nil
 }
 
-// scenarioSeed derives the scenario-generation seed for a replication
-// so that scenario randomness and algorithm randomness are
-// independent streams.
-func scenarioSeed(seed uint64) *xrand.Source {
-	return xrand.New(seed).Split()
-}
+// scenarioSeed derives the scenario-generation seed for a replication.
+// The derivation is the engine-wide contract owned by internal/sweep:
+// scenario and algorithm randomness are independent streams of the
+// same replication seed.
+func scenarioSeed(seed uint64) *xrand.Source { return sweep.ScenarioSource(seed) }
 
 // algorithmSeed derives the algorithm-randomness seed (Random
 // baseline picks, k-means seeding) for a replication.
-func algorithmSeed(seed uint64) *xrand.Source {
-	s := xrand.New(seed)
-	s.Split() // skip the scenario stream
-	return s.Split()
-}
+func algorithmSeed(seed uint64) *xrand.Source { return sweep.AlgorithmSource(seed) }
 
 // runOn generates a scenario with gen, runs alg on it, and returns the
 // result; shared shape of almost every replication body.

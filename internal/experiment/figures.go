@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
@@ -9,7 +10,7 @@ import (
 	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/stats"
-	"tctp/internal/xrand"
+	"tctp/internal/sweep"
 )
 
 // Fig7Config parameterizes E1 (paper Fig. 7): the DCDT trajectory over
@@ -55,44 +56,31 @@ func (r *Fig7Result) String() string {
 
 // Fig7 reproduces paper Fig. 7. Expected shape: TCTP flat (equal
 // spacing), CHB and Sweep periodic oscillation, Random large and
-// erratic.
+// erratic. The four algorithms are cells of one sweep, so they run
+// concurrently instead of one after another.
 func Fig7(p Params, cfg Fig7Config) (*Fig7Result, error) {
 	cfg = cfg.withDefaults()
-	gen := func(src *xrand.Source) *field.Scenario {
-		return field.Generate(field.Config{
-			NumTargets: cfg.Targets,
-			NumMules:   cfg.Mules,
-			Placement:  cfg.Placement,
-		}, src)
+	spec := p.spec("fig7")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("Random", patrol.Online(&baseline.Random{})),
+		sweep.Algo("Sweep", patrol.Planned(&baseline.Sweep{})),
+		sweep.Algo("CHB", patrol.Planned(&baseline.CHB{})),
+		sweep.Algo("TCTP", patrol.Planned(&core.BTCTP{})),
 	}
-	opts := patrol.Options{Horizon: cfg.Horizon}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = []int{cfg.Mules}
+	spec.Placements = []field.Placement{cfg.Placement}
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Vectors = []sweep.VectorMetric{sweep.DCDTCurve(cfg.MaxVisits)}
 
-	algs := []struct {
-		name string
-		alg  patrol.Algorithm
-	}{
-		{"Random", patrol.Online(&baseline.Random{})},
-		{"Sweep", patrol.Planned(&baseline.Sweep{})},
-		{"CHB", patrol.Planned(&baseline.CHB{})},
-		{"TCTP", patrol.Planned(&core.BTCTP{})},
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
-
 	out := &Fig7Result{}
-	for _, a := range algs {
-		a := a
-		runs, err := replicate(p, func(seed uint64) ([]float64, error) {
-			res, err := runOn(seed, gen, a.alg, opts)
-			if err != nil {
-				return nil, err
-			}
-			return res.Recorder.EventDCDTSeries(cfg.MaxVisits), nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", a.name, err)
-		}
-		mean := stats.MeanAcross(runs)
-		s := stats.Series{Name: a.name}
-		for k, y := range mean {
+	for _, c := range res.Cells {
+		s := stats.Series{Name: c.Point.Algorithm}
+		for k, y := range c.Vector("dcdt_curve").Mean {
 			s.Add(float64(k+1), y)
 		}
 		out.Series = append(out.Series, s)
@@ -134,46 +122,38 @@ func (r *Fig8Result) String() string {
 
 // Fig8 reproduces paper Fig. 8. Expected shape: the TCTP surface is ~0
 // everywhere; the CHB surface is clearly positive and grows with the
-// number of targets (longer, more irregular circuit).
+// number of targets (longer, more irregular circuit). All 2 × |targets|
+// × |mules| cells execute through one worker pool.
 func Fig8(p Params, cfg Fig8Config) (*Fig8Result, error) {
 	cfg = cfg.withDefaults()
+	spec := p.spec("fig8")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("TCTP", patrol.Planned(&core.BTCTP{})),
+		sweep.Algo("CHB", patrol.Planned(&baseline.CHB{})),
+	}
+	spec.Targets = cfg.Targets
+	spec.Mules = cfg.Mules
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Metrics = []sweep.Metric{sweep.AvgSD()}
+
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
 	rows := toF(cfg.Targets)
 	cols := toF(cfg.Mules)
 	out := &Fig8Result{
 		TCTP: stats.NewSurface("TCTP avg SD (s)", "targets", "mules", rows, cols),
 		CHB:  stats.NewSurface("CHB avg SD (s)", "targets", "mules", rows, cols),
 	}
-	for i, targets := range cfg.Targets {
-		for j, mules := range cfg.Mules {
-			gen := func(src *xrand.Source) *field.Scenario {
-				return field.Generate(field.Config{
-					NumTargets: targets,
-					NumMules:   mules,
-					Placement:  field.Uniform,
-				}, src)
-			}
-			opts := patrol.Options{Horizon: cfg.Horizon}
-			for _, ac := range []struct {
-				alg     patrol.Algorithm
-				surface *stats.Surface
-			}{
-				{patrol.Planned(&core.BTCTP{}), out.TCTP},
-				{patrol.Planned(&baseline.CHB{}), out.CHB},
-			} {
-				alg, surface := ac.alg, ac.surface
-				runs, err := replicate(p, func(seed uint64) (float64, error) {
-					res, err := runOn(seed, gen, alg, opts)
-					if err != nil {
-						return 0, err
-					}
-					return res.Recorder.AvgSDAfter(res.PatrolStart + 1), nil
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig8 (%d targets, %d mules): %w", targets, mules, err)
-				}
-				surface.Set(i, j, stats.Mean(runs))
-			}
+	for _, c := range res.Cells {
+		surf := out.TCTP
+		if c.Point.Algorithm == "CHB" {
+			surf = out.CHB
 		}
+		i := indexOf(cfg.Targets, c.Point.Targets)
+		j := indexOf(cfg.Mules, c.Point.Mules)
+		surf.Set(i, j, c.Metric("avg_sd_s").Mean)
 	}
 	return out, nil
 }
@@ -237,11 +217,28 @@ func (r *WTCTPResult) Fig10String() string {
 }
 
 // WTCTPPolicies reproduces paper Figs. 9 and 10 in one parameter
-// sweep. Expected shapes: DCDT grows with #VIPs and weight under both
-// policies, with Shortest ≤ Balancing (Fig. 9); SD grows sharply under
-// Shortest but stays low under Balancing (Fig. 10).
+// sweep over policy × #VIPs × weight. Expected shapes: DCDT grows with
+// #VIPs and weight under both policies, with Shortest ≤ Balancing
+// (Fig. 9); SD grows sharply under Shortest but stays low under
+// Balancing (Fig. 10).
 func WTCTPPolicies(p Params, cfg WTCTPConfig) (*WTCTPResult, error) {
 	cfg = cfg.withDefaults()
+	spec := p.spec("wtctp-policies")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("Shortest", patrol.Planned(&core.WTCTP{Policy: core.ShortestLength})),
+		sweep.Algo("Balancing", patrol.Planned(&core.WTCTP{Policy: core.BalancingLength})),
+	}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = []int{cfg.Mules}
+	spec.VIPs = cfg.VIPs
+	spec.VIPWeights = cfg.Weights
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Metrics = []sweep.Metric{sweep.AvgDCDT(), sweep.AvgSD()}
+
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("wtctp: %w", err)
+	}
 	rows := toF(cfg.VIPs)
 	cols := toF(cfg.Weights)
 	out := &WTCTPResult{
@@ -250,54 +247,15 @@ func WTCTPPolicies(p Params, cfg WTCTPConfig) (*WTCTPResult, error) {
 		SDShortest:    stats.NewSurface("Shortest policy avg SD (s)", "vips", "weight", rows, cols),
 		SDBalancing:   stats.NewSurface("Balancing policy avg SD (s)", "vips", "weight", rows, cols),
 	}
-	type cell struct{ dcdt, sd float64 }
-	for i, nVIP := range cfg.VIPs {
-		for j, weight := range cfg.Weights {
-			nVIP, weight := nVIP, weight
-			gen := func(src *xrand.Source) *field.Scenario {
-				s := field.Generate(field.Config{
-					NumTargets: cfg.Targets,
-					NumMules:   cfg.Mules,
-					Placement:  field.Uniform,
-				}, src)
-				s.AssignVIPs(src, nVIP, weight)
-				return s
-			}
-			opts := patrol.Options{Horizon: cfg.Horizon}
-			for _, pol := range []struct {
-				policy core.BreakPolicy
-				dcdt   *stats.Surface
-				sd     *stats.Surface
-			}{
-				{core.ShortestLength, out.DCDTShortest, out.SDShortest},
-				{core.BalancingLength, out.DCDTBalancing, out.SDBalancing},
-			} {
-				pol := pol
-				alg := patrol.Planned(&core.WTCTP{Policy: pol.policy})
-				runs, err := replicate(p, func(seed uint64) (cell, error) {
-					res, err := runOn(seed, gen, alg, opts)
-					if err != nil {
-						return cell{}, err
-					}
-					warm := res.PatrolStart + 1
-					return cell{
-						dcdt: res.Recorder.AvgDCDTAfter(warm),
-						sd:   res.Recorder.AvgSDAfter(warm),
-					}, nil
-				})
-				if err != nil {
-					return nil, fmt.Errorf("wtctp (%d vips, weight %d, %v): %w",
-						nVIP, weight, pol.policy, err)
-				}
-				var dc, sd stats.Accumulator
-				for _, c := range runs {
-					dc.Add(c.dcdt)
-					sd.Add(c.sd)
-				}
-				pol.dcdt.Set(i, j, dc.Mean())
-				pol.sd.Set(i, j, sd.Mean())
-			}
+	for _, c := range res.Cells {
+		dcdt, sd := out.DCDTShortest, out.SDShortest
+		if c.Point.Algorithm == "Balancing" {
+			dcdt, sd = out.DCDTBalancing, out.SDBalancing
 		}
+		i := indexOf(cfg.VIPs, c.Point.VIPs)
+		j := indexOf(cfg.Weights, c.Point.VIPWeight)
+		dcdt.Set(i, j, c.Metric("avg_dcdt_s").Mean)
+		sd.Set(i, j, c.Metric("avg_sd_s").Mean)
 	}
 	return out, nil
 }
@@ -349,70 +307,42 @@ func (r *EnergyResult) String() string { return r.Table.String() }
 // overhead from the recharge detours.
 func Energy(p Params, cfg EnergyConfig) (*EnergyResult, error) {
 	cfg = cfg.withDefaults()
-	gen := func(src *xrand.Source) *field.Scenario {
-		s := field.Generate(field.Config{
-			NumTargets:   cfg.Targets,
-			NumMules:     cfg.Mules,
-			Placement:    field.Uniform,
-			WithRecharge: true,
-		}, src)
-		s.AssignVIPs(src, cfg.VIPs, cfg.Weight)
-		return s
-	}
 	model := energy.Default()
 	model.Capacity = cfg.Capacity
-	opts := patrol.Options{Horizon: cfg.Horizon, UseBattery: true, Energy: model}
-
 	rw := &core.RWTCTP{}
 	rw.Model = model
-	algs := []struct {
-		name string
-		alg  patrol.Algorithm
-	}{
-		{"W-TCTP (no recharge)", patrol.Planned(&core.WTCTP{})},
-		{"RW-TCTP", patrol.Planned(rw)},
+
+	spec := p.spec("energy")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("W-TCTP (no recharge)", patrol.Planned(&core.WTCTP{})),
+		sweep.Algo("RW-TCTP", patrol.Planned(rw)),
+	}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = []int{cfg.Mules}
+	spec.VIPs = []int{cfg.VIPs}
+	spec.VIPWeights = []int{cfg.Weight}
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Battery = []bool{true}
+	spec.Configure = func(_ sweep.Point, fc *field.Config) { fc.WithRecharge = true }
+	spec.Options = func(_ sweep.Point, o *patrol.Options) { o.Energy = model }
+	spec.Metrics = []sweep.Metric{
+		sweep.TotalVisits(), sweep.JoulesPerVisit(), sweep.DeadMules(),
+		sweep.Recharges(), sweep.MaxInterval(),
 	}
 
-	type row struct {
-		visits    float64
-		jPerVisit float64
-		dead      float64
-		recharges float64
-		maxIv     float64
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("energy: %w", err)
 	}
 	table := NewTable("E5 — energy efficiency with and without recharge",
 		"algorithm", "visits", "J/visit", "dead mules", "recharges", "max interval (s)")
-	for _, a := range algs {
-		a := a
-		runs, err := replicate(p, func(seed uint64) (row, error) {
-			res, err := runOn(seed, gen, a.alg, opts)
-			if err != nil {
-				return row{}, err
-			}
-			recharges := 0
-			for _, m := range res.Mules {
-				recharges += m.Recharges
-			}
-			return row{
-				visits:    float64(res.TotalVisits()),
-				jPerVisit: res.EnergyPerVisit(),
-				dead:      float64(res.DeadMules()),
-				recharges: float64(recharges),
-				maxIv:     res.Recorder.MaxInterval(),
-			}, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("energy %s: %w", a.name, err)
-		}
-		var visits, jpv, dead, rech, maxIv stats.Accumulator
-		for _, r := range runs {
-			visits.Add(r.visits)
-			jpv.Add(r.jPerVisit)
-			dead.Add(r.dead)
-			rech.Add(r.recharges)
-			maxIv.Add(r.maxIv)
-		}
-		table.AddF(a.name, visits.Mean(), jpv.Mean(), dead.Mean(), rech.Mean(), maxIv.Mean())
+	for _, c := range res.Cells {
+		table.AddF(c.Point.Algorithm,
+			c.Metric("visits").Mean,
+			c.Metric("j_per_visit").Mean,
+			c.Metric("dead_mules").Mean,
+			c.Metric("recharges").Mean,
+			c.Metric("max_interval_s").Mean)
 	}
 	return &EnergyResult{Table: table}, nil
 }
@@ -424,4 +354,15 @@ func toF(xs []int) []float64 {
 		out[i] = float64(x)
 	}
 	return out
+}
+
+// indexOf locates v on an axis; sweep cells always come from the axis,
+// so a miss is a bug.
+func indexOf(axis []int, v int) int {
+	for i, x := range axis {
+		if x == v {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("experiment: %d not on axis %v", v, axis))
 }

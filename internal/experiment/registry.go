@@ -1,84 +1,146 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 
 	"tctp/internal/field"
+	"tctp/internal/stats"
 )
 
+// Format selects how a runner renders its result.
+type Format int
+
+// Supported output formats.
+const (
+	// FormatText is the classic aligned-text rendering.
+	FormatText Format = iota
+	// FormatCSV emits machine-readable CSV (long-form for surfaces).
+	FormatCSV
+	// FormatJSON emits the result object as a single JSON document.
+	FormatJSON
+)
+
+// ParseFormat is the inverse of the -format flag.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "json":
+		return FormatJSON, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown format %q (valid: text, csv, json)", s)
+	}
+}
+
 // Runner executes one registered experiment with the given protocol
-// and writes its rendered result to w.
-type Runner func(p Params, w io.Writer) error
+// and writes its result to w in the requested format.
+type Runner func(p Params, w io.Writer, f Format) error
+
+func renderTable(t *Table, w io.Writer, f Format) error {
+	switch f {
+	case FormatCSV:
+		return t.CSV(w)
+	case FormatJSON:
+		return json.NewEncoder(w).Encode(t)
+	default:
+		_, err := io.WriteString(w, t.String())
+		return err
+	}
+}
+
+func renderSurfaces(w io.Writer, f Format, text string, surfaces ...*stats.Surface) error {
+	switch f {
+	case FormatCSV:
+		for _, s := range surfaces {
+			if err := SurfaceCSV(w, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FormatJSON:
+		return json.NewEncoder(w).Encode(surfaces)
+	default:
+		_, err := io.WriteString(w, text)
+		return err
+	}
+}
+
+func renderSeriesResult(w io.Writer, f Format, r *Fig7Result) error {
+	switch f {
+	case FormatCSV:
+		return SeriesCSV(w, "visit", r.Series)
+	case FormatJSON:
+		return json.NewEncoder(w).Encode(r)
+	default:
+		_, err := io.WriteString(w, r.String())
+		return err
+	}
+}
 
 // Registry maps experiment names (as accepted by
 // `tctp-experiments -run`) to runners. Every paper artifact and every
 // ablation is reachable from here.
 var Registry = map[string]Runner{
-	"fig7": func(p Params, w io.Writer) error {
+	"fig7": func(p Params, w io.Writer, f Format) error {
 		r, err := Fig7(p, Fig7Config{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderSeriesResult(w, f, r)
 	},
-	"fig8": func(p Params, w io.Writer) error {
+	"fig8": func(p Params, w io.Writer, f Format) error {
 		r, err := Fig8(p, Fig8Config{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderSurfaces(w, f, r.String(), r.TCTP, r.CHB)
 	},
-	"fig9": func(p Params, w io.Writer) error {
+	"fig9": func(p Params, w io.Writer, f Format) error {
 		r, err := WTCTPPolicies(p, WTCTPConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.Fig9String())
-		return err
+		return renderSurfaces(w, f, r.Fig9String(), r.DCDTShortest, r.DCDTBalancing)
 	},
-	"fig10": func(p Params, w io.Writer) error {
+	"fig10": func(p Params, w io.Writer, f Format) error {
 		r, err := WTCTPPolicies(p, WTCTPConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.Fig10String())
-		return err
+		return renderSurfaces(w, f, r.Fig10String(), r.SDShortest, r.SDBalancing)
 	},
-	"energy": func(p Params, w io.Writer) error {
+	"energy": func(p Params, w io.Writer, f Format) error {
 		r, err := Energy(p, EnergyConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderTable(r.Table, w, f)
 	},
-	"fig7-clusters": func(p Params, w io.Writer) error {
+	"fig7-clusters": func(p Params, w io.Writer, f Format) error {
 		r, err := Fig7(p, Fig7Config{Placement: field.Clusters})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderSeriesResult(w, f, r)
 	},
-	"delivery": func(p Params, w io.Writer) error {
+	"delivery": func(p Params, w io.Writer, f Format) error {
 		r, err := Delivery(p, DeliveryConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderTable(r.Table, w, f)
 	},
-	"resonance": func(p Params, w io.Writer) error {
+	"resonance": func(p Params, w io.Writer, f Format) error {
 		r, err := Resonance(p, ResonanceConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, r.String())
-		return err
+		return renderSurfaces(w, f, r.String(), r.SD)
 	},
 	"a1-tour":      tableRunner(TourHeuristics),
 	"a2-break":     tableRunner(BreakPolicies),
@@ -88,13 +150,12 @@ var Registry = map[string]Runner{
 }
 
 func tableRunner(fn func(Params, AblationConfig) (*Table, error)) Runner {
-	return func(p Params, w io.Writer) error {
+	return func(p Params, w io.Writer, f Format) error {
 		t, err := fn(p, AblationConfig{})
 		if err != nil {
 			return err
 		}
-		_, err = io.WriteString(w, t.String())
-		return err
+		return renderTable(t, w, f)
 	}
 }
 
@@ -108,12 +169,17 @@ func Names() []string {
 	return out
 }
 
-// Run executes the named experiment, or returns an error listing the
-// valid names.
+// Run executes the named experiment in the classic text format, or
+// returns an error listing the valid names.
 func Run(name string, p Params, w io.Writer) error {
+	return RunFormat(name, p, w, FormatText)
+}
+
+// RunFormat executes the named experiment in the requested format.
+func RunFormat(name string, p Params, w io.Writer, f Format) error {
 	r, ok := Registry[name]
 	if !ok {
 		return fmt.Errorf("experiment: unknown %q (valid: %v)", name, Names())
 	}
-	return r(p, w)
+	return r(p, w, f)
 }

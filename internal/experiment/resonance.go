@@ -1,13 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"tctp/internal/core"
-	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/stats"
-	"tctp/internal/xrand"
+	"tctp/internal/sweep"
 )
 
 // ResonanceConfig parameterizes E7 — a phenomenon this reproduction
@@ -58,38 +58,34 @@ func (r *ResonanceResult) String() string {
 // size swept against w; the metric is the VIP's own interval SD.
 func Resonance(p Params, cfg ResonanceConfig) (*ResonanceResult, error) {
 	cfg = cfg.withDefaults()
+	spec := p.spec("resonance")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("Balancing", patrol.Planned(&core.WTCTP{Policy: core.BalancingLength})),
+	}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = cfg.Mules
+	spec.VIPs = []int{1}
+	spec.VIPWeights = cfg.Weights
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Metrics = []sweep.Metric{
+		{Name: "vip_sd", Fn: func(e sweep.Env) float64 {
+			vip := e.Scenario.VIPs()[0]
+			return e.Result.Recorder.SDAfter(vip, e.Warm())
+		}},
+	}
+
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("resonance: %w", err)
+	}
 	out := &ResonanceResult{
 		SD: stats.NewSurface("VIP interval SD, balancing policy (s)",
 			"mules", "weight", toF(cfg.Mules), toF(cfg.Weights)),
 	}
-	for i, mules := range cfg.Mules {
-		for j, weight := range cfg.Weights {
-			mules, weight := mules, weight
-			gen := func(src *xrand.Source) *field.Scenario {
-				s := field.Generate(field.Config{
-					NumTargets: cfg.Targets,
-					NumMules:   mules,
-					Placement:  field.Uniform,
-				}, src)
-				s.AssignVIPs(src, 1, weight)
-				return s
-			}
-			alg := patrol.Planned(&core.WTCTP{Policy: core.BalancingLength})
-			opts := patrol.Options{Horizon: cfg.Horizon}
-			runs, err := replicate(p, func(seed uint64) (float64, error) {
-				scn := gen(scenarioSeed(seed))
-				res, err := patrol.Run(scn, alg, opts, algorithmSeed(seed))
-				if err != nil {
-					return 0, err
-				}
-				vip := scn.VIPs()[0]
-				return res.Recorder.SDAfter(vip, res.PatrolStart+1), nil
-			})
-			if err != nil {
-				return nil, fmt.Errorf("resonance (%d mules, weight %d): %w", mules, weight, err)
-			}
-			out.SD.Set(i, j, stats.Mean(runs))
-		}
+	for _, c := range res.Cells {
+		i := indexOf(cfg.Mules, c.Point.Mules)
+		j := indexOf(cfg.Weights, c.Point.VIPWeight)
+		out.SD.Set(i, j, c.Metric("vip_sd").Mean)
 	}
 	return out, nil
 }

@@ -156,6 +156,37 @@ func (p Placement) String() string {
 	}
 }
 
+// ParsePlacement is the inverse of String.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "clusters":
+		return Clusters, nil
+	case "grid":
+		return Grid, nil
+	default:
+		return 0, fmt.Errorf("field: unknown placement %q (valid: uniform, clusters, grid)", s)
+	}
+}
+
+// MarshalJSON encodes the placement by name.
+func (p Placement) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (p *Placement) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParsePlacement(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // Config parameterizes Generate.
 type Config struct {
 	// Width and Height of the field in metres. Defaults: 800 × 800.

@@ -35,9 +35,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -53,6 +53,7 @@ type Engine struct {
 	seq      uint64
 	events   eventHeap
 	executed uint64
+	pending  int // live count of scheduled, non-canceled events
 }
 
 // New returns an engine with the clock at 0.
@@ -61,16 +62,10 @@ func New() *Engine { return &Engine{} }
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Pending returns the number of scheduled (non-canceled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (non-canceled) events. The
+// count is maintained live on Schedule/Cancel/Step, so the call is
+// O(1) — it used to scan the whole heap.
+func (e *Engine) Pending() int { return e.pending }
 
 // Executed returns how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -88,7 +83,13 @@ func (e *Engine) Schedule(at float64, fn Handler) Cancel {
 	ev := &event{time: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return func() { ev.canceled = true }
+	e.pending++
+	return func() {
+		if !ev.canceled {
+			ev.canceled = true
+			e.pending--
+		}
+	}
 }
 
 // After runs fn d seconds from now. Negative d panics.
@@ -109,6 +110,8 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.time
 		e.executed++
+		e.pending--
+		ev.canceled = true // fired: make a late Cancel a no-op
 		ev.fn()
 		return true
 	}

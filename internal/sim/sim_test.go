@@ -206,6 +206,43 @@ func TestPendingSkipsCanceled(t *testing.T) {
 	}
 }
 
+// Pending is maintained as a live counter; it must track every
+// Schedule/Cancel/Step transition, including double-cancels, cancels
+// after execution, and cancels of already-popped events.
+func TestPendingCounterTransitions(t *testing.T) {
+	e := New()
+	if e.Pending() != 0 {
+		t.Fatalf("fresh Pending = %d", e.Pending())
+	}
+	c1 := e.Schedule(1, func() {})
+	c2 := e.Schedule(2, func() {})
+	e.Schedule(3, func() { e.After(1, func() {}) })
+	if e.Pending() != 3 {
+		t.Fatalf("after 3 schedules Pending = %d", e.Pending())
+	}
+	c1()
+	c1() // double cancel is a no-op
+	if e.Pending() != 2 {
+		t.Fatalf("after cancel Pending = %d", e.Pending())
+	}
+	e.Step() // runs the t=2 event
+	if e.Pending() != 1 {
+		t.Fatalf("after step Pending = %d", e.Pending())
+	}
+	c2() // already executed: no-op
+	if e.Pending() != 1 {
+		t.Fatalf("after stale cancel Pending = %d", e.Pending())
+	}
+	e.Step() // t=3 event schedules a follow-up at t=4
+	if e.Pending() != 1 {
+		t.Fatalf("after rescheduling step Pending = %d", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 0 {
+		t.Fatalf("drained Pending = %d", e.Pending())
+	}
+}
+
 // Property: any batch of events executes in sorted time order
 // regardless of insertion order.
 func TestExecutionOrderProperty(t *testing.T) {

@@ -136,18 +136,28 @@ func CI95(xs []float64) float64 {
 	return 1.96 * SampleSD(xs) / math.Sqrt(float64(len(xs)))
 }
 
-// Accumulator computes running mean and variance with Welford's
-// algorithm; it is the streaming counterpart of Mean/SampleSD. The
-// zero value is ready to use.
+// Accumulator computes running moments with Welford's algorithm plus
+// streaming extrema; it is the streaming counterpart of Summarize. The
+// zero value is ready to use. Because the update is sequential, two
+// accumulators fed the same samples in the same order produce
+// bit-identical results — the sweep engine relies on this for
+// worker-count-independent output.
 type Accumulator struct {
-	n    int
-	mean float64
-	m2   float64
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
 }
 
 // Add incorporates x.
 func (a *Accumulator) Add(x float64) {
 	a.n++
+	if a.n == 1 || x < a.min {
+		a.min = x
+	}
+	if a.n == 1 || x > a.max {
+		a.max = x
+	}
 	d := x - a.mean
 	a.mean += d / float64(a.n)
 	a.m2 += d * (x - a.mean)
@@ -165,6 +175,27 @@ func (a *Accumulator) SD() float64 {
 		return 0
 	}
 	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min returns the smallest sample seen (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample seen (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean (0 for n < 2); the streaming counterpart of
+// the slice-based CI95.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.SD() / math.Sqrt(float64(a.n))
+}
+
+// Summary returns the accumulated moments as a Summary.
+func (a *Accumulator) Summary() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), SD: a.SD(), Min: a.min, Max: a.max}
 }
 
 // MeanAcross averages replicated runs elementwise: runs[r][k] is the

@@ -142,16 +142,33 @@ func TestAccumulatorMatchesBatch(t *testing.T) {
 	if !almost(a.SD(), SampleSD(xs)) {
 		t.Fatalf("Accumulator sd %v vs batch %v", a.SD(), SampleSD(xs))
 	}
+	if !almost(a.Min(), Min(xs)) || !almost(a.Max(), Max(xs)) {
+		t.Fatalf("Accumulator extrema %v..%v vs batch %v..%v",
+			a.Min(), a.Max(), Min(xs), Max(xs))
+	}
+	if !almost(a.CI95(), CI95(xs)) {
+		t.Fatalf("Accumulator CI95 %v vs batch %v", a.CI95(), CI95(xs))
+	}
+	want := Summarize(xs)
+	got := a.Summary()
+	if got.N != want.N || !almost(got.Mean, want.Mean) || !almost(got.SD, want.SD) ||
+		!almost(got.Min, want.Min) || !almost(got.Max, want.Max) {
+		t.Fatalf("Summary %v vs batch %v", got, want)
+	}
 }
 
 func TestAccumulatorEmpty(t *testing.T) {
 	var a Accumulator
-	if a.Mean() != 0 || a.SD() != 0 || a.N() != 0 {
+	if a.Mean() != 0 || a.SD() != 0 || a.N() != 0 ||
+		a.Min() != 0 || a.Max() != 0 || a.CI95() != 0 {
 		t.Fatal("zero accumulator not zero")
 	}
 	a.Add(5)
-	if a.SD() != 0 {
-		t.Fatal("single-sample SD not zero")
+	if a.SD() != 0 || a.CI95() != 0 {
+		t.Fatal("single-sample spread not zero")
+	}
+	if a.Min() != 5 || a.Max() != 5 {
+		t.Fatalf("single-sample extrema %v..%v", a.Min(), a.Max())
 	}
 }
 

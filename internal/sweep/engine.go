@@ -1,0 +1,400 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+)
+
+// MetricSummary is the streaming aggregate of one scalar metric over a
+// cell's replications.
+type MetricSummary struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	SD   float64 `json:"sd"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// VectorSummary is the elementwise aggregate of one vector metric.
+// Mean is trimmed to the longest vector any replication produced; N
+// counts the replications reaching each position.
+type VectorSummary struct {
+	Name string    `json:"name"`
+	N    []int     `json:"n"`
+	Mean []float64 `json:"mean"`
+}
+
+// CellResult is one finished cell: its parameter point and the
+// aggregated metrics.
+type CellResult struct {
+	// Index is the cell's position in the spec's enumeration order,
+	// counting executed (non-skipped) cells only.
+	Index   int             `json:"cell"`
+	Point   Point           `json:"point"`
+	Metrics []MetricSummary `json:"metrics,omitempty"`
+	Vectors []VectorSummary `json:"vectors,omitempty"`
+}
+
+// Metric returns the named metric summary, or a zero summary if the
+// cell does not carry it.
+func (c *CellResult) Metric(name string) MetricSummary {
+	for _, m := range c.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return MetricSummary{}
+}
+
+// Vector returns the named vector summary, or a zero summary.
+func (c *CellResult) Vector(name string) VectorSummary {
+	for _, v := range c.Vectors {
+		if v.Name == name {
+			return v
+		}
+	}
+	return VectorSummary{}
+}
+
+// SkippedCell records a cell excluded by the Spec's Skip hook.
+type SkippedCell struct {
+	Point  Point  `json:"point"`
+	Reason string `json:"reason"`
+}
+
+// Result is a finished sweep.
+type Result struct {
+	// Cells holds the executed cells in enumeration order.
+	Cells []*CellResult
+	// Skipped holds the excluded cells in enumeration order.
+	Skipped []SkippedCell
+	// Runs is the number of replications executed.
+	Runs int
+}
+
+// Cell returns the executed cell whose point equals p, or nil.
+func (r *Result) Cell(p Point) *CellResult {
+	for _, c := range r.Cells {
+		if c.Point == p {
+			return c
+		}
+	}
+	return nil
+}
+
+// Progress is a snapshot handed to the Spec's Progress callback.
+type Progress struct {
+	CellsDone, CellsTotal int
+	RunsDone, RunsTotal   int
+}
+
+// collector streams one cell's replications into accumulators. The
+// fold happens strictly in seed order: results arriving early are
+// parked in pending until their predecessors land, which keeps the
+// floating-point fold order — and therefore the output bits —
+// independent of the worker count. Pending never holds more than the
+// number of in-flight workers.
+type collector struct {
+	next    int
+	pending map[int]*runValues
+	scalars []stats.Accumulator
+	vectors [][]stats.Accumulator
+}
+
+// runValues is the raw output of one replication.
+type runValues struct {
+	scalars []float64
+	vectors [][]float64
+}
+
+type job struct {
+	cell, rep int
+}
+
+// engine is the shared state of one Run call.
+type engine struct {
+	spec  *Spec
+	defs  []cellDef
+	sinks []Sink
+
+	mu         sync.Mutex
+	collectors []*collector
+	ready      map[int]*CellResult // finished cells awaiting ordered emission
+	emitNext   int
+	result     *Result
+	cellsDone  int
+	err        error
+	errOrder   int
+	aborted    bool
+}
+
+// Run executes the spec and streams finished cells to the sinks in
+// enumeration order. It returns once every cell has completed, the
+// context is canceled, or a replication fails; the first error in
+// (cell, replication) order wins, regardless of worker count.
+func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
+	sp := spec.withDefaults()
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+
+	all := sp.cells()
+	result := &Result{}
+	defs := make([]cellDef, 0, len(all))
+	for _, d := range all {
+		if sp.Skip != nil {
+			if reason := sp.Skip(d.point); reason != "" {
+				result.Skipped = append(result.Skipped, SkippedCell{Point: d.point, Reason: reason})
+				continue
+			}
+		}
+		defs = append(defs, d)
+	}
+
+	for _, s := range sinks {
+		if err := s.Begin(&sp, len(defs)); err != nil {
+			return nil, fmt.Errorf("sweep: sink begin: %w", err)
+		}
+	}
+
+	e := &engine{
+		spec:       &sp,
+		defs:       defs,
+		sinks:      sinks,
+		collectors: make([]*collector, len(defs)),
+		ready:      make(map[int]*CellResult),
+		result:     result,
+	}
+	for i := range e.collectors {
+		e.collectors[i] = &collector{
+			pending: make(map[int]*runValues),
+			scalars: make([]stats.Accumulator, len(sp.Metrics)),
+			vectors: newVectorAccs(sp.Vectors),
+		}
+	}
+
+	workers := sp.Workers
+	if total := len(defs) * sp.Seeds; workers > total {
+		workers = total
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				vals, err := e.runOne(j)
+				e.deliver(j, vals, err)
+			}
+		}()
+	}
+
+	// Dispatch cells × replications in order; stop early on abort or
+	// cancellation. Workers run every job they receive, so the
+	// lowest-ordered failing job is always executed and its error wins.
+	var ctxErr error
+dispatch:
+	for c := range defs {
+		for r := 0; r < sp.Seeds; r++ {
+			select {
+			case <-ctx.Done():
+				ctxErr = ctx.Err()
+				break dispatch
+			case jobs <- job{cell: c, rep: r}:
+			}
+			if e.abortedNow() {
+				break dispatch
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	for _, s := range sinks {
+		if err := s.End(result); err != nil {
+			return nil, fmt.Errorf("sweep: sink end: %w", err)
+		}
+	}
+	return result, nil
+}
+
+func (e *engine) abortedNow() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.aborted
+}
+
+// runOne executes a single replication of a single cell.
+func (e *engine) runOne(j job) (*runValues, error) {
+	sp := e.spec
+	d := e.defs[j.cell]
+	p := d.point
+	seed := sp.BaseSeed + uint64(j.rep)
+
+	scn := sp.buildScenario(p, ScenarioSource(seed))
+	opts := patrol.Options{
+		Speed:      p.Speed,
+		Horizon:    p.Horizon,
+		UseBattery: p.Battery,
+	}
+	if sp.Options != nil {
+		sp.Options(p, &opts)
+	}
+	if d.variant.Options != nil {
+		d.variant.Options(&opts)
+	}
+	var state any
+	if sp.PerRun != nil {
+		state = sp.PerRun(p, scn, &opts)
+	}
+
+	alg := d.variant.Make(AlgorithmSource(seed))
+	res, err := patrol.Run(scn, alg, opts, AlgorithmSource(seed))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, err)
+	}
+
+	env := Env{Point: p, Variant: d.variant, Seed: seed, Scenario: scn, Result: res, State: state}
+	vals := &runValues{scalars: make([]float64, len(sp.Metrics))}
+	for i, m := range sp.Metrics {
+		vals.scalars[i] = m.Fn(env)
+	}
+	if len(sp.Vectors) > 0 {
+		vals.vectors = make([][]float64, len(sp.Vectors))
+		for i, vm := range sp.Vectors {
+			v := vm.Fn(env)
+			if len(v) > vm.Len {
+				v = v[:vm.Len]
+			}
+			vals.vectors[i] = v
+		}
+	}
+	return vals, nil
+}
+
+// deliver folds one replication's values into its cell, in seed order,
+// and emits finished cells to the sinks in enumeration order.
+func (e *engine) deliver(j job, vals *runValues, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	order := j.cell*e.spec.Seeds + j.rep
+	if err != nil {
+		if e.err == nil || order < e.errOrder {
+			e.err, e.errOrder = err, order
+		}
+		e.aborted = true
+		return
+	}
+	if e.aborted {
+		return // result set is already doomed; don't bother folding
+	}
+
+	c := e.collectors[j.cell]
+	c.pending[j.rep] = vals
+	for {
+		v, ok := c.pending[c.next]
+		if !ok {
+			break
+		}
+		delete(c.pending, c.next)
+		c.fold(v)
+		c.next++
+	}
+	e.result.Runs++
+
+	if c.next == e.spec.Seeds {
+		e.ready[j.cell] = e.finalize(j.cell, c)
+		e.collectors[j.cell] = nil
+		for {
+			cr, ok := e.ready[e.emitNext]
+			if !ok {
+				break
+			}
+			delete(e.ready, e.emitNext)
+			for _, s := range e.sinks {
+				if serr := s.Cell(cr); serr != nil && e.err == nil {
+					e.err = fmt.Errorf("sweep: sink cell %d: %w", cr.Index, serr)
+					e.aborted = true
+					return
+				}
+			}
+			e.result.Cells = append(e.result.Cells, cr)
+			e.emitNext++
+		}
+		e.cellsDone++
+	}
+
+	if e.spec.Progress != nil {
+		e.spec.Progress(Progress{
+			CellsDone:  e.cellsDone,
+			CellsTotal: len(e.defs),
+			RunsDone:   e.result.Runs,
+			RunsTotal:  len(e.defs) * e.spec.Seeds,
+		})
+	}
+}
+
+func (c *collector) fold(v *runValues) {
+	for i := range v.scalars {
+		c.scalars[i].Add(v.scalars[i])
+	}
+	for i, vec := range v.vectors {
+		for k, x := range vec {
+			c.vectors[i][k].Add(x)
+		}
+	}
+}
+
+func (e *engine) finalize(cell int, c *collector) *CellResult {
+	sp := e.spec
+	cr := &CellResult{Index: cell, Point: e.defs[cell].point}
+	for i, m := range sp.Metrics {
+		a := &c.scalars[i]
+		cr.Metrics = append(cr.Metrics, MetricSummary{
+			Name: m.Name, N: a.N(),
+			Mean: a.Mean(), SD: a.SD(), CI95: a.CI95(),
+			Min: a.Min(), Max: a.Max(),
+		})
+	}
+	for i, vm := range sp.Vectors {
+		accs := c.vectors[i]
+		used := 0
+		for k := range accs {
+			if accs[k].N() > 0 {
+				used = k + 1
+			}
+		}
+		vs := VectorSummary{Name: vm.Name, N: make([]int, used), Mean: make([]float64, used)}
+		for k := 0; k < used; k++ {
+			vs.N[k] = accs[k].N()
+			vs.Mean[k] = accs[k].Mean()
+		}
+		cr.Vectors = append(cr.Vectors, vs)
+	}
+	return cr
+}
+
+func newVectorAccs(vms []VectorMetric) [][]stats.Accumulator {
+	if len(vms) == 0 {
+		return nil
+	}
+	out := make([][]stats.Accumulator, len(vms))
+	for i, vm := range vms {
+		out[i] = make([]stats.Accumulator, vm.Len)
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// tinySpec is a fast multi-cell spec exercising two axes and two
+// algorithm variants against the real simulator.
+func tinySpec() Spec {
+	return Spec{
+		Name: "tiny",
+		Algorithms: []Variant{
+			Algo("btctp", patrol.Planned(&core.BTCTP{})),
+			Algo("random", patrol.Online(&baseline.Random{})),
+		},
+		Targets:  []int{6, 8},
+		Mules:    []int{2},
+		Horizons: []float64{4_000},
+		Metrics:  []Metric{AvgDCDT(), AvgSD(), MaxInterval()},
+		Seeds:    3,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	if res.Runs != 4*3 {
+		t.Fatalf("%d runs", res.Runs)
+	}
+	// Cells arrive in enumeration order: algorithm outermost, then
+	// targets.
+	wantOrder := []struct {
+		alg     string
+		targets int
+	}{
+		{"btctp", 6}, {"btctp", 8}, {"random", 6}, {"random", 8},
+	}
+	for i, w := range wantOrder {
+		c := res.Cells[i]
+		if c.Index != i || c.Point.Algorithm != w.alg || c.Point.Targets != w.targets {
+			t.Fatalf("cell %d = %v", i, c.Point)
+		}
+		for _, m := range c.Metrics {
+			if m.N != 3 {
+				t.Fatalf("cell %d metric %s has n=%d", i, m.Name, m.N)
+			}
+		}
+		if dcdt := c.Metric("avg_dcdt_s"); dcdt.Mean <= 0 {
+			t.Fatalf("cell %d avg_dcdt_s mean %v", i, dcdt.Mean)
+		}
+	}
+	// B-TCTP's steady-state SD is exactly zero; Random's is not.
+	if sd := res.Cells[0].Metric("avg_sd_s"); sd.Mean > 1e-9 {
+		t.Fatalf("btctp SD %v", sd.Mean)
+	}
+	if sd := res.Cells[2].Metric("avg_sd_s"); sd.Mean < 1 {
+		t.Fatalf("random SD %v suspiciously low", sd.Mean)
+	}
+}
+
+// The engine's core guarantee: bit-identical aggregates regardless of
+// worker count, including the min/max/CI95 moments and sink bytes.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	results := make([]*Result, 0, 3)
+	for _, workers := range []int{1, 4, 8} {
+		spec := tinySpec()
+		spec.Workers = workers
+		spec.Seeds = 5
+		var buf bytes.Buffer
+		res, err := Run(context.Background(), spec, CSV(&buf), JSONL(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+		results = append(results, res)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("sink bytes differ between workers=1 and the %d-th variant:\n%s\nvs\n%s",
+				i, outputs[0], outputs[i])
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		for c := range results[0].Cells {
+			a, b := results[0].Cells[c], results[i].Cells[c]
+			for m := range a.Metrics {
+				if a.Metrics[m] != b.Metrics[m] {
+					t.Fatalf("cell %d metric %v differs: %+v vs %+v",
+						c, a.Metrics[m].Name, a.Metrics[m], b.Metrics[m])
+				}
+			}
+		}
+	}
+}
+
+func TestRunSkip(t *testing.T) {
+	spec := tinySpec()
+	spec.Mules = []int{2, 12} // 12 mules > targets+1 for both target counts
+	spec.Skip = func(p Point) string {
+		if p.Mules > p.Targets+1 {
+			return "more mules than targets+1"
+		}
+		return ""
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 || len(res.Skipped) != 4 {
+		t.Fatalf("cells=%d skipped=%d", len(res.Cells), len(res.Skipped))
+	}
+	for _, sk := range res.Skipped {
+		if sk.Point.Mules != 12 || sk.Reason == "" {
+			t.Fatalf("skipped %+v", sk)
+		}
+	}
+}
+
+func TestRunVectorMetric(t *testing.T) {
+	spec := Spec{
+		Name:       "curve",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Mules:      []int{2},
+		Horizons:   []float64{8_000},
+		Vectors:    []VectorMetric{DCDTCurve(10)},
+		Seeds:      2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res.Cells[0].Vector("dcdt_curve")
+	if len(vs.Mean) == 0 || len(vs.Mean) > 10 {
+		t.Fatalf("curve length %d", len(vs.Mean))
+	}
+	for k, n := range vs.N {
+		if n == 0 {
+			t.Fatalf("position %d has no samples yet is inside the trimmed mean", k)
+		}
+	}
+}
+
+func TestRunError(t *testing.T) {
+	spec := tinySpec()
+	// An invalid scenario (no mules) fails inside patrol.Run.
+	spec.Scenario = func(p Point, src *xrand.Source) *field.Scenario {
+		s := field.Generate(field.Config{NumTargets: p.Targets, NumMules: p.Mules}, src)
+		if p.Targets == 8 {
+			s.MuleStarts = nil
+		}
+		return s
+	}
+	_, err := Run(context.Background(), spec)
+	if err == nil {
+		t.Fatal("invalid cell accepted")
+	}
+	// The reported error names the first failing cell in enumeration
+	// order (btctp, targets=8), not whichever worker failed first.
+	if !strings.Contains(err.Error(), "targets=8") || !strings.Contains(err.Error(), "alg=btctp") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := tinySpec()
+	spec.Seeds = 50
+	n := 0
+	spec.Progress = func(Progress) {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	_, err := Run(ctx, spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Spec{
+		{},                                   // no variants
+		{Algorithms: []Variant{{Name: "x"}}}, // no Make
+		{Algorithms: []Variant{Algo("x", patrol.Planned(&core.BTCTP{}))}}, // no metrics
+		{Algorithms: []Variant{Algo("x", patrol.Planned(&core.BTCTP{}))},
+			Metrics: []Metric{AvgDCDT()}, VIPs: []int{2}, VIPWeights: []int{1}}, // weight < 2
+		{Algorithms: []Variant{Algo("x", patrol.Planned(&core.BTCTP{}))},
+			Vectors: []VectorMetric{{Name: "v", Len: 0}}}, // empty vector
+		{Algorithms: []Variant{Algo("x", patrol.Planned(&core.BTCTP{}))},
+			Metrics: []Metric{AvgDCDT()}, Workers: -1}, // would deadlock with no workers
+	}
+	for i, spec := range cases {
+		if _, err := Run(context.Background(), spec); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	spec := tinySpec()
+	var last Progress
+	calls := 0
+	spec.Progress = func(p Progress) { last = p; calls++ }
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 {
+		t.Fatalf("%d progress calls", calls)
+	}
+	want := Progress{CellsDone: 4, CellsTotal: 4, RunsDone: 12, RunsTotal: 12}
+	if last != want {
+		t.Fatalf("final progress %+v", last)
+	}
+}
+
+func TestSeedSourcesMatchExperimentScheme(t *testing.T) {
+	// The contract documented in the README: stream 1 of seed s is the
+	// scenario stream, stream 2 the algorithm stream.
+	for _, seed := range []uint64{0, 1, 42} {
+		root := xrand.New(seed)
+		want1 := root.Split().Uint64()
+		want2 := root.Split().Uint64()
+		if got := ScenarioSource(seed).Uint64(); got != want1 {
+			t.Fatalf("seed %d: scenario stream = %d, want %d", seed, got, want1)
+		}
+		if got := AlgorithmSource(seed).Uint64(); got != want2 {
+			t.Fatalf("seed %d: algorithm stream = %d, want %d", seed, got, want2)
+		}
+	}
+}
+
+func TestVariantHooks(t *testing.T) {
+	// Variant Options and Tag reach the run and the metric functions.
+	spec := Spec{
+		Name: "hooks",
+		Algorithms: []Variant{
+			{
+				Name: "nosync", Tag: 7,
+				Make:    func(*xrand.Source) patrol.Algorithm { return patrol.Planned(&core.BTCTP{}) },
+				Options: func(o *patrol.Options) { o.NoSynchronizedStart = true },
+			},
+		},
+		Targets:  []int{5},
+		Mules:    []int{2},
+		Horizons: []float64{3_000},
+		Metrics: []Metric{
+			{Name: "tag", Fn: func(e Env) float64 { return e.Variant.Tag }},
+			{Name: "patrol_start", Fn: func(e Env) float64 { return e.Result.PatrolStart }},
+		},
+		Seeds: 2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cells[0].Metric("tag").Mean; got != 7 {
+		t.Fatalf("tag = %v", got)
+	}
+	// NoSynchronizedStart zeroes the patrol start.
+	if got := res.Cells[0].Metric("patrol_start").Mean; got != 0 {
+		t.Fatalf("patrol start = %v despite NoSynchronizedStart", got)
+	}
+}
+
+func TestPerRunState(t *testing.T) {
+	type counter struct{ visits int }
+	spec := Spec{
+		Name:       "perrun",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{5},
+		Mules:      []int{2},
+		Horizons:   []float64{3_000},
+		PerRun: func(p Point, s *field.Scenario, o *patrol.Options) any {
+			c := &counter{}
+			o.Hooks.OnVisit = func(_, _ int, _ float64) { c.visits++ }
+			return c
+		},
+		Metrics: []Metric{
+			{Name: "hook_visits", Fn: func(e Env) float64 {
+				return float64(e.State.(*counter).visits)
+			}},
+			TotalVisits(),
+		},
+		Seeds: 2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := res.Cells[0].Metric("hook_visits")
+	real := res.Cells[0].Metric("visits")
+	if hook.Mean <= 0 || hook.Mean != real.Mean {
+		t.Fatalf("hook saw %v visits, recorder %v", hook.Mean, real.Mean)
+	}
+}
+
+// BenchmarkMultiCellSweep measures a sweep whose parallelism comes
+// from cells, not replications (Seeds=1): run with -cpu 1,2,4,8 to see
+// the cells themselves scale with GOMAXPROCS. Workers defaults to
+// GOMAXPROCS, so the -cpu flag is the worker count.
+func BenchmarkMultiCellSweep(b *testing.B) {
+	spec := Spec{
+		Name:       "bench",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{10, 15, 20, 25, 30, 35, 40, 45},
+		Mules:      []int{2, 4},
+		Horizons:   []float64{30_000},
+		Metrics:    []Metric{AvgDCDT(), AvgSD()},
+		Seeds:      1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleRun() {
+	spec := Spec{
+		Name:       "example",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Mules:      []int{2},
+		Horizons:   []float64{5_000},
+		Metrics:    []Metric{AvgSD()},
+		Seeds:      2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cells=%d runs=%d btctp steady SD=%.1f\n",
+		len(res.Cells), res.Runs, res.Cells[0].Metric("avg_sd_s").Mean)
+	// Output: cells=1 runs=2 btctp steady SD=0.0
+}

@@ -1,0 +1,79 @@
+package sweep
+
+// Built-in metric library: the paper's evaluation metrics as reusable
+// Metric values. Steady-state metrics cut at Env.Warm(), matching the
+// experiment runners' warm-up convention.
+
+// AvgDCDT is the paper's primary metric: the average data-collecting
+// delay time across targets, measured after patrol start.
+func AvgDCDT() Metric {
+	return Metric{Name: "avg_dcdt_s", Fn: func(e Env) float64 {
+		return e.Result.Recorder.AvgDCDTAfter(e.Warm())
+	}}
+}
+
+// AvgSD is the paper's regularity metric: the average standard
+// deviation of per-target visiting intervals after patrol start.
+func AvgSD() Metric {
+	return Metric{Name: "avg_sd_s", Fn: func(e Env) float64 {
+		return e.Result.Recorder.AvgSDAfter(e.Warm())
+	}}
+}
+
+// MaxInterval is the worst visiting interval any target experienced.
+func MaxInterval() Metric {
+	return Metric{Name: "max_interval_s", Fn: func(e Env) float64 {
+		return e.Result.Recorder.MaxInterval()
+	}}
+}
+
+// JoulesPerVisit is the fleet's energy per collection.
+func JoulesPerVisit() Metric {
+	return Metric{Name: "j_per_visit", Fn: func(e Env) float64 {
+		return e.Result.EnergyPerVisit()
+	}}
+}
+
+// TotalVisits is the fleet's total collection count.
+func TotalVisits() Metric {
+	return Metric{Name: "visits", Fn: func(e Env) float64 {
+		return float64(e.Result.TotalVisits())
+	}}
+}
+
+// DeadMules counts mules that exhausted their battery.
+func DeadMules() Metric {
+	return Metric{Name: "dead_mules", Fn: func(e Env) float64 {
+		return float64(e.Result.DeadMules())
+	}}
+}
+
+// Recharges counts the fleet's recharge stops.
+func Recharges() Metric {
+	return Metric{Name: "recharges", Fn: func(e Env) float64 {
+		n := 0
+		for _, m := range e.Result.Mules {
+			n += m.Recharges
+		}
+		return float64(n)
+	}}
+}
+
+// CircuitLength is the planned patrolling circuit's length in metres
+// (0 for online algorithms, which have no plan).
+func CircuitLength() Metric {
+	return Metric{Name: "circuit_m", Fn: func(e Env) float64 {
+		if e.Result.Plan == nil {
+			return 0
+		}
+		return e.Result.Plan.Walk.Length(e.Scenario.Points())
+	}}
+}
+
+// DCDTCurve is the Fig. 7 vector metric: the event-indexed DCDT
+// trajectory over the first maxVisits visiting intervals.
+func DCDTCurve(maxVisits int) VectorMetric {
+	return VectorMetric{Name: "dcdt_curve", Len: maxVisits, Fn: func(e Env) []float64 {
+		return e.Result.Recorder.EventDCDTSeries(maxVisits)
+	}}
+}

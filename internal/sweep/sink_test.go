@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tctp/internal/core"
+	"tctp/internal/patrol"
+)
+
+func sinkSpec() Spec {
+	s := tinySpec()
+	s.Mules = []int{2, 12}
+	s.Skip = func(p Point) string {
+		if p.Mules > p.Targets+1 {
+			return "more mules than targets+1"
+		}
+		return ""
+	}
+	return s
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run(context.Background(), sinkSpec(), CSV(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+4 { // header + 4 executed cells (skipped cells emit nothing)
+		t.Fatalf("%d rows", len(rows))
+	}
+	header := rows[0]
+	wantCols := len(pointHeader) + 2*3 // 3 metrics × (mean, ci95)
+	if len(header) != wantCols {
+		t.Fatalf("header %v has %d columns, want %d", header, len(header), wantCols)
+	}
+	if header[0] != "algorithm" || header[len(pointHeader)] != "avg_dcdt_s" ||
+		header[len(pointHeader)+1] != "avg_dcdt_s_ci95" {
+		t.Fatalf("header %v", header)
+	}
+	if rows[1][0] != "btctp" || rows[1][1] != "6" || rows[1][2] != "2" {
+		t.Fatalf("first cell row %v", rows[1])
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run(context.Background(), sinkSpec(), JSONL(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4+1 { // header + cells + summary
+		t.Fatalf("%d lines", len(lines))
+	}
+	var head struct {
+		Sweep string `json:"sweep"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Sweep != "tiny" || head.Cells != 4 {
+		t.Fatalf("header %+v", head)
+	}
+	var cell CellResult
+	if err := json.Unmarshal([]byte(lines[1]), &cell); err != nil {
+		t.Fatal(err)
+	}
+	if cell.Point.Algorithm != "btctp" || cell.Point.Placement.String() != "uniform" {
+		t.Fatalf("cell point %+v", cell.Point)
+	}
+	if len(cell.Metrics) != 3 || cell.Metrics[0].N != 3 {
+		t.Fatalf("cell metrics %+v", cell.Metrics)
+	}
+	var tail struct {
+		Summary struct {
+			Cells   int           `json:"cells"`
+			Runs    int           `json:"runs"`
+			Skipped []SkippedCell `json:"skipped"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Summary.Cells != 4 || tail.Summary.Runs != 12 || len(tail.Summary.Skipped) != 4 {
+		t.Fatalf("summary %+v", tail.Summary)
+	}
+	for _, sk := range tail.Summary.Skipped {
+		if sk.Reason == "" || sk.Point.Mules != 12 {
+			t.Fatalf("skipped %+v", sk)
+		}
+	}
+}
+
+func TestTextTableSink(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run(context.Background(), sinkSpec(), TextTable(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== tiny (4 cells × 3 replications) ==",
+		"algorithm", "targets", "mules", // the varying axes
+		"avg_dcdt_s", "±",
+		"4 cells, 12 runs, 4 skipped",
+		"skipped: alg=btctp targets=6 mules=12",
+		"more mules than targets+1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Non-varying axes stay out of the table header (the skip footer
+	// legitimately prints full points).
+	header := strings.Split(out, "\n")[1]
+	if strings.Contains(header, "placement") || strings.Contains(header, "battery") {
+		t.Fatalf("constant axes leaked into the header %q", header)
+	}
+}
+
+func TestTextTableSingleCell(t *testing.T) {
+	var buf bytes.Buffer
+	spec := Spec{
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{5},
+		Mules:      []int{2},
+		Horizons:   []float64{3_000},
+		Metrics:    []Metric{AvgSD()},
+		Seeds:      1,
+	}
+	if _, err := Run(context.Background(), spec, TextTable(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "btctp") {
+		t.Fatalf("single-cell table lost its identity column:\n%s", buf.String())
+	}
+}

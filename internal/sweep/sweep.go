@@ -1,0 +1,348 @@
+// Package sweep is a declarative, deterministic, fully parallel
+// grid-execution engine: the substrate behind every parameter sweep in
+// this repository (cmd/tctp-sweep, the figure runners and ablations in
+// internal/experiment).
+//
+// A Spec declares parameter axes — algorithm variants, target counts,
+// fleet sizes, mule speeds, placements, horizons, battery on/off, VIP
+// populations — whose cartesian product yields cells. Run executes
+// cells × replications through one bounded worker pool, so a sweep
+// saturates the machine even when each cell has few replications.
+// Each metric is aggregated with streaming Welford statistics
+// (mean/variance/CI95/min/max); no per-seed slices are held in memory.
+// Results flow through the Sink interface (CSV, JSON-lines, aligned
+// text table).
+//
+// # Determinism
+//
+// Replication r of every cell derives all randomness from the seed
+// BaseSeed+r via two independent SplitMix64 streams: ScenarioSource
+// feeds scenario generation, AlgorithmSource feeds algorithm
+// randomness. Per-cell aggregation folds replications in seed order
+// (out-of-order arrivals are buffered until their predecessors land),
+// and cells are emitted to sinks in declaration order, so the output
+// is bit-identical regardless of worker count.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// Point is one cell's full parameter assignment: the value picked from
+// every axis of the Spec.
+type Point struct {
+	Algorithm string          `json:"algorithm"`
+	Targets   int             `json:"targets"`
+	Mules     int             `json:"mules"`
+	Speed     float64         `json:"speed"`
+	Placement field.Placement `json:"placement"`
+	Horizon   float64         `json:"horizon"`
+	Battery   bool            `json:"battery"`
+	VIPs      int             `json:"vips"`
+	VIPWeight int             `json:"vip_weight"`
+}
+
+// String renders the point compactly for skip reports and errors.
+func (p Point) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "alg=%s targets=%d mules=%d speed=%g placement=%s horizon=%g",
+		p.Algorithm, p.Targets, p.Mules, p.Speed, p.Placement, p.Horizon)
+	if p.Battery {
+		sb.WriteString(" battery=on")
+	}
+	if p.VIPs > 0 {
+		fmt.Fprintf(&sb, " vips=%d w=%d", p.VIPs, p.VIPWeight)
+	}
+	return sb.String()
+}
+
+// Variant is one value of the algorithm axis: a named constructor for
+// the algorithm under test. Make receives the replication's
+// AlgorithmSource so constructions that embed randomness (e.g. the
+// random break-edge policy) stay deterministic per seed.
+type Variant struct {
+	Name string
+	// Tag is a free-form scalar the variant can carry for its metric
+	// functions (e.g. the dwell time of a dwell-sensitivity variant).
+	Tag float64
+	// Make builds the algorithm for one replication.
+	Make func(src *xrand.Source) patrol.Algorithm
+	// Options, when non-nil, adjusts the per-run simulation options
+	// after the Spec-level Options hook.
+	Options func(o *patrol.Options)
+}
+
+// Algo wraps a fixed, seed-independent algorithm as a Variant. The
+// algorithm must be safe for concurrent Run calls (all planners in
+// this repository are).
+func Algo(name string, alg patrol.Algorithm) Variant {
+	return Variant{Name: name, Make: func(*xrand.Source) patrol.Algorithm { return alg }}
+}
+
+// Env is what a metric function sees: one finished replication of one
+// cell.
+type Env struct {
+	Point    Point
+	Variant  Variant
+	Seed     uint64
+	Scenario *field.Scenario
+	Result   *patrol.Result
+	// State is whatever the Spec's PerRun hook returned for this
+	// replication (e.g. a wsn data-collection overlay); nil otherwise.
+	State any
+}
+
+// Warm returns the conventional warm-up cutoff for steady-state
+// metrics: just after the synchronized patrol start.
+func (e Env) Warm() float64 { return e.Result.PatrolStart + 1 }
+
+// Metric is a named scalar extracted from every replication and
+// aggregated per cell.
+type Metric struct {
+	Name string
+	Fn   func(Env) float64
+}
+
+// VectorMetric is a named fixed-capacity vector extracted from every
+// replication and aggregated elementwise per cell. Fn may return fewer
+// than Len elements (e.g. a run with fewer visits); each position
+// aggregates the replications that reach it.
+type VectorMetric struct {
+	Name string
+	Len  int
+	Fn   func(Env) []float64
+}
+
+// Spec declares a sweep: the axes, the metrics, the protocol, and
+// optional hooks. The zero value of every axis means "the single
+// default value", so a Spec only spells out what it sweeps.
+type Spec struct {
+	// Name labels the sweep in sink output.
+	Name string
+
+	// Axes. The cartesian product of all axes yields the cells,
+	// enumerated with Algorithms outermost and VIPWeights innermost.
+	Algorithms []Variant         // required: at least one variant
+	Targets    []int             // default {20}
+	Mules      []int             // default {4}
+	Speeds     []float64         // default {2} (m/s, §5.1)
+	Placements []field.Placement // default {field.Uniform}
+	Horizons   []float64         // default {100_000} (s)
+	Battery    []bool            // default {false}
+	VIPs       []int             // default {0} (no VIPs)
+	VIPWeights []int             // default {2}; ignored while VIPs is 0
+
+	// Metrics and Vectors are extracted from every replication; at
+	// least one of the two must be non-empty.
+	Metrics []Metric
+	Vectors []VectorMetric
+
+	// Seeds is the number of replications per cell (default 20, the
+	// paper's protocol).
+	Seeds int
+	// BaseSeed offsets the replication seeds.
+	BaseSeed uint64
+	// Workers bounds the worker pool (default GOMAXPROCS). The pool is
+	// shared by all cells: cells and replications run concurrently.
+	Workers int
+
+	// Skip, when non-nil, is consulted per cell; a non-empty reason
+	// excludes the cell from execution and records it in the Result.
+	Skip func(p Point) (reason string)
+	// Configure, when non-nil, adjusts the field.Config derived from
+	// the point before scenario generation.
+	Configure func(p Point, cfg *field.Config)
+	// Options, when non-nil, adjusts the patrol.Options derived from
+	// the point (before the Variant's own Options hook).
+	Options func(p Point, o *patrol.Options)
+	// Scenario, when non-nil, replaces the default generator entirely.
+	Scenario func(p Point, src *xrand.Source) *field.Scenario
+	// PerRun, when non-nil, runs before each replication's simulation;
+	// it may attach hooks to the options and return per-run state that
+	// metric functions receive as Env.State.
+	PerRun func(p Point, s *field.Scenario, o *patrol.Options) any
+	// Progress, when non-nil, is called after every completed
+	// replication and cell. It runs under the engine lock: keep it
+	// fast and do not call back into the engine.
+	Progress func(pr Progress)
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Targets) == 0 {
+		s.Targets = []int{20}
+	}
+	if len(s.Mules) == 0 {
+		s.Mules = []int{4}
+	}
+	if len(s.Speeds) == 0 {
+		s.Speeds = []float64{2}
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = []field.Placement{field.Uniform}
+	}
+	if len(s.Horizons) == 0 {
+		s.Horizons = []float64{100_000}
+	}
+	if len(s.Battery) == 0 {
+		s.Battery = []bool{false}
+	}
+	if len(s.VIPs) == 0 {
+		s.VIPs = []int{0}
+	}
+	if len(s.VIPWeights) == 0 {
+		s.VIPWeights = []int{2}
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 20
+	}
+	if s.Workers == 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+func (s *Spec) validate() error {
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("sweep: spec %q has no algorithm variants", s.Name)
+	}
+	for i, v := range s.Algorithms {
+		if v.Name == "" {
+			return fmt.Errorf("sweep: spec %q: variant %d has no name", s.Name, i)
+		}
+		if v.Make == nil {
+			return fmt.Errorf("sweep: spec %q: variant %q has no Make", s.Name, v.Name)
+		}
+	}
+	if len(s.Metrics)+len(s.Vectors) == 0 {
+		return fmt.Errorf("sweep: spec %q declares no metrics", s.Name)
+	}
+	for _, vm := range s.Vectors {
+		if vm.Len <= 0 {
+			return fmt.Errorf("sweep: spec %q: vector metric %q has length %d",
+				s.Name, vm.Name, vm.Len)
+		}
+	}
+	if s.Seeds < 1 {
+		return fmt.Errorf("sweep: spec %q has %d replications", s.Name, s.Seeds)
+	}
+	if s.Workers < 1 {
+		// withDefaults maps 0 to GOMAXPROCS, so only a negative value
+		// lands here; without this check Run would spawn no workers
+		// and block forever on the jobs channel.
+		return fmt.Errorf("sweep: spec %q has %d workers", s.Name, s.Workers)
+	}
+	for _, n := range s.VIPs {
+		if n > 0 {
+			for _, w := range s.VIPWeights {
+				if w < 2 {
+					return fmt.Errorf("sweep: spec %q sweeps %d VIPs with weight %d < 2",
+						s.Name, n, w)
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// cellDef pairs a point with the variant that produced its algorithm
+// coordinate.
+type cellDef struct {
+	point   Point
+	variant Variant
+}
+
+// cells enumerates the cartesian product in canonical order.
+func (s *Spec) cells() []cellDef {
+	var out []cellDef
+	for _, v := range s.Algorithms {
+		for _, nt := range s.Targets {
+			for _, nm := range s.Mules {
+				for _, sp := range s.Speeds {
+					for _, pl := range s.Placements {
+						for _, h := range s.Horizons {
+							for _, b := range s.Battery {
+								for _, nv := range s.VIPs {
+									for _, w := range s.VIPWeights {
+										out = append(out, cellDef{
+											point: Point{
+												Algorithm: v.Name,
+												Targets:   nt,
+												Mules:     nm,
+												Speed:     sp,
+												Placement: pl,
+												Horizon:   h,
+												Battery:   b,
+												VIPs:      nv,
+												VIPWeight: w,
+											},
+											variant: v,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Points returns every cell of the sweep (before skipping) in
+// canonical enumeration order.
+func (s Spec) Points() []Point {
+	sp := s.withDefaults()
+	defs := sp.cells()
+	out := make([]Point, len(defs))
+	for i, d := range defs {
+		out[i] = d.point
+	}
+	return out
+}
+
+// ScenarioSource derives the scenario-generation stream for a
+// replication seed. It is the engine-wide seed-derivation contract,
+// shared with internal/experiment: scenario randomness and algorithm
+// randomness are independent SplitMix64 streams of the same seed, so
+// changing an algorithm's internal randomness never perturbs the
+// workload it runs on.
+func ScenarioSource(seed uint64) *xrand.Source {
+	return xrand.New(seed).Split()
+}
+
+// AlgorithmSource derives the algorithm-randomness stream (random
+// baseline picks, k-means seeding, random break edges) for a
+// replication seed.
+func AlgorithmSource(seed uint64) *xrand.Source {
+	s := xrand.New(seed)
+	s.Split() // skip the scenario stream
+	return s.Split()
+}
+
+// buildScenario generates the cell's scenario for one replication.
+func (s *Spec) buildScenario(p Point, src *xrand.Source) *field.Scenario {
+	if s.Scenario != nil {
+		return s.Scenario(p, src)
+	}
+	cfg := field.Config{
+		NumTargets: p.Targets,
+		NumMules:   p.Mules,
+		Placement:  p.Placement,
+	}
+	if s.Configure != nil {
+		s.Configure(p, &cfg)
+	}
+	scn := field.Generate(cfg, src)
+	if p.VIPs > 0 {
+		scn.AssignVIPs(src, p.VIPs, p.VIPWeight)
+	}
+	return scn
+}

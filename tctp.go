@@ -20,6 +20,7 @@
 package tctp
 
 import (
+	"context"
 	"io"
 
 	"tctp/internal/baseline"
@@ -30,6 +31,7 @@ import (
 	"tctp/internal/geom"
 	"tctp/internal/metrics"
 	"tctp/internal/patrol"
+	"tctp/internal/sweep"
 	"tctp/internal/viz"
 	"tctp/internal/walk"
 	"tctp/internal/wsn"
@@ -179,3 +181,39 @@ func ExperimentNames() []string { return experiment.Names() }
 func RunExperiment(name string, p ExperimentParams, w io.Writer) error {
 	return experiment.Run(name, p, w)
 }
+
+// Sweep-engine re-exports: declarative parameter grids executed by one
+// bounded worker pool with streaming aggregation (see internal/sweep).
+type (
+	// SweepSpec declares a parameter sweep: axes, metrics, protocol.
+	SweepSpec = sweep.Spec
+	// SweepPoint is one cell's parameter assignment.
+	SweepPoint = sweep.Point
+	// SweepVariant is one value of the algorithm axis.
+	SweepVariant = sweep.Variant
+	// SweepMetric is a named scalar extracted per replication.
+	SweepMetric = sweep.Metric
+	// SweepEnv is the per-replication context a metric function sees.
+	SweepEnv = sweep.Env
+	// SweepResult is a finished sweep: per-cell streaming aggregates.
+	SweepResult = sweep.Result
+	// SweepSink receives results as cells finish (CSV, JSONL, table).
+	SweepSink = sweep.Sink
+)
+
+// SweepAlgo wraps a fixed algorithm as a variant of the algorithm
+// axis.
+func SweepAlgo(name string, p Planner) SweepVariant {
+	return sweep.Algo(name, patrol.Planned(p))
+}
+
+// RunSweep executes the spec, streaming finished cells to the sinks in
+// declaration order; output is bit-identical for any worker count.
+func RunSweep(ctx context.Context, spec SweepSpec, sinks ...SweepSink) (*SweepResult, error) {
+	return sweep.Run(ctx, spec, sinks...)
+}
+
+// SweepCSV, SweepJSONL and SweepTable are the built-in sinks.
+func SweepCSV(w io.Writer) SweepSink   { return sweep.CSV(w) }
+func SweepJSONL(w io.Writer) SweepSink { return sweep.JSONL(w) }
+func SweepTable(w io.Writer) SweepSink { return sweep.TextTable(w) }

@@ -2,6 +2,7 @@ package tctp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,33 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("experiment produced no output")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	spec := SweepSpec{
+		Name:       "facade",
+		Algorithms: []SweepVariant{SweepAlgo("btctp", &BTCTP{})},
+		Targets:    []int{6},
+		Mules:      []int{2},
+		Horizons:   []float64{5_000},
+		Metrics: []SweepMetric{{Name: "sd", Fn: func(e SweepEnv) float64 {
+			return e.Result.Recorder.AvgSDAfter(e.Warm())
+		}}},
+		Seeds: 2,
+	}
+	var buf bytes.Buffer
+	res, err := RunSweep(context.Background(), spec, SweepCSV(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Runs != 2 {
+		t.Fatalf("cells=%d runs=%d", len(res.Cells), res.Runs)
+	}
+	if sd := res.Cells[0].Metric("sd"); sd.Mean > 1e-9 {
+		t.Fatalf("B-TCTP steady SD %v", sd.Mean)
+	}
+	if !strings.Contains(buf.String(), "btctp,6,2,") {
+		t.Fatalf("CSV sink output:\n%s", buf.String())
 	}
 }
