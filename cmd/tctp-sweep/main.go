@@ -1,15 +1,24 @@
 // Command tctp-sweep runs a declarative parameter sweep through the
 // internal/sweep engine: any subset of algorithms crossed with target
-// counts, fleet sizes, mule speeds and placements, every cell
-// replicated and aggregated with streaming statistics. It is a thin
-// Spec builder — the grid execution, parallelism, and output formats
-// all live in internal/sweep.
+// counts, fleet sizes (or named heterogeneous fleets), mule speeds,
+// placements and data workloads, every cell replicated and aggregated
+// with streaming statistics. It is a thin Spec builder — scenario
+// construction lives in internal/scenario, the grid execution,
+// parallelism, and output formats in internal/sweep.
 //
 // Usage:
 //
 //	tctp-sweep -alg btctp -targets 10,20,30 -mules 2,4,8 -seeds 10 > sweep.csv
 //	tctp-sweep -alg btctp,chb -speeds 1,2,4 -placements uniform,clusters -format json
-//	tctp-sweep -alg wtctp -format table -progress
+//	tctp-sweep -alg btctp -fleets "4x2;2x1+2x3" -workloads off,on -format table
+//	tctp-sweep -alg btctp -preset clustered -progress
+//
+// Placements are the values accepted by field.ParsePlacement: uniform
+// (the paper's §5.1 model), clusters (disconnected discs), grid
+// (deterministic lattice), corridor (narrow central band), hotspot
+// (one dense disc plus background). Fleets are "COUNTxSPEED[@BATTERY]"
+// groups joined by "+", and several fleets separated by ";" form the
+// fleet axis, replacing -mules and -speeds.
 //
 // Cells that cannot run (more mules than targets+1) are skipped and
 // reported on stderr.
@@ -28,19 +37,27 @@ import (
 	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
+	"tctp/internal/scenario"
 	"tctp/internal/sweep"
+	"tctp/internal/wsn"
 )
 
 func main() {
 	var (
 		algs       = flag.String("alg", "btctp", "comma-separated algorithms: btctp, wtctp, chb, sweep, random")
-		targets    = flag.String("targets", "10,20,30,40,50", "comma-separated target counts")
-		mules      = flag.String("mules", "2,4,6,8", "comma-separated fleet sizes")
-		speeds     = flag.String("speeds", "2", "comma-separated mule speeds (m/s)")
-		placements = flag.String("placements", "uniform", "comma-separated placements: uniform, clusters, grid")
+		targets    = flag.String("targets", "", "comma-separated target counts (default 10,20,30,40,50)")
+		mules      = flag.String("mules", "", "comma-separated fleet sizes (default 2,4,6,8)")
+		speeds     = flag.String("speeds", "", "comma-separated mule speeds in m/s (default 2)")
+		fleets     = flag.String("fleets", "", `semicolon-separated fleet specs, e.g. "4x2;2x1+2x3" (replaces -mules and -speeds; combining them is an error)`)
+		placements = flag.String("placements", "", "comma-separated placements: "+field.PlacementNames+" (default uniform)")
+		workloads  = flag.String("workloads", "", "comma-separated workload axis values: off, on (default off)")
+		wlGen      = flag.Float64("workload-gen", 60, "packet generation interval in seconds for -workloads on")
+		wlBuf      = flag.Int("workload-buffer", 50, "node buffer capacity in packets for -workloads on")
+		wlDeadline = flag.Float64("workload-deadline", 3600, "delivery deadline in seconds for -workloads on")
+		preset     = flag.String("preset", "", "scenario preset supplying field geometry and axis defaults: "+strings.Join(scenario.PresetNames(), ", "))
 		seeds      = flag.Int("seeds", 10, "replications per cell")
 		baseSeed   = flag.Uint64("base-seed", 0, "base replication seed")
-		horizon    = flag.Float64("horizon", 60_000, "simulated seconds")
+		horizon    = flag.Float64("horizon", 0, "simulated seconds (default 60000)")
 		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		format     = flag.String("format", "csv", "output format: csv, json, table")
 		progress   = flag.Bool("progress", false, "report progress on stderr")
@@ -49,7 +66,9 @@ func main() {
 
 	cfg := config{
 		Algs: *algs, Targets: *targets, Mules: *mules,
-		Speeds: *speeds, Placements: *placements,
+		Speeds: *speeds, Fleets: *fleets, Placements: *placements,
+		Workloads: *workloads, WorkloadGen: *wlGen, WorkloadBuf: *wlBuf,
+		WorkloadDeadline: *wlDeadline, Preset: *preset,
 		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
 		Workers: *workers, Format: *format, Progress: *progress,
 	}
@@ -60,15 +79,20 @@ func main() {
 }
 
 // config carries the parsed flags; run is kept free of globals so
-// tests can drive it.
+// tests can drive it. Empty axis strings (and a zero horizon) select
+// the defaults — or, with -preset, the preset's values.
 type config struct {
-	Algs, Targets, Mules, Speeds, Placements string
-	Seeds                                    int
-	BaseSeed                                 uint64
-	Horizon                                  float64
-	Workers                                  int
-	Format                                   string
-	Progress                                 bool
+	Algs, Targets, Mules, Speeds, Fleets, Placements, Workloads string
+	WorkloadGen                                                 float64
+	WorkloadBuf                                                 int
+	WorkloadDeadline                                            float64
+	Preset                                                      string
+	Seeds                                                       int
+	BaseSeed                                                    uint64
+	Horizon                                                     float64
+	Workers                                                     int
+	Format                                                      string
+	Progress                                                    bool
 }
 
 func parseInts(s string) ([]int, error) {
@@ -110,6 +134,40 @@ func parsePlacements(s string) ([]field.Placement, error) {
 	return out, nil
 }
 
+func parseFleets(s string) ([]scenario.Fleet, error) {
+	parts := strings.Split(s, ";")
+	out := make([]scenario.Fleet, 0, len(parts))
+	for _, p := range parts {
+		f, err := scenario.ParseFleet(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// parseWorkloads maps off/on axis values to workloads; "on" is the
+// packet workload parameterized by the -workload-* knobs.
+func parseWorkloads(cfg config) ([]scenario.Workload, error) {
+	var out []scenario.Workload
+	for _, p := range strings.Split(cfg.Workloads, ",") {
+		switch strings.TrimSpace(p) {
+		case "off":
+			out = append(out, scenario.Workload{})
+		case "on":
+			out = append(out, scenario.Workload{Name: "packets", Data: wsn.Config{
+				GenInterval: cfg.WorkloadGen,
+				BufferCap:   cfg.WorkloadBuf,
+				Deadline:    cfg.WorkloadDeadline,
+			}})
+		default:
+			return nil, fmt.Errorf("unknown workload %q (valid: off, on)", p)
+		}
+	}
+	return out, nil
+}
+
 func algorithm(name string) (patrol.Algorithm, error) {
 	switch name {
 	case "btctp":
@@ -127,9 +185,66 @@ func algorithm(name string) (patrol.Algorithm, error) {
 	}
 }
 
+// applyDefaults resolves empty axis flags against the built-in
+// defaults or, when -preset is given, the preset scenario's values.
+func applyDefaults(cfg config) (config, *scenario.Scenario, error) {
+	var ps *scenario.Scenario
+	if cfg.Preset != "" {
+		var err error
+		if ps, err = scenario.Preset(cfg.Preset); err != nil {
+			return cfg, nil, err
+		}
+	}
+	if cfg.Targets == "" {
+		cfg.Targets = "10,20,30,40,50"
+		if ps != nil {
+			cfg.Targets = strconv.Itoa(ps.Targets.Count)
+		}
+	}
+	if cfg.Mules == "" && cfg.Fleets == "" {
+		switch {
+		case ps == nil:
+			cfg.Mules = "2,4,6,8"
+		case ps.Fleet.CommonSpeed() > 0:
+			cfg.Mules = strconv.Itoa(ps.Fleet.Size())
+		default:
+			// A mixed-speed preset fleet cannot collapse to a size;
+			// buildSpec routes the whole fleet onto the Fleets axis.
+		}
+	}
+	if cfg.Speeds == "" && cfg.Fleets == "" {
+		cfg.Speeds = "2"
+		if ps != nil {
+			if sp := ps.Fleet.CommonSpeed(); sp > 0 {
+				cfg.Speeds = strconv.FormatFloat(sp, 'g', -1, 64)
+			}
+		}
+	}
+	if cfg.Placements == "" {
+		cfg.Placements = "uniform"
+		if ps != nil {
+			cfg.Placements = ps.Field.Placement.String()
+		}
+	}
+	if cfg.Workloads == "" {
+		cfg.Workloads = "off"
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 60_000
+		if ps != nil {
+			cfg.Horizon = ps.Horizon
+		}
+	}
+	return cfg, ps, nil
+}
+
 // buildSpec translates the CLI flags into a sweep.Spec.
 func buildSpec(cfg config) (sweep.Spec, error) {
 	var spec sweep.Spec
+	cfg, preset, err := applyDefaults(cfg)
+	if err != nil {
+		return spec, err
+	}
 	for _, name := range strings.Split(cfg.Algs, ",") {
 		name = strings.TrimSpace(name)
 		alg, err := algorithm(name)
@@ -138,17 +253,36 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 		}
 		spec.Algorithms = append(spec.Algorithms, sweep.Algo(name, alg))
 	}
-	var err error
 	if spec.Targets, err = parseInts(cfg.Targets); err != nil {
 		return spec, err
 	}
-	if spec.Mules, err = parseInts(cfg.Mules); err != nil {
-		return spec, err
-	}
-	if spec.Speeds, err = parseFloats(cfg.Speeds); err != nil {
-		return spec, err
+	switch {
+	case cfg.Fleets != "":
+		if cfg.Mules != "" || cfg.Speeds != "" {
+			return spec, fmt.Errorf("-fleets conflicts with -mules/-speeds: the fleet axis already fixes sizes and speeds")
+		}
+		if spec.Fleets, err = parseFleets(cfg.Fleets); err != nil {
+			return spec, err
+		}
+	case cfg.Mules == "" && preset != nil:
+		// Mixed-speed preset fleet: sweep it as a named fleet.
+		fleet := preset.Fleet
+		if fleet.Name == "" {
+			fleet.Name = preset.Name
+		}
+		spec.Fleets = []scenario.Fleet{fleet}
+	default:
+		if spec.Mules, err = parseInts(cfg.Mules); err != nil {
+			return spec, err
+		}
+		if spec.Speeds, err = parseFloats(cfg.Speeds); err != nil {
+			return spec, err
+		}
 	}
 	if spec.Placements, err = parsePlacements(cfg.Placements); err != nil {
+		return spec, err
+	}
+	if spec.Workloads, err = parseWorkloads(cfg); err != nil {
 		return spec, err
 	}
 	for _, nt := range spec.Targets {
@@ -177,8 +311,25 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 	spec.Seeds = cfg.Seeds
 	spec.BaseSeed = cfg.BaseSeed
 	spec.Workers = cfg.Workers
+	if preset != nil {
+		// The preset supplies the field geometry (dimensions, cluster
+		// parameters, recharge station); the axes keep the placement.
+		presetField := preset.Field
+		spec.Configure = func(p sweep.Point, sc *scenario.Scenario) {
+			placement := sc.Field.Placement
+			sc.Field = presetField
+			sc.Field.Placement = placement
+		}
+	}
 	spec.Metrics = []sweep.Metric{
 		sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval(), sweep.JoulesPerVisit(),
+	}
+	for _, w := range spec.Workloads {
+		if w.Enabled() {
+			spec.Metrics = append(spec.Metrics,
+				sweep.Delivered(), sweep.OnTimePct(), sweep.MeanLatency())
+			break
+		}
 	}
 	spec.Skip = func(p sweep.Point) string {
 		if p.Mules > p.Targets+1 {

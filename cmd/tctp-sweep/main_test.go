@@ -170,11 +170,112 @@ func TestBadFlags(t *testing.T) {
 		{Algs: "btctp", Targets: "0", Mules: "1", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
 		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "-1", Placements: "uniform", Seeds: 1, Horizon: 5_000, Format: "csv"},
 		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 0, Horizon: 5_000, Format: "csv"},
-		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: 0, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Seeds: 1, Horizon: -1, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Fleets: "2x", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Fleets: "2x2", Speeds: "1,2", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Fleets: "2x2", Mules: "2,4", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Workloads: "sometimes", Seeds: 1, Horizon: 5_000, Format: "csv"},
+		{Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform", Preset: "atlantis", Seeds: 1, Horizon: 5_000, Format: "csv"},
 	} {
 		if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 			t.Fatalf("config %+v accepted", cfg)
 		}
+	}
+}
+
+// TestScenarioAxesSweep is the acceptance sweep of the scenario
+// refactor: {placement: uniform, clusters} × {fleet: homogeneous,
+// mixed-speed} × {workload: off, on} through the real CLI path.
+func TestScenarioAxesSweep(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := config{
+		Algs:        "btctp",
+		Targets:     "8",
+		Fleets:      "2x2;1x1+1x3",
+		Placements:  "uniform,clusters",
+		Workloads:   "off,on",
+		WorkloadGen: 60, WorkloadBuf: 50, WorkloadDeadline: 3600,
+		Seeds: 2, Horizon: 8_000, Format: "csv",
+	}
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1+8 { // header + 2 fleets × 2 placements × 2 workloads
+		t.Fatalf("%d lines:\n%s", len(lines), out.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"fleet", "workload", "delivered", "on_time_pct"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header misses %q: %s", col, header)
+		}
+	}
+	// Mixed-speed cells carry the fleet name and a 0 speed; workload-on
+	// cells deliver packets.
+	if !strings.Contains(out.String(), "1x1+1x3") {
+		t.Fatalf("mixed fleet missing from output:\n%s", out.String())
+	}
+	for i, line := range lines[1:] {
+		rec := strings.Split(line, ",")
+		workload := rec[10]
+		delivered := rec[19]
+		if workload == "packets" && delivered == "0.000" {
+			t.Fatalf("row %d: workload-on cell delivered nothing: %s", i, line)
+		}
+		if workload == "" && delivered != "0.000" {
+			t.Fatalf("row %d: workload-off cell delivered %s", i, delivered)
+		}
+	}
+}
+
+// TestPresetDefaults: -preset fills the axis defaults (placement,
+// targets, mules, horizon) from the named scenario preset.
+func TestPresetDefaults(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := config{
+		Algs: "btctp", Preset: "clustered",
+		Targets: "6", // explicit flags still win
+		Seeds:   1, Format: "csv",
+	}
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines:\n%s", len(lines), out.String())
+	}
+	rec := strings.Split(lines[1], ",")
+	if rec[1] != "6" { // explicit -targets
+		t.Fatalf("targets = %s", rec[1])
+	}
+	if rec[2] != "4" { // preset fleet size
+		t.Fatalf("mules = %s", rec[2])
+	}
+	if rec[5] != "clusters" { // preset placement
+		t.Fatalf("placement = %s", rec[5])
+	}
+	if rec[6] != "100000" { // preset horizon
+		t.Fatalf("horizon = %s", rec[6])
+	}
+}
+
+func TestParseFleetsAndWorkloads(t *testing.T) {
+	fs, err := parseFleets("2x2; 1x1+1x3")
+	if err != nil || len(fs) != 2 || fs[1].Size() != 2 {
+		t.Fatalf("parseFleets = %v, %v", fs, err)
+	}
+	if _, err := parseFleets("2x2;;"); err == nil {
+		t.Fatal("empty fleet spec accepted")
+	}
+	ws, err := parseWorkloads(config{Workloads: "off,on", WorkloadGen: 30, WorkloadBuf: 5, WorkloadDeadline: 900})
+	if err != nil || len(ws) != 2 {
+		t.Fatalf("parseWorkloads = %v, %v", ws, err)
+	}
+	if ws[0].Enabled() || !ws[1].Enabled() {
+		t.Fatalf("workload enable flags wrong: %v", ws)
+	}
+	if ws[1].Data.GenInterval != 30 || ws[1].Data.BufferCap != 5 || ws[1].Data.Deadline != 900 {
+		t.Fatalf("workload knobs ignored: %+v", ws[1].Data)
 	}
 }
 

@@ -52,8 +52,8 @@ func ExampleWTCTP() {
 }
 
 // ExampleNewDataNetwork runs the data-collection overlay on top of a
-// patrol: every reading reaches the sink within the deadline under
-// B-TCTP on this workload.
+// patrol as a peer observer: every reading reaches the sink within
+// the deadline under B-TCTP on this workload.
 func ExampleNewDataNetwork() {
 	s := tctp.GenerateScenario(tctp.ScenarioConfig{
 		NumTargets: 10,
@@ -66,8 +66,8 @@ func ExampleNewDataNetwork() {
 		Deadline:    3600,
 	})
 	opts := tctp.Options{
-		Horizon: 60_000,
-		Hooks:   tctp.Hooks{OnVisit: nw.OnVisit, OnDeath: nw.OnDeath},
+		Horizon:   60_000,
+		Observers: []tctp.Observer{nw},
 	}
 	if _, err := tctp.Run(s, &tctp.BTCTP{}, opts, 1); err != nil {
 		fmt.Println("error:", err)
@@ -78,4 +78,30 @@ func ExampleNewDataNetwork() {
 	// Output:
 	// on-time fraction: 1.00
 	// overflowed: 0
+}
+
+// ExampleScenarioSpec builds a declarative scenario — clustered
+// placement, a mixed-speed fleet, a packet workload — and runs it end
+// to end with one call.
+func ExampleScenarioSpec() {
+	sc, err := tctp.NewScenario("demo").
+		Targets(10).
+		Mule(1.5, 0). // slow mule
+		Mule(3, 0).   // fast mule
+		Horizon(60_000).
+		Workload("packets", tctp.DataConfig{GenInterval: 60, BufferCap: 50, Deadline: 3600}).
+		Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := tctp.RunScenario(sc, &tctp.BTCTP{}, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fleet of %d, on-time fraction: %.2f\n",
+		len(res.Mules), res.Data[0].OnTimeFraction())
+	// Output:
+	// fleet of 2, on-time fraction: 1.00
 }

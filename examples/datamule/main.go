@@ -2,9 +2,10 @@
 // introduction motivates: sensor nodes at every target produce a
 // reading each minute into a bounded buffer; the mules pick readings
 // up as they patrol and hand everything to the sink when they pass it.
-// The example measures the actual delivery pipeline (latency against a
-// deadline, buffer overflows) under B-TCTP and under the Random
-// baseline on the same scenario.
+// The workload is declared on the scenario itself, so every run —
+// B-TCTP and the Random baseline alike — gets the delivery pipeline
+// (latency against a deadline, buffer overflows) attached as a peer
+// observer automatically.
 package main
 
 import (
@@ -17,41 +18,41 @@ import (
 )
 
 func main() {
-	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
-		NumTargets: 20,
-		NumMules:   4,
-		Placement:  tctp.Uniform,
-	}, 33)
-
-	cfg := tctp.DataConfig{
-		GenInterval: 60,   // one reading per node per minute
-		BufferCap:   40,   // node storage: 40 readings
-		Deadline:    2500, // the paper's "given time constraint"
+	sc, err := tctp.NewScenario("datamule").
+		Targets(20).
+		Fleet(4, 2).
+		Horizon(150_000).
+		Workload("packets", tctp.DataConfig{
+			GenInterval: 60,   // one reading per node per minute
+			BufferCap:   40,   // node storage: 40 readings
+			Deadline:    2500, // the paper's "given time constraint"
+		}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tdelivered\ton-time %\toverflowed\tmean latency (s)\tmax latency (s)")
 
-	runOne := func(name string, runner func(opts tctp.Options) (*tctp.Result, error)) {
-		nw := tctp.NewDataNetwork(scenario, cfg)
-		opts := tctp.Options{
-			Horizon: 150_000,
-			Hooks:   tctp.Hooks{OnVisit: nw.OnVisit, OnDeath: nw.OnDeath},
-		}
-		if _, err := runner(opts); err != nil {
-			log.Fatal(err)
-		}
+	report := func(name string, res *tctp.ScenarioResult) {
+		nw := res.Data[0] // the "packets" workload overlay
 		fmt.Fprintf(w, "%s\t%d\t%.1f\t%d\t%.0f\t%.0f\n",
 			name, nw.Delivered(), 100*nw.OnTimeFraction(), nw.Overflowed(),
 			nw.MeanLatency(), nw.MaxLatency())
 	}
 
-	runOne("B-TCTP", func(opts tctp.Options) (*tctp.Result, error) {
-		return tctp.Run(scenario, &tctp.BTCTP{}, opts, 1)
-	})
-	runOne("Random", func(opts tctp.Options) (*tctp.Result, error) {
-		return tctp.RunRandom(scenario, opts, 1)
-	})
+	btctp, err := tctp.RunScenario(sc, &tctp.BTCTP{}, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("B-TCTP", btctp)
+
+	random, err := tctp.RunScenarioRandom(sc, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Random", random)
 	w.Flush()
 
 	fmt.Println("\nB-TCTP's constant visiting interval bounds every reading's wait at")

@@ -1,9 +1,10 @@
 // Disconnected areas — the paper's motivating deployment: targets
 // clustered in several mutually unreachable regions, where static
 // sensor networks would need costly relay nodes but mobile data mules
-// simply drive between regions. The example compares all four
-// mechanisms (Random, Sweep, CHB, B-TCTP) on one clustered scenario —
-// the textual counterpart of the paper's Fig. 7 experiment.
+// simply drive between regions. The clustered layout is a single
+// builder call; the example compares all four mechanisms (Random,
+// Sweep, CHB, B-TCTP) on one clustered scenario — the textual
+// counterpart of the paper's Fig. 7 experiment.
 package main
 
 import (
@@ -16,23 +17,19 @@ import (
 )
 
 func main() {
-	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
-		NumTargets:    24,
-		NumMules:      4,
-		Placement:     tctp.Clusters,
-		NumClusters:   4,
-		ClusterRadius: 70,
-	}, 21)
-
-	fmt.Println("deployment: 24 targets in 4 disconnected clusters, 4 data mules")
-	fmt.Print(tctp.MapString(scenario, nil, 72, 26))
-	fmt.Println()
-
-	opts := tctp.Options{Horizon: 200_000}
+	sc, err := tctp.NewScenario("disconnected").
+		Targets(24).
+		Clusters(4, 70).
+		Fleet(4, 2).
+		Horizon(200_000).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type row struct {
 		name string
-		res  *tctp.Result
+		res  *tctp.ScenarioResult
 	}
 	var rows []row
 
@@ -41,17 +38,21 @@ func main() {
 		&tctp.CHB{},
 		&tctp.BTCTP{},
 	} {
-		res, err := tctp.Run(scenario, planner, opts, 1)
+		res, err := tctp.RunScenario(sc, planner, 21)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rows = append(rows, row{planner.Name(), res})
 	}
-	random, err := tctp.RunRandom(scenario, opts, 1)
+	random, err := tctp.RunScenarioRandom(sc, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
 	rows = append(rows, row{"Random", random})
+
+	fmt.Println("deployment: 24 targets in 4 disconnected clusters, 4 data mules")
+	fmt.Print(tctp.MapString(rows[0].res.Scenario, nil, 72, 26))
+	fmt.Println()
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tavg interval (s)\tavg SD (s)\tmax interval (s)")

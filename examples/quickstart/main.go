@@ -1,7 +1,8 @@
-// Quickstart: plan a B-TCTP patrol over 20 random targets with 4 data
-// mules, simulate it, and confirm the paper's headline property — once
-// the mules are equally spaced along the shared circuit, every target
-// is visited at a perfectly constant interval (SD ≈ 0).
+// Quickstart: declare the paper's §5.1 scenario with the scenario
+// builder, simulate a B-TCTP patrol on it, and confirm the paper's
+// headline property — once the mules are equally spaced along the
+// shared circuit, every target is visited at a perfectly constant
+// interval (SD ≈ 0).
 package main
 
 import (
@@ -13,26 +14,31 @@ import (
 
 func main() {
 	// An 800 m × 800 m field (the paper's §5.1 setup): 20 targets plus
-	// the sink at the centre, 4 mules at random initial positions.
-	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
-		NumTargets: 20,
-		NumMules:   4,
-		Placement:  tctp.Uniform,
-	}, 42)
-
-	// Plan with B-TCTP and simulate 50 000 s at the paper's 2 m/s.
-	res, err := tctp.Run(scenario, &tctp.BTCTP{}, tctp.Options{Horizon: 50_000}, 1)
+	// the sink at the centre, 4 mules at 2 m/s. The builder's defaults
+	// are exactly the paper's parameters; only the horizon is
+	// overridden here.
+	sc, err := tctp.NewScenario("quickstart").
+		Targets(20).
+		Fleet(4, 2).
+		Horizon(50_000).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Print(tctp.MapString(scenario, res.Plan, 72, 28))
+	// Materialize from seed 42 and simulate with B-TCTP in one call.
+	res, err := tctp.RunScenario(sc, &tctp.BTCTP{}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	pts := scenario.Points()
+	fmt.Print(tctp.MapString(res.Scenario, res.Plan, 72, 28))
+
+	pts := res.Scenario.Points()
 	fmt.Printf("patrolling circuit: %d targets, %.0f m\n",
 		res.Plan.Walk.Size(), res.Plan.Walk.Length(pts))
 	fmt.Printf("fleet: %d mules, synchronized patrol start at t=%.0f s\n",
-		scenario.NumMules(), res.PatrolStart)
+		len(res.Mules), res.PatrolStart)
 
 	// Steady-state metrics: skip the location-initialization
 	// transient.

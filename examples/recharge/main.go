@@ -1,8 +1,9 @@
 // Recharge-aware patrolling (paper §IV): with a finite battery, a
 // fleet that ignores the recharge station dies mid-patrol; RW-TCTP
 // computes the Equ. 4 round budget r and detours through the station
-// every r-th round, so the patrol runs forever. This example runs both
-// fleets side by side on the same scenario and battery.
+// every r-th round, so the patrol runs forever. The batteries are
+// per-mule scenario properties, and an energy audit observer watches
+// deaths and recharges as a peer of the metrics recorder.
 package main
 
 import (
@@ -13,55 +14,58 @@ import (
 )
 
 func main() {
-	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
-		NumTargets:   18,
-		NumMules:     2,
-		Placement:    tctp.Uniform,
-		WithRecharge: true,
-	}, 11)
+	const capacity = 120_000 // joules: a few patrol rounds per charge
+
+	// 18 targets, a recharge station, and two 2 m/s mules each
+	// carrying its own 120 kJ battery.
+	sc, err := tctp.NewScenario("recharge").
+		Targets(18).
+		Mule(2, capacity).
+		Mule(2, capacity).
+		Recharge().
+		Horizon(250_000).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	model := tctp.DefaultEnergy()
-	model.Capacity = 120_000 // joules: a few patrol rounds per charge
-
-	opts := tctp.Options{
-		Horizon:    250_000,
-		UseBattery: true,
-		Energy:     model,
-	}
+	model.Capacity = capacity
 
 	// Fleet 1: W-TCTP, no recharge planning.
-	plain, err := tctp.Run(scenario, &tctp.WTCTP{}, opts, 1)
+	plainAudit := tctp.NewEnergyAudit()
+	plain, err := tctp.RunScenario(sc, &tctp.WTCTP{}, 11, plainAudit)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Fleet 2: RW-TCTP with the same battery.
+	// Fleet 2: RW-TCTP with the same batteries.
 	rw := &tctp.RWTCTP{}
 	rw.Model = model
-	recharge, err := tctp.Run(scenario, rw, opts, 1)
+	rwAudit := tctp.NewEnergyAudit()
+	recharge, err := tctp.RunScenario(sc, rw, 11, rwAudit)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("battery: %.0f kJ, movement cost %.3f J/m\n",
+	fmt.Printf("battery: %.0f kJ per mule, movement cost %.3f J/m\n",
 		model.Capacity/1000, model.MoveCost)
 	fmt.Printf("RW-TCTP round budget (Equ. 4): patrol WPP %d× then WRP once\n\n",
 		recharge.Plan.Rounds)
 
-	report := func(name string, res *tctp.Result) {
+	report := func(name string, res *tctp.ScenarioResult, audit *tctp.EnergyAudit) {
 		fmt.Printf("%s:\n", name)
 		fmt.Printf("  visits: %d, dead mules: %d/%d\n",
-			res.TotalVisits(), res.DeadMules(), len(res.Mules))
-		recharges := 0
-		for _, m := range res.Mules {
-			recharges += m.Recharges
+			res.TotalVisits(), audit.Deaths(), len(res.Mules))
+		if first, ok := audit.FirstDeath(); ok {
+			fmt.Printf("  first death at t=%.0f s\n", first)
 		}
 		fmt.Printf("  recharges: %d, energy: %.0f kJ (%.1f J/visit)\n",
-			recharges, res.TotalEnergy()/1000, res.EnergyPerVisit())
+			audit.Recharges(), res.TotalEnergy()/1000, res.EnergyPerVisit())
 		fmt.Printf("  max visiting interval: %.0f s\n\n", res.Recorder.MaxInterval())
 	}
-	report("W-TCTP (no recharge)", plain)
-	report("RW-TCTP", recharge)
+	report("W-TCTP (no recharge)", plain, plainAudit)
+	report("RW-TCTP", recharge, rwAudit)
 
 	fmt.Println("expected: the plain fleet dies and stops collecting; RW-TCTP")
 	fmt.Println("keeps patrolling indefinitely at a small detour overhead.")

@@ -1,9 +1,10 @@
 // Weighted patrolling: three VIP targets of weight 3 must be visited
-// three times per path traversal (paper §III). The example builds the
-// Weighted Patrolling Path under both break-edge policies and shows
-// the paper's Fig. 9/10 trade-off: Shortest-Length yields a shorter
-// path (lower average interval) while Balancing-Length yields steadier
-// VIP intervals (lower SD).
+// three times per path traversal (paper §III). The VIP population is
+// part of the declarative scenario; the example builds the Weighted
+// Patrolling Path under both break-edge policies and shows the
+// paper's Fig. 9/10 trade-off: Shortest-Length yields a shorter path
+// (lower average interval) while Balancing-Length yields steadier VIP
+// intervals (lower SD).
 package main
 
 import (
@@ -14,28 +15,30 @@ import (
 )
 
 func main() {
-	scenario := tctp.GenerateScenario(tctp.ScenarioConfig{
-		NumTargets: 20,
-		NumMules:   1,
-		Placement:  tctp.Uniform,
-	}, 7)
-	// Upgrade 3 random targets to VIPs of weight 3. (AssignVIPs is
-	// seeded separately so the same targets are picked every run.)
-	scenario.AssignVIPs(tctp.NewRandSource(8), 3, 3)
+	sc, err := tctp.NewScenario("weighted").
+		Targets(20).
+		VIPs(3, 3). // three weight-3 VIPs, chosen by the scenario seed
+		Fleet(1, 2).
+		Horizon(150_000).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println("VIPs:", scenario.VIPs())
-
-	for _, policy := range []tctp.BreakPolicy{tctp.ShortestLength, tctp.BalancingLength} {
+	for i, policy := range []tctp.BreakPolicy{tctp.ShortestLength, tctp.BalancingLength} {
 		planner := &tctp.WTCTP{Policy: policy}
-		res, err := tctp.Run(scenario, planner, tctp.Options{Horizon: 150_000}, 1)
+		res, err := tctp.RunScenario(sc, planner, 7)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pts := scenario.Points()
+		if i == 0 {
+			fmt.Println("VIPs:", res.Scenario.VIPs())
+		}
+		pts := res.Scenario.Points()
 		warm := res.PatrolStart + 1
 		fmt.Printf("\n%s policy:\n", policy)
 		fmt.Printf("  WPP: %d stops, %.0f m\n", res.Plan.Walk.Size(), res.Plan.Walk.Length(pts))
-		for _, vip := range scenario.VIPs() {
+		for _, vip := range res.Scenario.VIPs() {
 			lens := res.Plan.Walk.CycleLengthsAt(pts, vip)
 			fmt.Printf("  VIP %d cycles (m): ", vip)
 			for _, l := range lens {

@@ -1,0 +1,48 @@
+package energy
+
+import "tctp/internal/geom"
+
+// Audit is an energy-accounting observer for simulation runs: it logs
+// battery deaths and recharge completions with their timestamps. It
+// implements the patrol.Observer interface structurally (this package
+// sits below patrol in the dependency order), so it composes with the
+// metrics recorder, the wsn overlay, and tracers as a peer observer.
+type Audit struct {
+	deaths    int
+	recharges int
+	// firstDeath is the earliest death time, or -1 while nothing died.
+	firstDeath float64
+}
+
+// NewAudit returns an empty audit.
+func NewAudit() *Audit { return &Audit{firstDeath: -1} }
+
+// OnVisit implements the observer interface; visits carry no energy
+// events (consumption is accounted by the mules themselves).
+func (a *Audit) OnVisit(int, int, float64) {}
+
+// OnDeath logs a battery death.
+func (a *Audit) OnDeath(_ int, t float64, _ geom.Point) {
+	a.deaths++
+	if a.firstDeath < 0 || t < a.firstDeath {
+		a.firstDeath = t
+	}
+}
+
+// OnRecharge logs a completed recharge stop.
+func (a *Audit) OnRecharge(int, float64) { a.recharges++ }
+
+// Deaths returns the number of battery deaths observed.
+func (a *Audit) Deaths() int { return a.deaths }
+
+// Recharges returns the number of recharge stops observed.
+func (a *Audit) Recharges() int { return a.recharges }
+
+// FirstDeath returns the earliest death time and true, or 0 and false
+// when the whole fleet survived.
+func (a *Audit) FirstDeath() (float64, bool) {
+	if a.firstDeath < 0 {
+		return 0, false
+	}
+	return a.firstDeath, true
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"tctp/internal/geom"
 )
 
 func TestDefaults(t *testing.T) {
@@ -182,5 +184,23 @@ func TestRoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAudit(t *testing.T) {
+	a := NewAudit()
+	if _, ok := a.FirstDeath(); ok {
+		t.Fatal("fresh audit reports a death")
+	}
+	a.OnVisit(0, 3, 10) // visits are not energy events
+	a.OnRecharge(0, 50)
+	a.OnDeath(1, 200, geom.Pt(1, 2))
+	a.OnDeath(0, 120, geom.Pt(3, 4))
+	a.OnRecharge(1, 300)
+	if a.Deaths() != 2 || a.Recharges() != 2 {
+		t.Fatalf("deaths=%d recharges=%d", a.Deaths(), a.Recharges())
+	}
+	if first, ok := a.FirstDeath(); !ok || first != 120 {
+		t.Fatalf("FirstDeath = %v, %v", first, ok)
 	}
 }

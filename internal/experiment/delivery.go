@@ -1,15 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
 	"tctp/internal/core"
-	"tctp/internal/field"
 	"tctp/internal/patrol"
-	"tctp/internal/stats"
+	"tctp/internal/scenario"
+	"tctp/internal/sweep"
 	"tctp/internal/wsn"
-	"tctp/internal/xrand"
 )
 
 // DeliveryConfig parameterizes E6 — the data-delivery study derived
@@ -57,75 +57,48 @@ type DeliveryResult struct {
 func (r *DeliveryResult) String() string { return r.Table.String() }
 
 // Delivery runs E6: end-to-end data delivery under each patrolling
-// mechanism. Expected shape: TCTP delivers the highest on-time
-// fraction with the lowest worst-case latency (bounded by its constant
-// visiting interval plus the ride to the sink); Random overflows
-// buffers and misses deadlines.
+// mechanism. The packet workload is a first-class sweep axis, so the
+// four algorithms × one workload run as cells of one ordinary sweep —
+// no bespoke replication loop. Expected shape: TCTP delivers the
+// highest on-time fraction with the lowest worst-case latency (bounded
+// by its constant visiting interval plus the ride to the sink); Random
+// overflows buffers and misses deadlines.
 func Delivery(p Params, cfg DeliveryConfig) (*DeliveryResult, error) {
 	cfg = cfg.withDefaults()
-	gen := func(src *xrand.Source) *field.Scenario {
-		return field.Generate(field.Config{
-			NumTargets: cfg.Targets,
-			NumMules:   cfg.Mules,
-			Placement:  field.Uniform,
-		}, src)
+	spec := p.spec("delivery")
+	spec.Algorithms = []sweep.Variant{
+		sweep.Algo("Random", patrol.Online(&baseline.Random{})),
+		sweep.Algo("Sweep", patrol.Planned(&baseline.Sweep{})),
+		sweep.Algo("CHB", patrol.Planned(&baseline.CHB{})),
+		sweep.Algo("TCTP", patrol.Planned(&core.BTCTP{})),
+	}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = []int{cfg.Mules}
+	spec.Horizons = []float64{cfg.Horizon}
+	spec.Workloads = []scenario.Workload{{Name: "packets", Data: wsn.Config{
+		GenInterval: cfg.GenInterval,
+		BufferCap:   cfg.BufferCap,
+		Deadline:    cfg.Deadline,
+	}}}
+	spec.Metrics = []sweep.Metric{
+		sweep.Delivered(), sweep.OnTimePct(), sweep.Overflowed(),
+		sweep.MeanLatency(), sweep.MaxLatency(),
 	}
 
-	algs := []struct {
-		name string
-		alg  patrol.Algorithm
-	}{
-		{"Random", patrol.Online(&baseline.Random{})},
-		{"Sweep", patrol.Planned(&baseline.Sweep{})},
-		{"CHB", patrol.Planned(&baseline.CHB{})},
-		{"TCTP", patrol.Planned(&core.BTCTP{})},
-	}
-
-	type row struct {
-		delivered, onTime, overflow, meanLat, maxLat float64
+	res, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: %w", err)
 	}
 	table := NewTable(
 		fmt.Sprintf("E6 — data delivery (deadline %.0f s, buffer %d)", cfg.Deadline, cfg.BufferCap),
 		"algorithm", "delivered", "on-time %", "overflowed", "mean latency (s)", "max latency (s)")
-	for _, a := range algs {
-		a := a
-		runs, err := replicate(p, func(seed uint64) (row, error) {
-			scn := gen(scenarioSeed(seed))
-			nw := wsn.New(scn, wsn.Config{
-				GenInterval: cfg.GenInterval,
-				BufferCap:   cfg.BufferCap,
-				Deadline:    cfg.Deadline,
-			})
-			opts := patrol.Options{
-				Horizon: cfg.Horizon,
-				Hooks: patrol.Hooks{
-					OnVisit: nw.OnVisit,
-					OnDeath: nw.OnDeath,
-				},
-			}
-			if _, err := patrol.Run(scn, a.alg, opts, algorithmSeed(seed)); err != nil {
-				return row{}, err
-			}
-			return row{
-				delivered: float64(nw.Delivered()),
-				onTime:    100 * nw.OnTimeFraction(),
-				overflow:  float64(nw.Overflowed()),
-				meanLat:   nw.MeanLatency(),
-				maxLat:    nw.MaxLatency(),
-			}, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("delivery %s: %w", a.name, err)
-		}
-		var d, ot, ov, ml, mx stats.Accumulator
-		for _, r := range runs {
-			d.Add(r.delivered)
-			ot.Add(r.onTime)
-			ov.Add(r.overflow)
-			ml.Add(r.meanLat)
-			mx.Add(r.maxLat)
-		}
-		table.AddF(a.name, d.Mean(), ot.Mean(), ov.Mean(), ml.Mean(), mx.Mean())
+	for _, c := range res.Cells {
+		table.AddF(c.Point.Algorithm,
+			c.Metric("delivered").Mean,
+			c.Metric("on_time_pct").Mean,
+			c.Metric("overflowed").Mean,
+			c.Metric("mean_latency_s").Mean,
+			c.Metric("max_latency_s").Mean)
 	}
 	return &DeliveryResult{Table: table}, nil
 }

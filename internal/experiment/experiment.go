@@ -10,14 +10,9 @@
 package experiment
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
-	"tctp/internal/field"
-	"tctp/internal/patrol"
 	"tctp/internal/sweep"
-	"tctp/internal/xrand"
 )
 
 // Params are the protocol-level knobs shared by all experiments.
@@ -59,62 +54,3 @@ func (p Params) withDefaults() Params {
 // Quick returns a protocol suitable for smoke tests and benchmarks:
 // fewer replications, same machinery.
 func Quick() Params { return Params{Seeds: 3} }
-
-// replicate runs fn once per replication seed, in parallel, and
-// returns the results in seed order. The per-replication seed is
-// BaseSeed + index; fn must derive all randomness from it. The first
-// error (in seed order) aborts the batch. It survives for experiments
-// whose per-replication shape does not fit a sweep cell (the wsn
-// delivery overlay); everything grid-shaped goes through
-// internal/sweep instead.
-func replicate[T any](p Params, fn func(seed uint64) (T, error)) ([]T, error) {
-	p = p.withDefaults()
-	results := make([]T, p.Seeds)
-	errs := make([]error, p.Seeds)
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := p.Workers
-	if workers > p.Seeds {
-		workers = p.Seeds
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx], errs[idx] = fn(p.BaseSeed + uint64(idx))
-			}
-		}()
-	}
-	for i := 0; i < p.Seeds; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: replication %d: %w", i, err)
-		}
-	}
-	return results, nil
-}
-
-// scenarioSeed derives the scenario-generation seed for a replication.
-// The derivation is the engine-wide contract owned by internal/sweep:
-// scenario and algorithm randomness are independent streams of the
-// same replication seed.
-func scenarioSeed(seed uint64) *xrand.Source { return sweep.ScenarioSource(seed) }
-
-// algorithmSeed derives the algorithm-randomness seed (Random
-// baseline picks, k-means seeding) for a replication.
-func algorithmSeed(seed uint64) *xrand.Source { return sweep.AlgorithmSource(seed) }
-
-// runOn generates a scenario with gen, runs alg on it, and returns the
-// result; shared shape of almost every replication body.
-func runOn(seed uint64, gen func(src *xrand.Source) *field.Scenario,
-	alg patrol.Algorithm, opts patrol.Options) (*patrol.Result, error) {
-	s := gen(scenarioSeed(seed))
-	return patrol.Run(s, alg, opts, algorithmSeed(seed))
-}

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"bytes"
-	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,57 +12,6 @@ import (
 // quick2 is a 2-replication protocol that keeps experiment tests fast
 // while still exercising aggregation across runs.
 func quick2() Params { return Params{Seeds: 2} }
-
-func TestReplicateOrderAndParallelism(t *testing.T) {
-	p := Params{Seeds: 16, Workers: 4}
-	got, err := replicate(p, func(seed uint64) (uint64, error) { return seed * 2, nil })
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, v := range got {
-		if v != uint64(i)*2 {
-			t.Fatalf("result %d = %d, want %d (seed order broken)", i, v, i*2)
-		}
-	}
-}
-
-func TestReplicateIndependentOfWorkerCount(t *testing.T) {
-	fn := func(seed uint64) (uint64, error) { return seed * seed, nil }
-	a, err := replicate(Params{Seeds: 9, Workers: 1}, fn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := replicate(Params{Seeds: 9, Workers: 8}, fn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("results depend on worker count")
-		}
-	}
-}
-
-func TestReplicateError(t *testing.T) {
-	sentinel := errors.New("boom")
-	_, err := replicate(Params{Seeds: 5}, func(seed uint64) (int, error) {
-		if seed == 3 {
-			return 0, sentinel
-		}
-		return 1, nil
-	})
-	if err == nil || !errors.Is(err, sentinel) {
-		t.Fatalf("err = %v", err)
-	}
-}
-
-func TestReplicateBaseSeed(t *testing.T) {
-	a, _ := replicate(Params{Seeds: 3, BaseSeed: 0}, func(s uint64) (uint64, error) { return s, nil })
-	b, _ := replicate(Params{Seeds: 3, BaseSeed: 100}, func(s uint64) (uint64, error) { return s, nil })
-	if a[0] != 0 || b[0] != 100 {
-		t.Fatalf("base seed ignored: %v %v", a, b)
-	}
-}
 
 func TestFig7ShapesHold(t *testing.T) {
 	cfg := Fig7Config{Targets: 12, Mules: 3, MaxVisits: 10, Horizon: 150_000}

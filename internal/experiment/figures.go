@@ -9,6 +9,7 @@ import (
 	"tctp/internal/energy"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
+	"tctp/internal/scenario"
 	"tctp/internal/stats"
 	"tctp/internal/sweep"
 )
@@ -323,7 +324,7 @@ func Energy(p Params, cfg EnergyConfig) (*EnergyResult, error) {
 	spec.VIPWeights = []int{cfg.Weight}
 	spec.Horizons = []float64{cfg.Horizon}
 	spec.Battery = []bool{true}
-	spec.Configure = func(_ sweep.Point, fc *field.Config) { fc.WithRecharge = true }
+	spec.Configure = func(_ sweep.Point, sc *scenario.Scenario) { sc.Field.Recharge = true }
 	spec.Options = func(_ sweep.Point, o *patrol.Options) { o.Energy = model }
 	spec.Metrics = []sweep.Metric{
 		sweep.TotalVisits(), sweep.JoulesPerVisit(), sweep.DeadMules(),

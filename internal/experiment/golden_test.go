@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden fixtures")
+
+// goldenParams is the fixed protocol pinned by the fixtures: small
+// enough to run in seconds, large enough to exercise aggregation
+// across replications.
+func goldenParams() Params { return Params{Seeds: 2} }
+
+// checkGolden compares got against testdata/<name>.golden byte for
+// byte, rewriting the fixture under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output diverged from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenFig7 pins the paper-protocol Fig. 7 output byte for byte:
+// any change to scenario generation, seed derivation, simulation
+// order, aggregation, or rendering shows up as a fixture diff.
+// Regenerate deliberately with -update.
+func TestGoldenFig7(t *testing.T) {
+	r, err := Fig7(goldenParams(), Fig7Config{
+		Targets: 12, Mules: 3, MaxVisits: 10, Horizon: 150_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7", []byte(r.String()))
+}
+
+// TestGoldenFig8 pins the Fig. 8 SD surfaces.
+func TestGoldenFig8(t *testing.T) {
+	r, err := Fig8(goldenParams(), Fig8Config{
+		Targets: []int{10, 20}, Mules: []int{2, 4}, Horizon: 40_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8", []byte(r.String()))
+}
+
+// TestGoldenWTCTP pins the Fig. 9/10 W-TCTP policy surfaces.
+func TestGoldenWTCTP(t *testing.T) {
+	r, err := WTCTPPolicies(goldenParams(), WTCTPConfig{
+		Targets: 12, Mules: 1,
+		VIPs: []int{1, 3}, Weights: []int{2, 4},
+		Horizon: 80_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "wtctp", []byte(r.Fig9String()+"\n"+r.Fig10String()))
+}

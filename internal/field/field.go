@@ -140,6 +140,15 @@ const (
 	// Grid lays targets on a regular lattice; deterministic, used by
 	// tests and examples.
 	Grid
+	// Corridor scatters targets inside a narrow horizontal band across
+	// the field centre — the elongated deployments (roads, pipelines,
+	// borders) that stretch a patrolling circuit into a line.
+	Corridor
+	// Hotspot concentrates most targets in one dense disc with the
+	// remainder scattered uniformly — the clustered/hotspot layouts of
+	// facility-location mule coordination (Hermelin et al.,
+	// arXiv:1702.04142).
+	Hotspot
 )
 
 // String implements fmt.Stringer.
@@ -151,6 +160,10 @@ func (p Placement) String() string {
 		return "clusters"
 	case Grid:
 		return "grid"
+	case Corridor:
+		return "corridor"
+	case Hotspot:
+		return "hotspot"
 	default:
 		return fmt.Sprintf("placement(%d)", int(p))
 	}
@@ -165,10 +178,18 @@ func ParsePlacement(s string) (Placement, error) {
 		return Clusters, nil
 	case "grid":
 		return Grid, nil
+	case "corridor":
+		return Corridor, nil
+	case "hotspot":
+		return Hotspot, nil
 	default:
-		return 0, fmt.Errorf("field: unknown placement %q (valid: uniform, clusters, grid)", s)
+		return 0, fmt.Errorf("field: unknown placement %q (valid: %s)", s, PlacementNames)
 	}
 }
+
+// PlacementNames lists the accepted ParsePlacement values, for help
+// text and error messages.
+const PlacementNames = "uniform, clusters, grid, corridor, hotspot"
 
 // MarshalJSON encodes the placement by name.
 func (p Placement) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
@@ -252,6 +273,10 @@ func Generate(cfg Config, src *xrand.Source) *Scenario {
 		positions = clusterPositions(cfg, src)
 	case Grid:
 		positions = gridPositions(cfg)
+	case Corridor:
+		positions = corridorPositions(cfg, src)
+	case Hotspot:
+		positions = hotspotPositions(cfg, src)
 	default:
 		panic(fmt.Sprintf("field: unknown placement %v", cfg.Placement))
 	}
@@ -335,6 +360,50 @@ func gridPositions(cfg Config) []geom.Point {
 			x := cfg.Width * (float64(c) + 0.5) / float64(cols)
 			y := cfg.Height * (float64(r) + 0.5) / float64(rows)
 			out = append(out, geom.Pt(x, y))
+		}
+	}
+	return out
+}
+
+// corridorPositions scatters targets uniformly inside a horizontal
+// band one sixth of the field tall, centred vertically.
+func corridorPositions(cfg Config, src *xrand.Source) []geom.Point {
+	half := cfg.Height / 12
+	out := make([]geom.Point, cfg.NumTargets)
+	for i := range out {
+		out[i] = geom.Pt(
+			src.Range(0, cfg.Width),
+			src.Range(cfg.Height/2-half, cfg.Height/2+half),
+		)
+	}
+	return out
+}
+
+// hotspotPositions places 70% of the targets inside a dense disc in
+// the upper-right quadrant and the rest uniformly over the field.
+func hotspotPositions(cfg Config, src *xrand.Source) []geom.Point {
+	centre := geom.Pt(0.75*cfg.Width, 0.75*cfg.Height)
+	radius := cfg.Width / 10
+	if r := cfg.Height / 10; r < radius {
+		radius = r
+	}
+	hot := (cfg.NumTargets*7 + 9) / 10
+	out := make([]geom.Point, cfg.NumTargets)
+	for i := range out {
+		if i < hot {
+			// Rejection-sample a point inside the hotspot disc.
+			for {
+				p := geom.Pt(
+					src.Range(centre.X-radius, centre.X+radius),
+					src.Range(centre.Y-radius, centre.Y+radius),
+				)
+				if p.Dist(centre) <= radius {
+					out[i] = p
+					break
+				}
+			}
+		} else {
+			out[i] = geom.Pt(src.Range(0, cfg.Width), src.Range(0, cfg.Height))
 		}
 	}
 	return out

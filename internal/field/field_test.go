@@ -310,10 +310,58 @@ func TestClone(t *testing.T) {
 }
 
 func TestPlacementString(t *testing.T) {
-	for _, p := range []Placement{Uniform, Clusters, Grid, Placement(9)} {
+	for _, p := range []Placement{Uniform, Clusters, Grid, Corridor, Hotspot, Placement(9)} {
 		if p.String() == "" {
 			t.Fatal("empty placement name")
 		}
+	}
+	// ParsePlacement inverts String for every real placement.
+	for _, p := range []Placement{Uniform, Clusters, Grid, Corridor, Hotspot} {
+		got, err := ParsePlacement(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+}
+
+func TestGenerateCorridor(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Placement = Corridor
+	s := Generate(cfg, xrand.New(5))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every non-sink target sits inside the central band.
+	half := cfg.Height / 12
+	if cfg.Height == 0 {
+		half = 800.0 / 12
+	}
+	mid := 400.0
+	for _, tg := range s.Targets[1:] {
+		if tg.Pos.Y < mid-half-1e-9 || tg.Pos.Y > mid+half+1e-9 {
+			t.Fatalf("target %d at y=%v outside corridor band", tg.ID, tg.Pos.Y)
+		}
+	}
+}
+
+func TestGenerateHotspot(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Placement = Hotspot
+	cfg.NumTargets = 30
+	s := Generate(cfg, xrand.New(5))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At least 70% of the targets lie inside the hotspot disc.
+	centre := geom.Pt(600, 600)
+	inside := 0
+	for _, tg := range s.Targets[1:] {
+		if tg.Pos.Dist(centre) <= 80+1e-9 {
+			inside++
+		}
+	}
+	if inside < 21 {
+		t.Fatalf("only %d/30 targets in the hotspot", inside)
 	}
 }
 

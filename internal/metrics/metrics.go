@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tctp/internal/geom"
 	"tctp/internal/stats"
 )
 
@@ -46,6 +47,14 @@ func (r *Recorder) OnVisit(_, target int, t float64) {
 	}
 	r.visits[target] = append(r.visits[target], t)
 }
+
+// OnDeath completes the patrol.Observer interface; battery deaths do
+// not affect interval metrics.
+func (r *Recorder) OnDeath(int, float64, geom.Point) {}
+
+// OnRecharge completes the patrol.Observer interface; recharge stops
+// do not affect interval metrics.
+func (r *Recorder) OnRecharge(int, float64) {}
 
 // VisitTimes returns the visit timestamps of target in order.
 func (r *Recorder) VisitTimes(target int) []float64 {

@@ -11,18 +11,31 @@ import (
 	"tctp/internal/core"
 	"tctp/internal/energy"
 	"tctp/internal/field"
-	"tctp/internal/geom"
 	"tctp/internal/metrics"
 	"tctp/internal/mule"
 	"tctp/internal/sim"
 	"tctp/internal/xrand"
 )
 
+// FleetMember overrides one mule's parameters, enabling heterogeneous
+// fleets. The zero value inherits the run-level defaults.
+type FleetMember struct {
+	// Speed is this mule's velocity in m/s; 0 inherits Options.Speed.
+	Speed float64
+	// Battery is this mule's battery capacity in joules; > 0 gives the
+	// mule its own battery regardless of Options.UseBattery, 0 falls
+	// back to the run-level battery policy.
+	Battery float64
+}
+
 // Options configures a simulation run. The zero value selects the
 // paper's §5.1 parameters.
 type Options struct {
 	// Speed is the mule velocity in m/s (default 2, per §5.1).
 	Speed float64
+	// Fleet optionally overrides per-mule speed and battery; when
+	// non-nil its length must equal the scenario's fleet size.
+	Fleet []FleetMember
 	// Energy is the energy model (default energy.Default()).
 	Energy energy.Model
 	// UseBattery enables the battery constraint; when false mules
@@ -39,18 +52,11 @@ type Options struct {
 	// mule. Synchronized start (the default) is what makes B-TCTP's
 	// equal spacing exact; disabling it is the A3-adjacent ablation.
 	NoSynchronizedStart bool
-	// Hooks receive simulation events in addition to the built-in
-	// metrics recorder — e.g. the wsn data-collection overlay or a
-	// trace.Tracer.
-	Hooks Hooks
-}
-
-// Hooks are optional event observers; any field may be nil. They are
-// invoked after the built-in bookkeeping for the same event.
-type Hooks struct {
-	OnVisit    func(muleID, targetID int, t float64)
-	OnDeath    func(muleID int, t float64, pos geom.Point)
-	OnRecharge func(muleID int, t float64)
+	// Observers receive simulation events in addition to the built-in
+	// metrics recorder — e.g. the wsn data-collection overlay, an
+	// energy.Audit, or a trace.Tracer. They are invoked after the
+	// built-in bookkeeping for the same event, in slice order.
+	Observers []Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +73,29 @@ func (o Options) withDefaults() Options {
 		o.MaxEvents = 5_000_000
 	}
 	return o
+}
+
+// muleSpeed returns the effective speed of mule i.
+func (o Options) muleSpeed(i int) float64 {
+	if i < len(o.Fleet) && o.Fleet[i].Speed > 0 {
+		return o.Fleet[i].Speed
+	}
+	return o.Speed
+}
+
+// slowestSpeed returns the minimum effective speed across an n-mule
+// fleet — the speed that bounds the synchronized patrol start.
+func (o Options) slowestSpeed(n int) float64 {
+	min := 0.0
+	for i := 0; i < n; i++ {
+		if s := o.muleSpeed(i); min == 0 || s < min {
+			min = s
+		}
+	}
+	if min == 0 {
+		min = o.Speed
+	}
+	return min
 }
 
 // MuleStats summarizes one mule's run.
@@ -160,7 +189,11 @@ func (a plannedAlg) prepare(s *field.Scenario, opts Options, _ *xrand.Source) ([
 	}
 	hold := 0.0
 	if !opts.NoSynchronizedStart {
-		hold = plan.MaxApproach / opts.Speed
+		// The slowest mule travelling the longest approach bounds every
+		// arrival, so holding until then starts the fleet together even
+		// when speeds differ. For a homogeneous fleet this is exactly
+		// MaxApproach / Speed.
+		hold = plan.MaxApproach / opts.slowestSpeed(s.NumMules())
 	}
 	routers := make([]mule.Router, len(plan.Routes))
 	for i := range plan.Routes {
@@ -231,6 +264,10 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.Fleet != nil && len(opts.Fleet) != s.NumMules() {
+		return nil, fmt.Errorf("patrol: options carry %d fleet members for %d mules",
+			len(opts.Fleet), s.NumMules())
+	}
 	if src == nil {
 		src = xrand.New(0)
 	}
@@ -246,29 +283,30 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 
 	eng := sim.New()
 	rec := metrics.NewRecorder(s.NumTargets())
+	// The recorder is the first observer; user observers follow in
+	// registration order, all peers of one dispatch.
+	dispatch := make(multiObserver, 0, 1+len(opts.Observers))
+	dispatch = append(dispatch, rec)
+	dispatch = append(dispatch, opts.Observers...)
 	mules := make([]*mule.Mule, s.NumMules())
 	for i := range mules {
 		var battery *energy.Battery
-		if opts.UseBattery {
+		switch {
+		case i < len(opts.Fleet) && opts.Fleet[i].Battery > 0:
+			battery = energy.NewBattery(opts.Fleet[i].Battery)
+		case opts.UseBattery:
 			battery = energy.NewBattery(opts.Energy.Capacity)
-		}
-		onVisit := rec.OnVisit
-		if hook := opts.Hooks.OnVisit; hook != nil {
-			onVisit = func(muleID, targetID int, t float64) {
-				rec.OnVisit(muleID, targetID, t)
-				hook(muleID, targetID, t)
-			}
 		}
 		mules[i] = mule.New(eng, mule.Config{
 			ID:         i,
 			Start:      s.MuleStarts[i],
-			Speed:      opts.Speed,
+			Speed:      opts.muleSpeed(i),
 			Energy:     opts.Energy,
 			Battery:    battery,
 			Router:     routers[i],
-			OnVisit:    onVisit,
-			OnDeath:    opts.Hooks.OnDeath,
-			OnRecharge: opts.Hooks.OnRecharge,
+			OnVisit:    dispatch.OnVisit,
+			OnDeath:    dispatch.OnDeath,
+			OnRecharge: dispatch.OnRecharge,
 		})
 		mules[i].Launch()
 	}
@@ -295,7 +333,7 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 		Plan:      plan,
 	}
 	if plan != nil && !opts.NoSynchronizedStart {
-		res.PatrolStart = plan.MaxApproach / opts.Speed
+		res.PatrolStart = plan.MaxApproach / opts.slowestSpeed(s.NumMules())
 	}
 	for i, m := range mules {
 		res.Mules[i] = MuleStats{

@@ -290,7 +290,7 @@ func TestMaxEventsGuard(t *testing.T) {
 	}
 }
 
-func TestHooksAreInvoked(t *testing.T) {
+func TestObserversAreInvoked(t *testing.T) {
 	s := field.Generate(field.Config{
 		NumTargets: 10, NumMules: 2, Placement: field.Uniform, WithRecharge: true,
 	}, xrand.New(40))
@@ -302,11 +302,11 @@ func TestHooksAreInvoked(t *testing.T) {
 	visits, deaths, recharges := 0, 0, 0
 	opts := Options{
 		Horizon: 120_000, UseBattery: true, Energy: model,
-		Hooks: Hooks{
-			OnVisit:    func(_, _ int, _ float64) { visits++ },
-			OnDeath:    func(_ int, _ float64, _ geom.Point) { deaths++ },
-			OnRecharge: func(_ int, _ float64) { recharges++ },
-		},
+		Observers: []Observer{ObserverFuncs{
+			Visit:    func(_, _ int, _ float64) { visits++ },
+			Death:    func(_ int, _ float64, _ geom.Point) { deaths++ },
+			Recharge: func(_ int, _ float64) { recharges++ },
+		}},
 	}
 	res := run(t, s, Planned(rw), opts, 1)
 	if visits != res.TotalVisits() {
@@ -320,6 +320,78 @@ func TestHooksAreInvoked(t *testing.T) {
 	}
 }
 
+func TestMultiObserverDispatch(t *testing.T) {
+	// Several peer observers all see every event, in registration
+	// order, after the built-in recorder.
+	s := scenario(44, 8, 2)
+	var order []string
+	mk := func(name string) Observer {
+		return ObserverFuncs{Visit: func(_, _ int, _ float64) {
+			order = append(order, name)
+		}}
+	}
+	res := run(t, s, Planned(&core.BTCTP{}), Options{
+		Horizon:   10_000,
+		Observers: []Observer{mk("a"), mk("b")},
+	}, 1)
+	if len(order) != 2*res.TotalVisits() {
+		t.Fatalf("observers saw %d events for %d visits", len(order), res.TotalVisits())
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "b" {
+			t.Fatalf("dispatch order broken at %d: %v", i, order[i:i+2])
+		}
+	}
+}
+
+func TestHeterogeneousFleetSpeeds(t *testing.T) {
+	// A two-speed fleet: each mule travels at its own speed, and the
+	// synchronized start is bounded by the slowest mule.
+	s := scenario(45, 10, 2)
+	res := run(t, s, Planned(&core.BTCTP{}), Options{
+		Speed:   2,
+		Fleet:   []FleetMember{{Speed: 1}, {Speed: 4}},
+		Horizon: 40_000,
+	}, 1)
+	if res.Mules[1].Distance <= res.Mules[0].Distance {
+		t.Fatalf("fast mule travelled %.0f m, slow mule %.0f m",
+			res.Mules[1].Distance, res.Mules[0].Distance)
+	}
+	// PatrolStart uses the slowest effective speed (1 m/s), so it is
+	// twice the homogeneous 2 m/s start.
+	homog := run(t, s, Planned(&core.BTCTP{}), Options{Speed: 2, Horizon: 40_000}, 1)
+	if res.PatrolStart <= homog.PatrolStart {
+		t.Fatalf("mixed-fleet patrol start %.1f not delayed past homogeneous %.1f",
+			res.PatrolStart, homog.PatrolStart)
+	}
+}
+
+func TestPerMuleBattery(t *testing.T) {
+	// One mule with a tiny battery dies; its unconstrained partner
+	// patrols forever.
+	s := scenario(46, 10, 2)
+	res := run(t, s, Planned(&core.BTCTP{}), Options{
+		Fleet:   []FleetMember{{Battery: 3_000}, {}},
+		Horizon: 60_000,
+	}, 1)
+	if !res.Mules[0].Dead {
+		t.Fatal("tiny-battery mule survived")
+	}
+	if res.Mules[1].Dead {
+		t.Fatal("unconstrained mule died")
+	}
+}
+
+func TestFleetSizeMismatchRejected(t *testing.T) {
+	s := scenario(47, 8, 2)
+	_, err := Run(s, Planned(&core.BTCTP{}), Options{
+		Fleet: []FleetMember{{Speed: 1}},
+	}, nil)
+	if err == nil {
+		t.Fatal("fleet/mule count mismatch accepted")
+	}
+}
+
 func TestDeathHookFailureInjection(t *testing.T) {
 	// Failure injection: a battery too small for even one circuit
 	// kills the whole fleet; the hook must observe every death and
@@ -330,9 +402,9 @@ func TestDeathHookFailureInjection(t *testing.T) {
 	var deathTimes []float64
 	opts := Options{
 		Horizon: 50_000, UseBattery: true, Energy: model,
-		Hooks: Hooks{
-			OnDeath: func(_ int, tm float64, _ geom.Point) { deathTimes = append(deathTimes, tm) },
-		},
+		Observers: []Observer{ObserverFuncs{
+			Death: func(_ int, tm float64, _ geom.Point) { deathTimes = append(deathTimes, tm) },
+		}},
 	}
 	res := run(t, s, Planned(&core.BTCTP{}), opts, 1)
 	if res.DeadMules() != 3 {
@@ -394,12 +466,8 @@ func TestTracerIntegration(t *testing.T) {
 	s := scenario(43, 8, 2)
 	tr := trace.New(0)
 	opts := Options{
-		Horizon: 20_000,
-		Hooks: Hooks{
-			OnVisit:    tr.OnVisit,
-			OnDeath:    tr.OnDeath,
-			OnRecharge: tr.OnRecharge,
-		},
+		Horizon:   20_000,
+		Observers: []Observer{tr},
 	}
 	res := run(t, s, Planned(&core.BTCTP{}), opts, 1)
 	if tr.Len() != res.TotalVisits() {

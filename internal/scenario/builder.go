@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tctp/internal/field"
+	"tctp/internal/wsn"
+)
+
+// Builder assembles a Scenario fluently. The zero configuration is
+// the paper's §5.1 world: an 800 m × 800 m field with 20 uniformly
+// placed targets, 4 mules at 2 m/s, a 100 000 s horizon and no
+// workloads. Errors are deferred to Build, so call chains stay flat.
+type Builder struct {
+	s Scenario
+}
+
+// New starts a builder for a named scenario.
+func New(name string) *Builder {
+	return &Builder{s: Scenario{
+		Name:    name,
+		Field:   Field{Width: 800, Height: 800, Placement: field.Uniform},
+		Targets: Targets{Count: 20},
+		Horizon: 100_000,
+	}}
+}
+
+// Field sets the region dimensions in metres.
+func (b *Builder) Field(width, height float64) *Builder {
+	b.s.Field.Width, b.s.Field.Height = width, height
+	return b
+}
+
+// Placement selects the target layout distribution.
+func (b *Builder) Placement(p field.Placement) *Builder {
+	b.s.Field.Placement = p
+	return b
+}
+
+// Clusters selects the clustered placement with n discs of the given
+// radius.
+func (b *Builder) Clusters(n int, radius float64) *Builder {
+	b.s.Field.Placement = field.Clusters
+	b.s.Field.NumClusters = n
+	b.s.Field.ClusterRadius = radius
+	return b
+}
+
+// Targets sets the number of patrolled targets (excluding the sink).
+func (b *Builder) Targets(n int) *Builder {
+	b.s.Targets.Count = n
+	return b
+}
+
+// VIPs upgrades count targets to Very Important Points of the given
+// weight.
+func (b *Builder) VIPs(count, weight int) *Builder {
+	b.s.Targets.VIPs, b.s.Targets.VIPWeight = count, weight
+	return b
+}
+
+// Fleet replaces the fleet with n identical mules of the given speed.
+func (b *Builder) Fleet(n int, speed float64) *Builder {
+	b.s.Fleet = Homogeneous(n, speed)
+	return b
+}
+
+// Mule appends one mule with its own speed and battery capacity
+// (battery 0 = unconstrained), making the fleet heterogeneous.
+func (b *Builder) Mule(speed, battery float64) *Builder {
+	b.s.Fleet.Mules = append(b.s.Fleet.Mules, Mule{Speed: speed, Battery: battery})
+	b.s.Fleet.Name = ""
+	return b
+}
+
+// MulesAtSink starts every mule at the sink node.
+func (b *Builder) MulesAtSink() *Builder {
+	b.s.Fleet.AtSink = true
+	return b
+}
+
+// Horizon sets the simulated duration in seconds.
+func (b *Builder) Horizon(seconds float64) *Builder {
+	b.s.Horizon = seconds
+	return b
+}
+
+// Recharge adds a recharge station to the field.
+func (b *Builder) Recharge() *Builder {
+	b.s.Field.Recharge = true
+	return b
+}
+
+// Workload attaches a named data workload.
+func (b *Builder) Workload(name string, cfg wsn.Config) *Builder {
+	b.s.Workloads = append(b.s.Workloads, Workload{Name: name, Data: cfg})
+	return b
+}
+
+// Build validates and returns the scenario.
+func (b *Builder) Build() (*Scenario, error) {
+	s := b.s // copy so further builder calls don't alias
+	if s.Fleet.Size() == 0 {
+		s.Fleet = Homogeneous(4, 2)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// MustBuild is Build for presets and tests; it panics on error.
+func (b *Builder) MustBuild() *Scenario {
+	s, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	return s
+}
+
+// Paper51 is the paper's §5.1 simulation model: 20 targets uniformly
+// distributed over an 800 m × 800 m region, 4 data mules at 2 m/s.
+func Paper51() *Scenario { return New("paper51").MustBuild() }
+
+// Clustered is the motivating disconnected deployment: targets
+// grouped in 4 disjoint discs farther apart than the communication
+// range.
+func Clustered() *Scenario {
+	return New("clustered").Clusters(4, 80).MustBuild()
+}
+
+// Corridor is an elongated deployment: targets confined to a narrow
+// band across the field, stretching the patrolling circuit into a
+// line.
+func Corridor() *Scenario {
+	return New("corridor").Placement(field.Corridor).MustBuild()
+}
+
+// Hotspot concentrates 70% of the targets in one dense disc — the
+// clustered demand of facility-location mule coordination.
+func Hotspot() *Scenario {
+	return New("hotspot").Placement(field.Hotspot).MustBuild()
+}
+
+// presets maps preset names to constructors.
+var presets = map[string]func() *Scenario{
+	"paper51":   Paper51,
+	"clustered": Clustered,
+	"corridor":  Corridor,
+	"hotspot":   Hotspot,
+}
+
+// Preset returns the named preset scenario, or an error listing the
+// valid names.
+func Preset(name string) (*Scenario, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown preset %q (valid: %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// PresetNames lists the preset names in sorted order.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseFleet parses a fleet specification of the form
+// "COUNTxSPEED[@BATTERY]" groups joined by "+", e.g. "4x2" (four
+// 2 m/s mules), "2x1+2x3" (two 1 m/s and two 3 m/s mules), or
+// "3x2@150000" (three 2 m/s mules with 150 kJ batteries). The
+// fleet's name is the canonical spec string.
+func ParseFleet(spec string) (Fleet, error) {
+	f := Fleet{Name: spec}
+	for _, group := range strings.Split(spec, "+") {
+		group = strings.TrimSpace(group)
+		battery := 0.0
+		if at := strings.IndexByte(group, '@'); at >= 0 {
+			b, err := strconv.ParseFloat(group[at+1:], 64)
+			if err != nil || b <= 0 {
+				return Fleet{}, fmt.Errorf("scenario: bad battery in fleet group %q", group)
+			}
+			battery = b
+			group = group[:at]
+		}
+		count, speedStr, ok := strings.Cut(group, "x")
+		if !ok {
+			return Fleet{}, fmt.Errorf("scenario: fleet group %q is not COUNTxSPEED", group)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil || n < 1 {
+			return Fleet{}, fmt.Errorf("scenario: bad count in fleet group %q", group)
+		}
+		speed, err := strconv.ParseFloat(speedStr, 64)
+		if err != nil || speed <= 0 {
+			return Fleet{}, fmt.Errorf("scenario: bad speed in fleet group %q", group)
+		}
+		for i := 0; i < n; i++ {
+			f.Mules = append(f.Mules, Mule{Speed: speed, Battery: battery})
+		}
+	}
+	if len(f.Mules) == 0 {
+		return Fleet{}, fmt.Errorf("scenario: empty fleet spec %q", spec)
+	}
+	return f, nil
+}

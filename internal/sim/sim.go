@@ -8,6 +8,13 @@
 // are distance/velocity), so there is no time-stepping error: B-TCTP's
 // "standard deviation always keeps zero" claim (paper Fig. 8) can be
 // verified to floating-point precision.
+//
+// Event records are pooled: a fired or canceled event returns to a
+// free list and its next Schedule reuses it, so the steady-state
+// schedule→fire cycle of a patrolling simulation allocates nothing
+// (see BenchmarkEngine). Cancellation is lazy — a canceled event stays
+// in the heap until popped — but when canceled entries outnumber live
+// ones the heap is compacted in place.
 package sim
 
 import (
@@ -24,6 +31,10 @@ type event struct {
 	seq      uint64 // insertion order; breaks time ties FIFO
 	fn       Handler
 	canceled bool
+	// gen counts the record's reuses; a Cancel handle is valid only
+	// for the generation it was issued for, so recycling a record
+	// invalidates stale handles.
+	gen uint64
 }
 
 type eventHeap []*event
@@ -46,6 +57,11 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// compactMinHeap is the heap size below which lazy-deleted entries are
+// never compacted — popping a handful of tombstones is cheaper than a
+// rebuild.
+const compactMinHeap = 64
+
 // Engine is a discrete-event simulator. The zero value is ready to
 // use at time 0.
 type Engine struct {
@@ -53,7 +69,8 @@ type Engine struct {
 	seq      uint64
 	events   eventHeap
 	executed uint64
-	pending  int // live count of scheduled, non-canceled events
+	pending  int      // live count of scheduled, non-canceled events
+	free     []*event // recycled event records
 }
 
 // New returns an engine with the clock at 0.
@@ -64,15 +81,71 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled (non-canceled) events. The
 // count is maintained live on Schedule/Cancel/Step, so the call is
-// O(1) — it used to scan the whole heap.
+// O(1).
 func (e *Engine) Pending() int { return e.pending }
 
 // Executed returns how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Cancel revokes a scheduled event. It is returned by Schedule and is
-// safe to call more than once or after the event has fired (a no-op).
-type Cancel func()
+// Cancel is a handle revoking a scheduled event. It is returned by
+// Schedule, is safe to call more than once or after the event has
+// fired (a no-op), and stays safe after the engine has recycled the
+// event record for a later Schedule. The zero Cancel is a no-op.
+type Cancel struct {
+	e   *Engine
+	ev  *event
+	gen uint64
+}
+
+// Cancel revokes the event if it has not fired yet.
+func (c Cancel) Cancel() {
+	ev := c.ev
+	if ev == nil || ev.gen != c.gen || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	c.e.pending--
+	c.e.maybeCompact()
+}
+
+// alloc takes an event record from the free list, or allocates one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped record to the free list, invalidating any
+// outstanding Cancel handles for it.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// maybeCompact rebuilds the heap once lazily-deleted canceled entries
+// outnumber the live ones (and the heap is big enough to care).
+func (e *Engine) maybeCompact() {
+	if len(e.events) >= compactMinHeap && len(e.events)-e.pending > len(e.events)/2 {
+		kept := e.events[:0]
+		for _, ev := range e.events {
+			if ev.canceled {
+				e.recycle(ev)
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		for i := len(kept); i < len(e.events); i++ {
+			e.events[i] = nil
+		}
+		e.events = kept
+		heap.Init(&e.events)
+	}
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past (or a
 // NaN time) panics: it always indicates a model bug.
@@ -80,16 +153,12 @@ func (e *Engine) Schedule(at float64, fn Handler) Cancel {
 	if math.IsNaN(at) || at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{time: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.time, ev.seq, ev.fn, ev.canceled = at, e.seq, fn, false
 	e.seq++
 	heap.Push(&e.events, ev)
 	e.pending++
-	return func() {
-		if !ev.canceled {
-			ev.canceled = true
-			e.pending--
-		}
-	}
+	return Cancel{e: e, ev: ev, gen: ev.gen}
 }
 
 // After runs fn d seconds from now. Negative d panics.
@@ -106,13 +175,16 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.time
 		e.executed++
 		e.pending--
 		ev.canceled = true // fired: make a late Cancel a no-op
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev) // before fn: the handler's own Schedule can reuse it
+		fn()
 		return true
 	}
 	return false
@@ -156,6 +228,7 @@ func (e *Engine) peek() *event {
 			return ev
 		}
 		heap.Pop(&e.events)
+		e.recycle(ev)
 	}
 	return nil
 }

@@ -76,8 +76,8 @@ func TestCancel(t *testing.T) {
 	e := New()
 	fired := false
 	cancel := e.Schedule(1, func() { fired = true })
-	cancel()
-	cancel() // double-cancel is a no-op
+	cancel.Cancel()
+	cancel.Cancel() // double-cancel is a no-op
 	e.Run(100)
 	if fired {
 		t.Fatal("canceled event fired")
@@ -91,7 +91,7 @@ func TestCancelAfterFireNoop(t *testing.T) {
 	e := New()
 	cancel := e.Schedule(1, func() {})
 	e.Run(100)
-	cancel() // must not panic or corrupt state
+	cancel.Cancel() // must not panic or corrupt state
 	if e.Pending() != 0 {
 		t.Fatal("phantom pending events")
 	}
@@ -190,7 +190,7 @@ func TestNextEventTime(t *testing.T) {
 	if tm, ok := e.NextEventTime(); !ok || tm != 4 {
 		t.Fatalf("NextEventTime = %v %v", tm, ok)
 	}
-	cancel()
+	cancel.Cancel()
 	if tm, ok := e.NextEventTime(); !ok || tm != 9 {
 		t.Fatalf("after cancel NextEventTime = %v %v", tm, ok)
 	}
@@ -200,7 +200,7 @@ func TestPendingSkipsCanceled(t *testing.T) {
 	e := New()
 	c1 := e.Schedule(1, func() {})
 	e.Schedule(2, func() {})
-	c1()
+	c1.Cancel()
 	if got := e.Pending(); got != 1 {
 		t.Fatalf("Pending = %d", got)
 	}
@@ -220,8 +220,8 @@ func TestPendingCounterTransitions(t *testing.T) {
 	if e.Pending() != 3 {
 		t.Fatalf("after 3 schedules Pending = %d", e.Pending())
 	}
-	c1()
-	c1() // double cancel is a no-op
+	c1.Cancel()
+	c1.Cancel() // double cancel is a no-op
 	if e.Pending() != 2 {
 		t.Fatalf("after cancel Pending = %d", e.Pending())
 	}
@@ -229,7 +229,7 @@ func TestPendingCounterTransitions(t *testing.T) {
 	if e.Pending() != 1 {
 		t.Fatalf("after step Pending = %d", e.Pending())
 	}
-	c2() // already executed: no-op
+	c2.Cancel() // already executed: no-op
 	if e.Pending() != 1 {
 		t.Fatalf("after stale cancel Pending = %d", e.Pending())
 	}
@@ -284,5 +284,97 @@ func TestClockMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStaleCancelDoesNotKillRecycledEvent(t *testing.T) {
+	e := New()
+	stale := e.Schedule(1, func() {})
+	e.Run(10) // fires; the record returns to the pool
+	fired := false
+	e.Schedule(2, func() { fired = true }) // reuses the pooled record
+	stale.Cancel()                         // must not touch the new occupant
+	e.Run(10)
+	if !fired {
+		t.Fatal("stale cancel killed a recycled event")
+	}
+}
+
+func TestZeroCancelNoop(t *testing.T) {
+	var c Cancel
+	c.Cancel() // must not panic
+}
+
+func TestCompaction(t *testing.T) {
+	e := New()
+	const n = 1000
+	cancels := make([]Cancel, 0, n)
+	fired := 0
+	for i := 0; i < n; i++ {
+		cancels = append(cancels, e.Schedule(float64(i+1), func() { fired++ }))
+	}
+	for _, c := range cancels[:n-100] {
+		c.Cancel()
+	}
+	// Compaction keeps tombstones at no more than half the heap.
+	if live, total := e.Pending(), len(e.events); total > 2*live {
+		t.Fatalf("heap holds %d entries for %d live events", total, live)
+	}
+	e.Run(n + 1)
+	if fired != 100 {
+		t.Fatalf("%d events fired, want 100", fired)
+	}
+}
+
+// TestStepRecyclesWithoutAllocating pins the pooling win: a
+// steady-state schedule→fire cycle reuses pooled records and performs
+// zero allocations per event.
+func TestStepRecyclesWithoutAllocating(t *testing.T) {
+	e := New()
+	var fn Handler
+	fn = func() { e.After(1, fn) }
+	e.Schedule(0, fn)
+	e.Run(64) // warm the pool and the heap slice
+	if allocs := testing.AllocsPerRun(1000, func() { e.Step() }); allocs > 0 {
+		t.Fatalf("%v allocs per schedule→fire cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkEngine measures the steady-state schedule→fire cycle of a
+// patrolling simulation: every fired event schedules its successor,
+// exactly like a mule leg. Before event pooling this cost two heap
+// allocations per event (the record and the cancel closure); with the
+// pool it costs none — compare allocs/op after any engine change.
+func BenchmarkEngine(b *testing.B) {
+	e := New()
+	var fn Handler
+	fn = func() { e.After(1, fn) }
+	for i := 0; i < 8; i++ {
+		e.Schedule(float64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule→cancel→compact path: half
+// the scheduled events are canceled, exercising the tombstone
+// compaction.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := New()
+	var fn Handler
+	fn = func() {
+		c := e.After(2, func() {})
+		e.After(1, fn)
+		c.Cancel()
+	}
+	e.Schedule(0, fn)
+	e.Run(256) // steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 
+	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/stats"
+	"tctp/internal/wsn"
 )
 
 // MetricSummary is the streaming aggregate of one scalar metric over a
@@ -244,21 +246,45 @@ func (e *engine) runOne(j job) (*runValues, error) {
 	p := d.point
 	seed := sp.BaseSeed + uint64(j.rep)
 
-	scn := sp.buildScenario(p, ScenarioSource(seed))
-	opts := patrol.Options{
-		Speed:      p.Speed,
-		Horizon:    p.Horizon,
-		UseBattery: p.Battery,
+	// Construct the world: the declarative cell scenario materialized
+	// from the replication's scenario stream, or the Spec's bespoke
+	// generator. Options always derive from the cell scenario, so the
+	// Fleets axis reaches the simulation on both paths.
+	sc := sp.cellScenario(d)
+	var scn *field.Scenario
+	if sp.Scenario != nil {
+		scn = sp.Scenario(p, ScenarioSource(seed))
+	} else {
+		var err error
+		if scn, err = sc.Materialize(ScenarioSource(seed)); err != nil {
+			return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, err)
+		}
 	}
+	opts := sc.PatrolOptions()
+	opts.UseBattery = p.Battery
 	if sp.Options != nil {
 		sp.Options(p, &opts)
 	}
 	if d.variant.Options != nil {
 		d.variant.Options(&opts)
 	}
-	var state any
-	if sp.PerRun != nil {
-		state = sp.PerRun(p, scn, &opts)
+
+	// Attach the scenario's workload overlays as peer observers. The
+	// axis workload sits last (cellScenario appends it); Env.Data
+	// points at it when the axis is on, else at the first declared
+	// overlay.
+	var data *wsn.Network
+	if len(sc.Workloads) > 0 {
+		nets := make([]*wsn.Network, len(sc.Workloads))
+		for i, w := range sc.Workloads {
+			nets[i] = wsn.New(scn, w.Data)
+			opts.Observers = append(opts.Observers, nets[i])
+		}
+		if d.workload.Enabled() {
+			data = nets[len(nets)-1]
+		} else {
+			data = nets[0]
+		}
 	}
 
 	alg := d.variant.Make(AlgorithmSource(seed))
@@ -267,7 +293,7 @@ func (e *engine) runOne(j job) (*runValues, error) {
 		return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, err)
 	}
 
-	env := Env{Point: p, Variant: d.variant, Seed: seed, Scenario: scn, Result: res, State: state}
+	env := Env{Point: p, Variant: d.variant, Seed: seed, Scenario: scn, Result: res, Data: data}
 	vals := &runValues{scalars: make([]float64, len(sp.Metrics))}
 	for i, m := range sp.Metrics {
 		vals.scalars[i] = m.Fn(env)

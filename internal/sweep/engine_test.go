@@ -12,6 +12,7 @@ import (
 	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
+	"tctp/internal/scenario"
 	"tctp/internal/xrand"
 )
 
@@ -281,35 +282,178 @@ func TestVariantHooks(t *testing.T) {
 	}
 }
 
-func TestPerRunState(t *testing.T) {
-	type counter struct{ visits int }
+func TestObserverOptionsHook(t *testing.T) {
+	// The Options hook can attach per-replication observers; with one
+	// worker they accumulate exactly what the built-in recorder sees.
+	visits := 0
 	spec := Spec{
-		Name:       "perrun",
+		Name:       "observers",
 		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
 		Targets:    []int{5},
 		Mules:      []int{2},
 		Horizons:   []float64{3_000},
-		PerRun: func(p Point, s *field.Scenario, o *patrol.Options) any {
-			c := &counter{}
-			o.Hooks.OnVisit = func(_, _ int, _ float64) { c.visits++ }
-			return c
+		Workers:    1,
+		Options: func(p Point, o *patrol.Options) {
+			o.Observers = append(o.Observers, patrol.ObserverFuncs{
+				Visit: func(_, _ int, _ float64) { visits++ },
+			})
 		},
-		Metrics: []Metric{
-			{Name: "hook_visits", Fn: func(e Env) float64 {
-				return float64(e.State.(*counter).visits)
-			}},
-			TotalVisits(),
-		},
-		Seeds: 2,
+		Metrics: []Metric{TotalVisits()},
+		Seeds:   2,
 	}
 	res, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hook := res.Cells[0].Metric("hook_visits")
-	real := res.Cells[0].Metric("visits")
-	if hook.Mean <= 0 || hook.Mean != real.Mean {
-		t.Fatalf("hook saw %v visits, recorder %v", hook.Mean, real.Mean)
+	want := res.Cells[0].Metric("visits")
+	if float64(visits) != want.Mean*float64(want.N) {
+		t.Fatalf("observer saw %d visits, recorder total %v", visits, want.Mean*float64(want.N))
+	}
+}
+
+func TestWorkloadAxis(t *testing.T) {
+	// Workload on/off as a first-class axis: the off cell reports zero
+	// delivery, the on cell delivers packets, and the interval metrics
+	// are identical — the workload observes, it does not steer.
+	spec := Spec{
+		Name:       "workloads",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Mules:      []int{2},
+		Horizons:   []float64{20_000},
+		Workloads: []scenario.Workload{
+			{}, // none
+			scenario.Packets(),
+		},
+		Metrics: []Metric{AvgDCDT(), Delivered(), OnTimePct()},
+		Seeds:   2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	off, on := res.Cells[0], res.Cells[1]
+	if off.Point.Workload != "" || on.Point.Workload != "packets" {
+		t.Fatalf("workload coordinates %q %q", off.Point.Workload, on.Point.Workload)
+	}
+	if off.Metric("delivered").Mean != 0 {
+		t.Fatalf("workload-off cell delivered %v", off.Metric("delivered").Mean)
+	}
+	if on.Metric("delivered").Mean <= 0 {
+		t.Fatal("workload-on cell delivered nothing")
+	}
+	if off.Metric("avg_dcdt_s") != on.Metric("avg_dcdt_s") {
+		t.Fatalf("attaching the workload changed the interval metrics: %+v vs %+v",
+			off.Metric("avg_dcdt_s"), on.Metric("avg_dcdt_s"))
+	}
+}
+
+func TestFleetAxis(t *testing.T) {
+	// Named fleets as the fleet dimension: a homogeneous and a
+	// mixed-speed fleet of the same size.
+	mixed, err := scenario.ParseFleet("1x1+1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Name:       "fleets",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Fleets:     []scenario.Fleet{scenario.Homogeneous(2, 2), mixed},
+		Horizons:   []float64{20_000},
+		Metrics:    []Metric{AvgDCDT(), TotalVisits()},
+		Seeds:      2,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	homog, het := res.Cells[0], res.Cells[1]
+	if homog.Point.Fleet != "2x2" || homog.Point.Speed != 2 || homog.Point.Mules != 2 {
+		t.Fatalf("homogeneous point %+v", homog.Point)
+	}
+	if het.Point.Fleet != "1x1+1x4" || het.Point.Speed != 0 || het.Point.Mules != 2 {
+		t.Fatalf("mixed point %+v", het.Point)
+	}
+	for _, c := range res.Cells {
+		if c.Metric("visits").Mean <= 0 {
+			t.Fatalf("cell %v collected nothing", c.Point)
+		}
+	}
+	// Mixing the Fleets axis with Mules/Speeds is rejected.
+	bad := spec
+	bad.Mules = []int{2}
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Fatal("Fleets + Mules accepted")
+	}
+}
+
+func TestFleetAxisBatteryKeepsCommonSpeed(t *testing.T) {
+	// Per-mule batteries make a fleet heterogeneous for the options
+	// path but do not mix speeds: the point still reports the shared
+	// speed.
+	f, err := scenario.ParseFleet("2x2@500000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Name:       "battery-fleet",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{5},
+		Fleets:     []scenario.Fleet{f},
+		Horizons:   []float64{5_000},
+		Metrics:    []Metric{TotalVisits()},
+		Seeds:      1,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cells[0].Point.Speed; got != 2 {
+		t.Fatalf("uniform-speed battery fleet reported speed %g", got)
+	}
+}
+
+func TestFleetAxisReachesBespokeScenarios(t *testing.T) {
+	// The Spec.Scenario escape hatch replaces generation, not the
+	// fleet: per-mule speeds still reach the simulation.
+	mixed, err := scenario.ParseFleet("1x1+1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	configured := false
+	spec := Spec{
+		Name:       "bespoke",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Fleets:     []scenario.Fleet{mixed},
+		Horizons:   []float64{10_000},
+		Scenario: func(p Point, src *xrand.Source) *field.Scenario {
+			return field.Generate(field.Config{NumTargets: p.Targets, NumMules: p.Mules}, src)
+		},
+		Configure: func(Point, *scenario.Scenario) { configured = true },
+		Metrics: []Metric{
+			{Name: "speed_gap_m", Fn: func(e Env) float64 {
+				return e.Result.Mules[1].Distance - e.Result.Mules[0].Distance
+			}},
+		},
+		Seeds: 1,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := res.Cells[0].Metric("speed_gap_m").Mean; gap <= 0 {
+		t.Fatalf("4 m/s mule did not out-travel the 1 m/s mule (gap %g m)", gap)
+	}
+	if configured {
+		t.Fatal("Configure invoked although Scenario replaces materialization")
 	}
 }
 

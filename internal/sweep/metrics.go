@@ -70,6 +70,61 @@ func CircuitLength() Metric {
 	}}
 }
 
+// Delivery metrics: these read the cell's data-workload overlay
+// (Env.Data) and return 0 for cells without one, so a sweep mixing
+// workload-on and workload-off cells stays well-defined.
+
+// Delivered is the number of packets that reached the sink.
+func Delivered() Metric {
+	return Metric{Name: "delivered", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return float64(e.Data.Delivered())
+	}}
+}
+
+// OnTimePct is the percentage of delivered packets within the
+// workload's deadline.
+func OnTimePct() Metric {
+	return Metric{Name: "on_time_pct", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return 100 * e.Data.OnTimeFraction()
+	}}
+}
+
+// Overflowed is the number of packets dropped at full node buffers.
+func Overflowed() Metric {
+	return Metric{Name: "overflowed", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return float64(e.Data.Overflowed())
+	}}
+}
+
+// MeanLatency is the mean generation-to-sink delivery latency.
+func MeanLatency() Metric {
+	return Metric{Name: "mean_latency_s", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return e.Data.MeanLatency()
+	}}
+}
+
+// MaxLatency is the worst delivery latency.
+func MaxLatency() Metric {
+	return Metric{Name: "max_latency_s", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return e.Data.MaxLatency()
+	}}
+}
+
 // DCDTCurve is the Fig. 7 vector metric: the event-indexed DCDT
 // trajectory over the first maxVisits visiting intervals.
 func DCDTCurve(maxVisits int) VectorMetric {

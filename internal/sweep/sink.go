@@ -23,8 +23,8 @@ type Sink interface {
 
 // pointHeader is the fixed axis-column schema shared by the CSV sink.
 var pointHeader = []string{
-	"algorithm", "targets", "mules", "speed", "placement",
-	"horizon", "battery", "vips", "vip_weight",
+	"algorithm", "targets", "mules", "speed", "fleet", "placement",
+	"horizon", "battery", "vips", "vip_weight", "workload",
 }
 
 func pointRecord(p Point) []string {
@@ -33,11 +33,13 @@ func pointRecord(p Point) []string {
 		strconv.Itoa(p.Targets),
 		strconv.Itoa(p.Mules),
 		strconv.FormatFloat(p.Speed, 'g', -1, 64),
+		p.Fleet,
 		p.Placement.String(),
 		strconv.FormatFloat(p.Horizon, 'g', -1, 64),
 		strconv.FormatBool(p.Battery),
 		strconv.Itoa(p.VIPs),
 		strconv.Itoa(p.VIPWeight),
+		p.Workload,
 	}
 }
 
@@ -155,6 +157,7 @@ func (s *textSink) Begin(spec *Spec, cells int) error {
 	add(len(spec.Speeds) > 1, "speed", func(p Point) string {
 		return strconv.FormatFloat(p.Speed, 'g', -1, 64)
 	})
+	add(len(spec.Fleets) > 1, "fleet", func(p Point) string { return p.Fleet })
 	add(len(spec.Placements) > 1, "placement", func(p Point) string { return p.Placement.String() })
 	add(len(spec.Horizons) > 1, "horizon", func(p Point) string {
 		return strconv.FormatFloat(p.Horizon, 'g', -1, 64)
@@ -162,6 +165,12 @@ func (s *textSink) Begin(spec *Spec, cells int) error {
 	add(len(spec.Battery) > 1, "battery", func(p Point) string { return strconv.FormatBool(p.Battery) })
 	add(len(spec.VIPs) > 1, "vips", func(p Point) string { return strconv.Itoa(p.VIPs) })
 	add(len(spec.VIPWeights) > 1, "vip_weight", func(p Point) string { return strconv.Itoa(p.VIPWeight) })
+	add(len(spec.Workloads) > 1, "workload", func(p Point) string {
+		if p.Workload == "" {
+			return "none"
+		}
+		return p.Workload
+	})
 	if len(s.cols) == 0 {
 		add(true, "algorithm", func(p Point) string { return p.Algorithm })
 	}

@@ -4,8 +4,9 @@
 // internal/experiment).
 //
 // A Spec declares parameter axes — algorithm variants, target counts,
-// fleet sizes, mule speeds, placements, horizons, battery on/off, VIP
-// populations — whose cartesian product yields cells. Run executes
+// fleet sizes, mule speeds, heterogeneous fleets, placements,
+// horizons, battery on/off, VIP populations, data workloads — whose
+// cartesian product yields cells. Run executes
 // cells × replications through one bounded worker pool, so a sweep
 // saturates the machine even when each cell has few replications.
 // Each metric is aggregated with streaming Welford statistics
@@ -31,33 +32,52 @@ import (
 
 	"tctp/internal/field"
 	"tctp/internal/patrol"
+	"tctp/internal/scenario"
+	"tctp/internal/wsn"
 	"tctp/internal/xrand"
 )
 
 // Point is one cell's full parameter assignment: the value picked from
 // every axis of the Spec.
 type Point struct {
-	Algorithm string          `json:"algorithm"`
-	Targets   int             `json:"targets"`
-	Mules     int             `json:"mules"`
-	Speed     float64         `json:"speed"`
+	Algorithm string `json:"algorithm"`
+	Targets   int    `json:"targets"`
+	// Mules is the fleet size; with a Fleets axis it is the size of
+	// the cell's fleet.
+	Mules int `json:"mules"`
+	// Speed is the common mule speed; 0 when the cell's fleet mixes
+	// speeds (see Fleet).
+	Speed float64 `json:"speed"`
+	// Fleet names the cell's fleet on the Fleets axis; empty when the
+	// fleet comes from the Mules × Speeds axes.
+	Fleet     string          `json:"fleet,omitempty"`
 	Placement field.Placement `json:"placement"`
 	Horizon   float64         `json:"horizon"`
 	Battery   bool            `json:"battery"`
 	VIPs      int             `json:"vips"`
 	VIPWeight int             `json:"vip_weight"`
+	// Workload names the cell's data workload; empty means none.
+	Workload string `json:"workload,omitempty"`
 }
 
 // String renders the point compactly for skip reports and errors.
 func (p Point) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "alg=%s targets=%d mules=%d speed=%g placement=%s horizon=%g",
-		p.Algorithm, p.Targets, p.Mules, p.Speed, p.Placement, p.Horizon)
+	fmt.Fprintf(&sb, "alg=%s targets=%d mules=%d", p.Algorithm, p.Targets, p.Mules)
+	if p.Fleet != "" {
+		fmt.Fprintf(&sb, " fleet=%s", p.Fleet)
+	} else {
+		fmt.Fprintf(&sb, " speed=%g", p.Speed)
+	}
+	fmt.Fprintf(&sb, " placement=%s horizon=%g", p.Placement, p.Horizon)
 	if p.Battery {
 		sb.WriteString(" battery=on")
 	}
 	if p.VIPs > 0 {
 		fmt.Fprintf(&sb, " vips=%d w=%d", p.VIPs, p.VIPWeight)
+	}
+	if p.Workload != "" {
+		fmt.Fprintf(&sb, " workload=%s", p.Workload)
 	}
 	return sb.String()
 }
@@ -93,9 +113,11 @@ type Env struct {
 	Seed     uint64
 	Scenario *field.Scenario
 	Result   *patrol.Result
-	// State is whatever the Spec's PerRun hook returned for this
-	// replication (e.g. a wsn data-collection overlay); nil otherwise.
-	State any
+	// Data is the cell's data-workload overlay with the replication's
+	// delivery statistics: the Workloads-axis overlay when the cell's
+	// workload is enabled, else the first scenario-declared overlay,
+	// else nil.
+	Data *wsn.Network
 }
 
 // Warm returns the conventional warm-up cutoff for steady-state
@@ -127,16 +149,23 @@ type Spec struct {
 	Name string
 
 	// Axes. The cartesian product of all axes yields the cells,
-	// enumerated with Algorithms outermost and VIPWeights innermost.
-	Algorithms []Variant         // required: at least one variant
-	Targets    []int             // default {20}
-	Mules      []int             // default {4}
-	Speeds     []float64         // default {2} (m/s, §5.1)
+	// enumerated with Algorithms outermost and Workloads innermost.
+	Algorithms []Variant // required: at least one variant
+	Targets    []int     // default {20}
+	Mules      []int     // default {4}
+	Speeds     []float64 // default {2} (m/s, §5.1)
+	// Fleets, when non-empty, replaces the Mules × Speeds axes with
+	// named (possibly heterogeneous) fleets; Mules and Speeds must
+	// then stay empty.
+	Fleets     []scenario.Fleet
 	Placements []field.Placement // default {field.Uniform}
 	Horizons   []float64         // default {100_000} (s)
 	Battery    []bool            // default {false}
 	VIPs       []int             // default {0} (no VIPs)
 	VIPWeights []int             // default {2}; ignored while VIPs is 0
+	// Workloads is the data-workload axis; the zero Workload (empty
+	// name) means "no workload" and is the single default value.
+	Workloads []scenario.Workload
 
 	// Metrics and Vectors are extracted from every replication; at
 	// least one of the two must be non-empty.
@@ -155,18 +184,18 @@ type Spec struct {
 	// Skip, when non-nil, is consulted per cell; a non-empty reason
 	// excludes the cell from execution and records it in the Result.
 	Skip func(p Point) (reason string)
-	// Configure, when non-nil, adjusts the field.Config derived from
-	// the point before scenario generation.
-	Configure func(p Point, cfg *field.Config)
+	// Configure, when non-nil, adjusts the declarative scenario
+	// derived from the point before it is materialized — field
+	// geometry, cluster parameters, recharge station, extra
+	// workloads. It is not invoked when Scenario replaces
+	// materialization outright.
+	Configure func(p Point, sc *scenario.Scenario)
 	// Options, when non-nil, adjusts the patrol.Options derived from
-	// the point (before the Variant's own Options hook).
+	// the point (before the Variant's own Options hook). Appending to
+	// o.Observers attaches extra per-replication observers.
 	Options func(p Point, o *patrol.Options)
 	// Scenario, when non-nil, replaces the default generator entirely.
 	Scenario func(p Point, src *xrand.Source) *field.Scenario
-	// PerRun, when non-nil, runs before each replication's simulation;
-	// it may attach hooks to the options and return per-run state that
-	// metric functions receive as Env.State.
-	PerRun func(p Point, s *field.Scenario, o *patrol.Options) any
 	// Progress, when non-nil, is called after every completed
 	// replication and cell. It runs under the engine lock: keep it
 	// fast and do not call back into the engine.
@@ -177,11 +206,16 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Targets) == 0 {
 		s.Targets = []int{20}
 	}
-	if len(s.Mules) == 0 {
-		s.Mules = []int{4}
+	if len(s.Fleets) == 0 {
+		if len(s.Mules) == 0 {
+			s.Mules = []int{4}
+		}
+		if len(s.Speeds) == 0 {
+			s.Speeds = []float64{2}
+		}
 	}
-	if len(s.Speeds) == 0 {
-		s.Speeds = []float64{2}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []scenario.Workload{{}}
 	}
 	if len(s.Placements) == 0 {
 		s.Placements = []field.Placement{field.Uniform}
@@ -248,14 +282,78 @@ func (s *Spec) validate() error {
 			break
 		}
 	}
+	if len(s.Fleets) > 0 {
+		if len(s.Mules) > 0 || len(s.Speeds) > 0 {
+			return fmt.Errorf("sweep: spec %q mixes the Fleets axis with Mules/Speeds", s.Name)
+		}
+		names := map[string]bool{}
+		for i, f := range s.Fleets {
+			if f.Name == "" {
+				return fmt.Errorf("sweep: spec %q: fleet %d has no name", s.Name, i)
+			}
+			if names[f.Name] {
+				return fmt.Errorf("sweep: spec %q: duplicate fleet %q", s.Name, f.Name)
+			}
+			names[f.Name] = true
+			if f.Size() == 0 {
+				return fmt.Errorf("sweep: spec %q: fleet %q is empty", s.Name, f.Name)
+			}
+			for _, m := range f.Mules {
+				if m.Speed <= 0 {
+					return fmt.Errorf("sweep: spec %q: fleet %q has a mule with speed %g",
+						s.Name, f.Name, m.Speed)
+				}
+			}
+		}
+	}
+	wnames := map[string]bool{}
+	for _, w := range s.Workloads {
+		if wnames[w.Name] {
+			return fmt.Errorf("sweep: spec %q: duplicate workload %q on the axis", s.Name, w.Name)
+		}
+		wnames[w.Name] = true
+	}
 	return nil
 }
 
-// cellDef pairs a point with the variant that produced its algorithm
-// coordinate.
+// fleetChoice is one value of the fleet dimension: either a (size,
+// speed) pair from the Mules × Speeds cross, or a named fleet from
+// the Fleets axis.
+type fleetChoice struct {
+	name  string
+	mules int
+	speed float64 // 0 for a mixed-speed fleet
+	fleet scenario.Fleet
+}
+
+// fleetChoices enumerates the fleet dimension in canonical order.
+func (s *Spec) fleetChoices() []fleetChoice {
+	if len(s.Fleets) > 0 {
+		out := make([]fleetChoice, len(s.Fleets))
+		for i, f := range s.Fleets {
+			// A fleet of uniform speed reports that speed even when
+			// mules carry individual batteries; 0 means mixed speeds.
+			out[i] = fleetChoice{name: f.Name, mules: f.Size(), speed: f.CommonSpeed(), fleet: f}
+		}
+		return out
+	}
+	out := make([]fleetChoice, 0, len(s.Mules)*len(s.Speeds))
+	for _, nm := range s.Mules {
+		for _, sp := range s.Speeds {
+			out = append(out, fleetChoice{mules: nm, speed: sp})
+		}
+	}
+	return out
+}
+
+// cellDef pairs a point with the axis values that cannot ride on the
+// (comparable) point itself: the variant, the full fleet, and the
+// workload configuration.
 type cellDef struct {
-	point   Point
-	variant Variant
+	point    Point
+	variant  Variant
+	fleet    scenario.Fleet
+	workload scenario.Workload
 }
 
 // cells enumerates the cartesian product in canonical order.
@@ -263,26 +361,30 @@ func (s *Spec) cells() []cellDef {
 	var out []cellDef
 	for _, v := range s.Algorithms {
 		for _, nt := range s.Targets {
-			for _, nm := range s.Mules {
-				for _, sp := range s.Speeds {
-					for _, pl := range s.Placements {
-						for _, h := range s.Horizons {
-							for _, b := range s.Battery {
-								for _, nv := range s.VIPs {
-									for _, w := range s.VIPWeights {
+			for _, fc := range s.fleetChoices() {
+				for _, pl := range s.Placements {
+					for _, h := range s.Horizons {
+						for _, b := range s.Battery {
+							for _, nv := range s.VIPs {
+								for _, w := range s.VIPWeights {
+									for _, wl := range s.Workloads {
 										out = append(out, cellDef{
 											point: Point{
 												Algorithm: v.Name,
 												Targets:   nt,
-												Mules:     nm,
-												Speed:     sp,
+												Mules:     fc.mules,
+												Speed:     fc.speed,
+												Fleet:     fc.name,
 												Placement: pl,
 												Horizon:   h,
 												Battery:   b,
 												VIPs:      nv,
 												VIPWeight: w,
+												Workload:  wl.Name,
 											},
-											variant: v,
+											variant:  v,
+											fleet:    fc.fleet,
+											workload: wl,
 										})
 									}
 								}
@@ -327,22 +429,30 @@ func AlgorithmSource(seed uint64) *xrand.Source {
 	return s.Split()
 }
 
-// buildScenario generates the cell's scenario for one replication.
-func (s *Spec) buildScenario(p Point, src *xrand.Source) *field.Scenario {
-	if s.Scenario != nil {
-		return s.Scenario(p, src)
+// cellScenario derives the declarative scenario of a cell: the point's
+// axis values translated to the scenario model, then adjusted by the
+// Spec's Configure hook. The axis workload is appended after Configure
+// so hook-declared workloads keep their positions.
+func (s *Spec) cellScenario(d cellDef) *scenario.Scenario {
+	p := d.point
+	sc := &scenario.Scenario{
+		Field:   scenario.Field{Placement: p.Placement},
+		Targets: scenario.Targets{Count: p.Targets, VIPs: p.VIPs, VIPWeight: p.VIPWeight},
+		Fleet:   d.fleet,
+		Horizon: p.Horizon,
 	}
-	cfg := field.Config{
-		NumTargets: p.Targets,
-		NumMules:   p.Mules,
-		Placement:  p.Placement,
+	if sc.Fleet.Size() == 0 {
+		sc.Fleet = scenario.Homogeneous(p.Mules, p.Speed)
 	}
-	if s.Configure != nil {
-		s.Configure(p, &cfg)
+	// Configure adjusts the scenario about to be materialized; when the
+	// Spec's bespoke generator replaces materialization there is
+	// nothing for it to adjust, so it is skipped (matching the
+	// pre-scenario engine, which never invoked it on that path).
+	if s.Configure != nil && s.Scenario == nil {
+		s.Configure(p, sc)
 	}
-	scn := field.Generate(cfg, src)
-	if p.VIPs > 0 {
-		scn.AssignVIPs(src, p.VIPs, p.VIPWeight)
+	if d.workload.Enabled() {
+		sc.Workloads = append(sc.Workloads, d.workload)
 	}
-	return scn
+	return sc
 }

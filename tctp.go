@@ -31,6 +31,7 @@ import (
 	"tctp/internal/geom"
 	"tctp/internal/metrics"
 	"tctp/internal/patrol"
+	"tctp/internal/scenario"
 	"tctp/internal/sweep"
 	"tctp/internal/viz"
 	"tctp/internal/walk"
@@ -63,7 +64,60 @@ const (
 	Clusters = field.Clusters
 	// Grid lays targets on a regular lattice (deterministic).
 	Grid = field.Grid
+	// Corridor confines targets to a narrow central band.
+	Corridor = field.Corridor
+	// Hotspot concentrates targets in one dense disc.
+	Hotspot = field.Hotspot
 )
+
+// Declarative scenario layer re-exports: a JSON-round-trippable
+// description of field, targets, fleet, horizon and workloads, with a
+// validating builder and named presets (see internal/scenario).
+type (
+	// ScenarioSpec is the declarative scenario model. Materialize it
+	// into a concrete Scenario, or call its Run method directly.
+	ScenarioSpec = scenario.Scenario
+	// ScenarioBuilder assembles a ScenarioSpec fluently.
+	ScenarioBuilder = scenario.Builder
+	// FleetSpec is a (possibly heterogeneous) mule fleet.
+	FleetSpec = scenario.Fleet
+	// MuleSpec is one fleet member (speed, battery).
+	MuleSpec = scenario.Mule
+	// WorkloadSpec is a named data workload layered on a run.
+	WorkloadSpec = scenario.Workload
+	// ScenarioResult is a finished scenario run: patrol result plus
+	// the workload overlays.
+	ScenarioResult = scenario.Result
+)
+
+// NewScenario starts a builder for a named declarative scenario; the
+// zero configuration is the paper's §5.1 world.
+func NewScenario(name string) *ScenarioBuilder { return scenario.New(name) }
+
+// ScenarioPreset returns a named preset scenario (paper51, clustered,
+// corridor, hotspot).
+func ScenarioPreset(name string) (*ScenarioSpec, error) { return scenario.Preset(name) }
+
+// ScenarioPresets lists the preset names.
+func ScenarioPresets() []string { return scenario.PresetNames() }
+
+// HomogeneousFleet builds an n-mule fleet of identical speed.
+func HomogeneousFleet(n int, speed float64) FleetSpec { return scenario.Homogeneous(n, speed) }
+
+// ParseFleet parses a "COUNTxSPEED[@BATTERY]+..." fleet spec.
+func ParseFleet(spec string) (FleetSpec, error) { return scenario.ParseFleet(spec) }
+
+// RunScenario materializes the declarative scenario from the seed and
+// executes the planner on it, attaching the declared workloads and any
+// extra observers.
+func RunScenario(sc *ScenarioSpec, p Planner, seed uint64, obs ...Observer) (*ScenarioResult, error) {
+	return sc.Run(patrol.Planned(p), seed, obs...)
+}
+
+// RunScenarioRandom is RunScenario for the online Random baseline.
+func RunScenarioRandom(sc *ScenarioSpec, seed uint64, obs ...Observer) (*ScenarioResult, error) {
+	return sc.Run(patrol.Online(&baseline.Random{}), seed, obs...)
+}
 
 // Planner types: the paper's contribution plus the fixed-route
 // baselines.
@@ -102,11 +156,17 @@ const (
 
 // Simulation types.
 type (
-	// Options configures a simulation run (speed, energy, horizon).
+	// Options configures a simulation run (speed, energy, horizon,
+	// per-mule fleet overrides, observers).
 	Options = patrol.Options
-	// Hooks are optional per-event observers for a run (visits,
-	// deaths, recharges).
-	Hooks = patrol.Hooks
+	// Observer receives simulation events (visits, deaths,
+	// recharges); register any number in Options.Observers.
+	Observer = patrol.Observer
+	// ObserverFuncs adapts individual callbacks to Observer.
+	ObserverFuncs = patrol.ObserverFuncs
+	// FleetMember overrides one mule's speed and battery, enabling
+	// heterogeneous fleets via Options.Fleet.
+	FleetMember = patrol.FleetMember
 	// Result is a finished run: visit log, per-mule stats.
 	Result = patrol.Result
 	// Recorder is the per-target visit log with the paper's metrics
@@ -114,15 +174,21 @@ type (
 	Recorder = metrics.Recorder
 	// EnergyModel carries the §5.1 energy constants.
 	EnergyModel = energy.Model
+	// EnergyAudit is an observer logging battery deaths and recharge
+	// completions.
+	EnergyAudit = energy.Audit
 	// DataNetwork is the sensor data-collection overlay: nodes buffer
 	// readings, mules carry them, the sink receives them; it tracks
-	// delivery latency against a deadline. Wire its OnVisit/OnDeath
-	// into Options.Hooks.
+	// delivery latency against a deadline. It implements Observer —
+	// register it in Options.Observers.
 	DataNetwork = wsn.Network
 	// DataConfig parameterizes the data workload (generation rate,
 	// buffer capacity, delivery deadline).
 	DataConfig = wsn.Config
 )
+
+// NewEnergyAudit returns an empty energy audit observer.
+func NewEnergyAudit() *EnergyAudit { return energy.NewAudit() }
 
 // NewDataNetwork builds a data-collection overlay for the scenario.
 func NewDataNetwork(s *Scenario, cfg DataConfig) *DataNetwork {
