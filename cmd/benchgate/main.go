@@ -1,0 +1,304 @@
+// Command benchgate is the CI perf-regression gate: it parses two
+// `go test -bench` outputs (base and head), compares every benchmark's
+// time/op and allocs/op with the repository's own streaming statistics
+// (internal/stats), and fails when a gated benchmark regressed —
+// a statistically significant time/op increase beyond the threshold,
+// or any allocs/op increase at all (allocation counts are
+// deterministic, so even +1 is a real regression).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 5x -count 6 ./... > head.txt
+//	git checkout main && go test ... > base.txt
+//	benchgate -base base.txt -head head.txt -gate '^BenchmarkEngine' -json BENCH_engine.json
+//
+// Significance uses non-overlapping 95% confidence intervals of the
+// per-run means: a regression counts only when the head's CI95 lower
+// bound clears the base's CI95 upper bound AND the mean delta exceeds
+// -threshold (default 15%). CI also runs benchstat over the same files
+// for the human-readable table; benchgate is the pass/fail decision.
+//
+// Without -base, benchgate only summarizes the head run (used on
+// pushes to main, where there is no merge base to compare against);
+// the -json artifact is written either way, the start of a BENCH_*
+// trajectory tracked across builds.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tctp/internal/stats"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "base `go test -bench` output (omit to only summarize -head)")
+		headPath  = flag.String("head", "", "head `go test -bench` output (required)")
+		gate      = flag.String("gate", "^BenchmarkEngine", "regexp of benchmark names the gate applies to")
+		threshold = flag.Float64("threshold", 0.15, "relative time/op regression that fails the gate")
+		jsonOut   = flag.String("json", "", "write the machine-readable comparison to this file")
+	)
+	flag.Parse()
+	if err := run(*basePath, *headPath, *gate, *threshold, *jsonOut, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts metric samples from `go test -bench` output.
+// Benchmark lines look like:
+//
+//	BenchmarkEngine-8   1000000   1052 ns/op   16 B/op   1 allocs/op
+//
+// Repeated -count runs of the same benchmark append to one sample.
+func parseBench(r io.Reader) (map[string]map[string][]float64, error) {
+	out := make(map[string]map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark line %q: bad value %q", sc.Text(), fields[i])
+			}
+			unit := fields[i+1]
+			if out[name] == nil {
+				out[name] = make(map[string][]float64)
+			}
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+// comparison is one (benchmark, unit) verdict.
+type comparison struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	BaseN       int     `json:"base_n,omitempty"`
+	BaseMean    float64 `json:"base_mean,omitempty"`
+	BaseCI95    float64 `json:"base_ci95,omitempty"`
+	HeadN       int     `json:"head_n"`
+	HeadMean    float64 `json:"head_mean"`
+	HeadCI95    float64 `json:"head_ci95"`
+	DeltaPct    float64 `json:"delta_pct,omitempty"`
+	Significant bool    `json:"significant,omitempty"`
+	Gated       bool    `json:"gated"`
+	Regression  bool    `json:"regression"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// gatedUnits are the metrics the gate judges; everything else is
+// reported but never fails the build.
+var gatedUnits = map[string]bool{"ns/op": true, "allocs/op": true}
+
+func summarize(vals []float64) (mean, ci95 float64) {
+	var acc stats.Accumulator
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Mean(), acc.CI95()
+}
+
+// compare judges head against base. A gated benchmark missing from
+// head is itself a regression — deleting the benchmark must not dodge
+// the gate.
+func compare(base, head map[string]map[string][]float64, gateRe *regexp.Regexp, threshold float64) ([]comparison, bool) {
+	var out []comparison
+	failed := false
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gated := gateRe.MatchString(name)
+		units := make([]string, 0, len(base[name]))
+		for unit := range base[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		if head[name] == nil {
+			out = append(out, comparison{
+				Name: name, Gated: gated, Regression: gated,
+				Note: "benchmark missing from head run",
+			})
+			failed = failed || gated
+			continue
+		}
+		for _, unit := range units {
+			bm, bci := summarize(base[name][unit])
+			hv, ok := head[name][unit]
+			if !ok {
+				// A gated metric that vanished from head (e.g. a dropped
+				// b.ReportAllocs()) must not dodge the gate.
+				gatedUnit := gated && gatedUnits[unit]
+				out = append(out, comparison{
+					Name: name, Unit: unit,
+					BaseN: len(base[name][unit]), BaseMean: bm, BaseCI95: bci,
+					Gated: gatedUnit, Regression: gatedUnit,
+					Note: "metric missing from head run",
+				})
+				failed = failed || gatedUnit
+				continue
+			}
+			hm, hci := summarize(hv)
+			c := comparison{
+				Name:  name,
+				Unit:  unit,
+				BaseN: len(base[name][unit]), BaseMean: bm, BaseCI95: bci,
+				HeadN: len(hv), HeadMean: hm, HeadCI95: hci,
+				Gated: gated && gatedUnits[unit],
+			}
+			if bm != 0 {
+				c.DeltaPct = 100 * (hm - bm) / bm
+			}
+			// Non-overlapping CI95s: the conservative "clearly moved"
+			// criterion.
+			c.Significant = hm-hci > bm+bci || hm+hci < bm-bci
+			switch unit {
+			case "ns/op":
+				c.Regression = c.Gated && c.Significant && hm > bm*(1+threshold)
+			case "allocs/op":
+				// Allocation counts are deterministic per iteration:
+				// any increase of the mean is a real regression.
+				c.Regression = c.Gated && hm > bm
+			}
+			failed = failed || c.Regression
+			out = append(out, c)
+		}
+	}
+	return out, failed
+}
+
+// headOnly summarizes a head run without a base to compare against.
+func headOnly(head map[string]map[string][]float64, gateRe *regexp.Regexp) []comparison {
+	var names []string
+	for name := range head {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []comparison
+	for _, name := range names {
+		var units []string
+		for unit := range head[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			hm, hci := summarize(head[name][unit])
+			out = append(out, comparison{
+				Name: name, Unit: unit,
+				HeadN: len(head[name][unit]), HeadMean: hm, HeadCI95: hci,
+				Gated: gateRe.MatchString(name) && gatedUnits[unit],
+			})
+		}
+	}
+	return out
+}
+
+// report is the -json artifact schema.
+type report struct {
+	Base       string       `json:"base,omitempty"`
+	Head       string       `json:"head"`
+	Gate       string       `json:"gate"`
+	Threshold  float64      `json:"threshold"`
+	Failed     bool         `json:"failed"`
+	Benchmarks []comparison `json:"benchmarks"`
+}
+
+func loadBench(path string) (map[string]map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmark results", path)
+	}
+	return m, nil
+}
+
+func run(basePath, headPath, gate string, threshold float64, jsonOut string, w io.Writer) error {
+	if headPath == "" {
+		return fmt.Errorf("-head is required")
+	}
+	gateRe, err := regexp.Compile(gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate regexp: %w", err)
+	}
+	head, err := loadBench(headPath)
+	if err != nil {
+		return err
+	}
+
+	rep := report{Base: basePath, Head: headPath, Gate: gate, Threshold: threshold}
+	if basePath == "" {
+		rep.Benchmarks = headOnly(head, gateRe)
+	} else {
+		base, err := loadBench(basePath)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks, rep.Failed = compare(base, head, gateRe, threshold)
+	}
+
+	for _, c := range rep.Benchmarks {
+		mark := " "
+		switch {
+		case c.Regression:
+			mark = "✗"
+		case c.Gated:
+			mark = "✓"
+		}
+		if c.Note != "" {
+			fmt.Fprintf(w, "%s %-40s %-10s %s\n", mark, c.Name, c.Unit, c.Note)
+			continue
+		}
+		if basePath == "" {
+			fmt.Fprintf(w, "%s %-40s %-10s %12.2f ±%.2f (n=%d)\n",
+				mark, c.Name, c.Unit, c.HeadMean, c.HeadCI95, c.HeadN)
+			continue
+		}
+		fmt.Fprintf(w, "%s %-40s %-10s %12.2f ±%.2f → %12.2f ±%.2f  %+6.1f%%\n",
+			mark, c.Name, c.Unit, c.BaseMean, c.BaseCI95, c.HeadMean, c.HeadCI95, c.DeltaPct)
+	}
+
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Failed {
+		return fmt.Errorf("performance regression in gated benchmarks (gate %s, threshold %g%%)",
+			gate, threshold*100)
+	}
+	return nil
+}

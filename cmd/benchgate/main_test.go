@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: tctp/internal/sim
+cpu: Example CPU
+BenchmarkEngine-8      	 5227681	       229.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngine-8      	 5192782	       231.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngine-8      	 5203412	       230.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineCancel-8	 3000000	       400.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig7DCDT-8    	       2	 600000000 ns/op
+PASS
+ok  	tctp/internal/sim	2.153s
+`
+
+func TestParseBench(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ok := m["BenchmarkEngine"]
+	if !ok {
+		t.Fatalf("BenchmarkEngine missing (GOMAXPROCS suffix not stripped?): %v", m)
+	}
+	if n := len(eng["ns/op"]); n != 3 {
+		t.Fatalf("%d ns/op samples, want the 3 -count runs", n)
+	}
+	if eng["ns/op"][0] != 229 || eng["allocs/op"][2] != 0 {
+		t.Fatalf("samples %v", eng)
+	}
+	if len(m["BenchmarkFig7DCDT"]["ns/op"]) != 1 {
+		t.Fatalf("Fig7 samples %v", m["BenchmarkFig7DCDT"])
+	}
+}
+
+// bench renders a synthetic -count series for one benchmark.
+func bench(name string, nsop []float64, allocs float64) string {
+	var sb strings.Builder
+	for _, v := range nsop {
+		fmt.Fprintf(&sb, "%s-8\t1000\t%g ns/op\t0 B/op\t%g allocs/op\n", name, v, allocs)
+	}
+	return sb.String()
+}
+
+func mustParse(t *testing.T, s string) map[string]map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	gateRe := regexp.MustCompile("^BenchmarkEngine")
+	base := mustParse(t, bench("BenchmarkEngine", []float64{100, 101, 102, 100, 101, 102}, 0))
+
+	cases := []struct {
+		name string
+		head string
+		fail bool
+	}{
+		// Same performance: passes.
+		{"steady", bench("BenchmarkEngine", []float64{101, 100, 102, 101, 100, 102}, 0), false},
+		// +50% time/op with tight CIs: significant regression.
+		{"slower", bench("BenchmarkEngine", []float64{150, 151, 152, 150, 151, 152}, 0), true},
+		// +10% is under the 15% threshold even when significant.
+		{"under-threshold", bench("BenchmarkEngine", []float64{110, 111, 112, 110, 111, 112}, 0), false},
+		// A large but noisy slowdown (overlapping CIs) does not fail.
+		{"noisy", bench("BenchmarkEngine", []float64{60, 250, 60, 250, 60, 250}, 0), false},
+		// Any alloc/op increase fails, however small.
+		{"allocs", bench("BenchmarkEngine", []float64{100, 101, 102, 100, 101, 102}, 1), true},
+		// 40% faster: improvement, passes.
+		{"faster", bench("BenchmarkEngine", []float64{60, 61, 62, 60, 61, 62}, 0), false},
+	}
+	for _, tc := range cases {
+		_, failed := compare(base, mustParse(t, tc.head), gateRe, 0.15)
+		if failed != tc.fail {
+			t.Errorf("%s: failed = %v, want %v", tc.name, failed, tc.fail)
+		}
+	}
+}
+
+func TestCompareUngatedBenchmarksNeverFail(t *testing.T) {
+	gateRe := regexp.MustCompile("^BenchmarkEngine$")
+	base := mustParse(t, bench("BenchmarkFig7DCDT", []float64{100, 100, 100}, 0))
+	head := mustParse(t, bench("BenchmarkFig7DCDT", []float64{900, 900, 900}, 5))
+	cs, failed := compare(base, head, gateRe, 0.15)
+	if failed {
+		t.Fatal("ungated benchmark failed the gate")
+	}
+	if len(cs) == 0 || cs[0].Gated {
+		t.Fatalf("comparisons %+v", cs)
+	}
+}
+
+func TestCompareMissingGatedUnitFails(t *testing.T) {
+	// Dropping b.ReportAllocs() removes the allocs/op samples from the
+	// head run; that must not dodge the allocation gate.
+	gateRe := regexp.MustCompile("^BenchmarkEngine")
+	base := mustParse(t, bench("BenchmarkEngine", []float64{100, 100, 100}, 0))
+	head := mustParse(t, "BenchmarkEngine-8\t1000\t100 ns/op\nBenchmarkEngine-8\t1000\t100 ns/op\n")
+	cs, failed := compare(base, head, gateRe, 0.15)
+	if !failed {
+		t.Fatal("dropping the allocs/op metric dodged the gate")
+	}
+	found := false
+	for _, c := range cs {
+		if c.Unit == "allocs/op" && c.Regression && c.Note != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-unit verdict absent: %+v", cs)
+	}
+}
+
+func TestCompareMissingGatedBenchmarkFails(t *testing.T) {
+	gateRe := regexp.MustCompile("^BenchmarkEngine")
+	base := mustParse(t, bench("BenchmarkEngine", []float64{100, 100, 100}, 0))
+	head := mustParse(t, bench("BenchmarkOther", []float64{100, 100, 100}, 0))
+	_, failed := compare(base, head, gateRe, 0.15)
+	if !failed {
+		t.Fatal("deleting the gated benchmark dodged the gate")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	headPath := filepath.Join(dir, "head.txt")
+	jsonPath := filepath.Join(dir, "BENCH_engine.json")
+	if err := os.WriteFile(basePath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(headPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(basePath, headPath, "^BenchmarkEngine", 0.15, jsonPath, &out); err != nil {
+		t.Fatalf("identical runs failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEngine") {
+		t.Fatalf("report missing benchmark:\n%s", out.String())
+	}
+	var rep report
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || len(rep.Benchmarks) == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	// A regressed head fails with a non-zero exit path.
+	slow := strings.ReplaceAll(sampleBench, "229.0", "429.0")
+	slow = strings.ReplaceAll(slow, "231.0", "431.0")
+	slow = strings.ReplaceAll(slow, "230.0", "430.0")
+	if err := os.WriteFile(headPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(basePath, headPath, "^BenchmarkEngine$", 0.15, "", &bytes.Buffer{}); err == nil {
+		t.Fatal("86% slowdown passed the gate")
+	}
+
+	// Head-only mode summarizes without failing.
+	if err := run("", headPath, "^BenchmarkEngine", 0.15, jsonPath, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error paths: missing head, empty file, bad regexp.
+	if err := run("", "", ".", 0.15, "", &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -head accepted")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", empty, ".", 0.15, "", &bytes.Buffer{}); err == nil {
+		t.Fatal("empty bench file accepted")
+	}
+	if err := run("", headPath, "(", 0.15, "", &bytes.Buffer{}); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+}

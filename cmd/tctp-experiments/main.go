@@ -33,6 +33,7 @@ func main() {
 		out      = flag.String("out", "", "write results to this file instead of stdout")
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		ckptDir  = flag.String("checkpoint", "", "checkpoint directory: sweeps persist fold state here and an interrupted rerun resumes")
 	)
 	flag.Parse()
 
@@ -60,7 +61,15 @@ func main() {
 		w = file
 	}
 
-	params := experiment.Params{Seeds: *seeds, BaseSeed: *base, Workers: *workers}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tctp-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	params := experiment.Params{
+		Seeds: *seeds, BaseSeed: *base, Workers: *workers, Checkpoint: *ckptDir,
+	}
 	names := []string{*run}
 	if *run == "all" {
 		if f != experiment.FormatText {
@@ -87,21 +96,28 @@ func main() {
 func runAll(names []string, params experiment.Params, w io.Writer,
 	f experiment.Format, progress bool, errw io.Writer) error {
 	for _, name := range names {
+		// The in-place progress line is terminated once the experiment
+		// returns, not at RunsDone == RunsTotal: an experiment may run
+		// several sweeps, and under adaptive replication the total is a
+		// ceiling early-stopped cells never reach.
+		progressed := false
 		if progress {
 			name := name
 			params.Progress = func(p sweep.Progress) {
+				progressed = true
 				fmt.Fprintf(errw, "\r%s: cells %d/%d runs %d/%d",
 					name, p.CellsDone, p.CellsTotal, p.RunsDone, p.RunsTotal)
-				if p.RunsDone == p.RunsTotal {
-					fmt.Fprintln(errw)
-				}
 			}
 		}
 		start := time.Now()
 		if f == experiment.FormatText {
 			fmt.Fprintf(w, "### %s (%d replications)\n", name, params.Seeds)
 		}
-		if err := experiment.RunFormat(name, params, w, f); err != nil {
+		err := experiment.RunFormat(name, params, w, f)
+		if progressed {
+			fmt.Fprintln(errw)
+		}
+		if err != nil {
 			return err
 		}
 		if f == experiment.FormatText {

@@ -12,6 +12,17 @@
 //	tctp-sweep -alg btctp,chb -speeds 1,2,4 -placements uniform,clusters -format json
 //	tctp-sweep -alg btctp -fleets "4x2;2x1+2x3" -workloads off,on -format table
 //	tctp-sweep -alg btctp -preset clustered -progress
+//	tctp-sweep -alg btctp -scenario world.json -seeds 20
+//	tctp-sweep -alg btctp -seeds 50 -adaptive avg_dcdt_s:0.05
+//	tctp-sweep -alg btctp -checkpoint sweep.ckpt          # interrupted?
+//	tctp-sweep -alg btctp -checkpoint sweep.ckpt -resume  # …continue
+//
+// Long-running sweeps can be checkpointed (-checkpoint) and continued
+// after an interruption (-resume) with byte-identical output, and
+// -adaptive metric:relci[:min[:max]] stops each cell early once the
+// metric's CI95 half-width falls below the relative target. -scenario
+// loads a JSON scenario file (the internal/scenario model) supplying
+// the field geometry and axis defaults, like -preset but from disk.
 //
 // Placements are the values accepted by field.ParsePlacement: uniform
 // (the paper's §5.1 model), clusters (disconnected discs), grid
@@ -26,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,12 +67,16 @@ func main() {
 		wlBuf      = flag.Int("workload-buffer", 50, "node buffer capacity in packets for -workloads on")
 		wlDeadline = flag.Float64("workload-deadline", 3600, "delivery deadline in seconds for -workloads on")
 		preset     = flag.String("preset", "", "scenario preset supplying field geometry and axis defaults: "+strings.Join(scenario.PresetNames(), ", "))
+		scenarioF  = flag.String("scenario", "", "JSON scenario file supplying field geometry and axis defaults (like -preset, from disk)")
 		seeds      = flag.Int("seeds", 10, "replications per cell")
 		baseSeed   = flag.Uint64("base-seed", 0, "base replication seed")
 		horizon    = flag.Float64("horizon", 0, "simulated seconds (default 60000)")
 		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		format     = flag.String("format", "csv", "output format: csv, json, table")
 		progress   = flag.Bool("progress", false, "report progress on stderr")
+		checkpoint = flag.String("checkpoint", "", "persist per-cell fold state to this JSONL file")
+		resumeF    = flag.Bool("resume", false, "continue from the -checkpoint file instead of starting over")
+		adaptive   = flag.String("adaptive", "", "adaptive replication as metric:relci[:min[:max]], e.g. avg_dcdt_s:0.05:5:50")
 	)
 	flag.Parse()
 
@@ -68,9 +84,10 @@ func main() {
 		Algs: *algs, Targets: *targets, Mules: *mules,
 		Speeds: *speeds, Fleets: *fleets, Placements: *placements,
 		Workloads: *workloads, WorkloadGen: *wlGen, WorkloadBuf: *wlBuf,
-		WorkloadDeadline: *wlDeadline, Preset: *preset,
+		WorkloadDeadline: *wlDeadline, Preset: *preset, Scenario: *scenarioF,
 		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
 		Workers: *workers, Format: *format, Progress: *progress,
+		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
@@ -87,12 +104,16 @@ type config struct {
 	WorkloadBuf                                                 int
 	WorkloadDeadline                                            float64
 	Preset                                                      string
+	Scenario                                                    string
 	Seeds                                                       int
 	BaseSeed                                                    uint64
 	Horizon                                                     float64
 	Workers                                                     int
 	Format                                                      string
 	Progress                                                    bool
+	Checkpoint                                                  string
+	Resume                                                      bool
+	Adaptive                                                    string
 }
 
 func parseInts(s string) ([]int, error) {
@@ -168,6 +189,47 @@ func parseWorkloads(cfg config) ([]scenario.Workload, error) {
 	return out, nil
 }
 
+// parseAdaptive decodes "metric:relci[:min[:max]]" into the engine's
+// adaptive-replication config.
+func parseAdaptive(s string) (*sweep.Adaptive, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+		return nil, fmt.Errorf("bad adaptive spec %q (want metric:relci[:min[:max]])", s)
+	}
+	a := &sweep.Adaptive{Metric: parts[0]}
+	var err error
+	if a.RelCI, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return nil, fmt.Errorf("bad adaptive relative CI %q", parts[1])
+	}
+	if len(parts) > 2 {
+		if a.MinReps, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, fmt.Errorf("bad adaptive min reps %q", parts[2])
+		}
+	}
+	if len(parts) > 3 {
+		if a.MaxReps, err = strconv.Atoi(parts[3]); err != nil {
+			return nil, fmt.Errorf("bad adaptive max reps %q", parts[3])
+		}
+	}
+	return a, nil
+}
+
+// loadScenario reads and validates a serialized scenario file.
+func loadScenario(path string) (*scenario.Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario file: %w", err)
+	}
+	var sc scenario.Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("scenario file %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario file %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
 func algorithm(name string) (patrol.Algorithm, error) {
 	switch name {
 	case "btctp":
@@ -186,12 +248,22 @@ func algorithm(name string) (patrol.Algorithm, error) {
 }
 
 // applyDefaults resolves empty axis flags against the built-in
-// defaults or, when -preset is given, the preset scenario's values.
+// defaults or, when -preset or -scenario is given, the named scenario's
+// values.
 func applyDefaults(cfg config) (config, *scenario.Scenario, error) {
 	var ps *scenario.Scenario
+	if cfg.Preset != "" && cfg.Scenario != "" {
+		return cfg, nil, fmt.Errorf("-preset conflicts with -scenario: both supply the base scenario")
+	}
 	if cfg.Preset != "" {
 		var err error
 		if ps, err = scenario.Preset(cfg.Preset); err != nil {
+			return cfg, nil, err
+		}
+	}
+	if cfg.Scenario != "" {
+		var err error
+		if ps, err = loadScenario(cfg.Scenario); err != nil {
 			return cfg, nil, err
 		}
 	}
@@ -270,6 +342,9 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 		if fleet.Name == "" {
 			fleet.Name = preset.Name
 		}
+		if fleet.Name == "" {
+			fleet.Name = "scenario" // unnamed -scenario file
+		}
 		spec.Fleets = []scenario.Fleet{fleet}
 	default:
 		if spec.Mules, err = parseInts(cfg.Mules); err != nil {
@@ -306,6 +381,14 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 	if cfg.Horizon <= 0 {
 		return spec, fmt.Errorf("horizon %g must be positive", cfg.Horizon)
 	}
+	if cfg.Adaptive != "" {
+		if spec.Adaptive, err = parseAdaptive(cfg.Adaptive); err != nil {
+			return spec, err
+		}
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return spec, fmt.Errorf("-resume needs -checkpoint to name the file to continue from")
+	}
 	spec.Name = "tctp-sweep"
 	spec.Horizons = []float64{cfg.Horizon}
 	spec.Seeds = cfg.Seeds
@@ -320,6 +403,14 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 			sc.Field = presetField
 			sc.Field.Placement = placement
 		}
+		// The Configure closure is invisible to the checkpoint
+		// fingerprint; serialize the geometry it applies so resuming
+		// under an edited preset/scenario file is refused.
+		digest, err := json.Marshal(presetField)
+		if err != nil {
+			return spec, err
+		}
+		spec.ConfigDigest = string(digest)
 	}
 	spec.Metrics = []sweep.Metric{
 		sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval(), sweep.JoulesPerVisit(),
@@ -362,16 +453,29 @@ func run(cfg config, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The in-place progress line is terminated after the run returns,
+	// not at RunsDone == RunsTotal: under adaptive replication the
+	// total is a ceiling early-stopped cells never reach.
+	progressed := false
 	if cfg.Progress {
 		spec.Progress = func(p sweep.Progress) {
+			progressed = true
 			fmt.Fprintf(errw, "\rcells %d/%d runs %d/%d",
 				p.CellsDone, p.CellsTotal, p.RunsDone, p.RunsTotal)
-			if p.RunsDone == p.RunsTotal {
-				fmt.Fprintln(errw)
-			}
 		}
 	}
-	res, err := sweep.Run(context.Background(), spec, snk)
+	var res *sweep.Result
+	switch {
+	case cfg.Resume:
+		res, err = sweep.Resume(context.Background(), spec, cfg.Checkpoint, snk)
+	case cfg.Checkpoint != "":
+		res, err = sweep.RunCheckpointed(context.Background(), spec, cfg.Checkpoint, snk)
+	default:
+		res, err = sweep.Run(context.Background(), spec, snk)
+	}
+	if progressed {
+		fmt.Fprintln(errw)
+	}
 	if err != nil {
 		return err
 	}
@@ -381,6 +485,10 @@ func run(cfg config, out, errw io.Writer) error {
 	if len(res.Skipped) > 0 {
 		fmt.Fprintf(errw, "tctp-sweep: %d cells run, %d skipped\n",
 			len(res.Cells), len(res.Skipped))
+	}
+	for _, st := range res.Stopped {
+		fmt.Fprintf(errw, "tctp-sweep: stopped cell %v early after %d reps: %s\n",
+			st.Point, st.Reps, st.Reason)
 	}
 	return nil
 }

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"tctp/internal/scenario"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden fixture")
@@ -218,7 +223,7 @@ func TestScenarioAxesSweep(t *testing.T) {
 	for i, line := range lines[1:] {
 		rec := strings.Split(line, ",")
 		workload := rec[10]
-		delivered := rec[19]
+		delivered := rec[20] // point columns + reps + 4 metric pairs
 		if workload == "packets" && delivered == "0.000" {
 			t.Fatalf("row %d: workload-on cell delivered nothing: %s", i, line)
 		}
@@ -289,5 +294,182 @@ func TestProgressOutput(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), "runs 3/3") {
 		t.Fatalf("progress missing:\n%q", errw.String())
+	}
+}
+
+// TestScenarioFileDefaults: -scenario loads a serialized scenario from
+// disk and fills the axis defaults exactly like -preset.
+func TestScenarioFileDefaults(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := config{
+		Algs: "btctp", Scenario: "testdata/scenario.json",
+		Seeds: 1, Format: "csv",
+	}
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines:\n%s", len(lines), out.String())
+	}
+	rec := strings.Split(lines[1], ",")
+	if rec[1] != "9" { // fixture target count
+		t.Fatalf("targets = %s", rec[1])
+	}
+	if rec[2] != "3" { // fixture fleet size
+		t.Fatalf("mules = %s", rec[2])
+	}
+	if rec[5] != "clusters" { // fixture placement
+		t.Fatalf("placement = %s", rec[5])
+	}
+	if rec[6] != "20000" { // fixture horizon
+		t.Fatalf("horizon = %s", rec[6])
+	}
+}
+
+// TestScenarioFileRoundTrip: serializing a preset to JSON and loading
+// it back through -scenario sweeps identically to -preset — the CLI
+// proof that the scenario model round-trips.
+func TestScenarioFileRoundTrip(t *testing.T) {
+	ps, err := scenario.Preset("clustered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(ps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clustered.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outputs := make([]string, 0, 2)
+	for _, cfg := range []config{
+		{Algs: "btctp", Preset: "clustered", Seeds: 2, Format: "csv"},
+		{Algs: "btctp", Scenario: path, Seeds: 2, Format: "csv"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(cfg, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-scenario of a serialized preset diverged from -preset:\n%s\nvs\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+func TestScenarioFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"targets":{"count":0},"fleet":{"mules":[{"speed":2}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]config{
+		"missing": {Algs: "btctp", Scenario: filepath.Join(dir, "absent.json"), Seeds: 1, Format: "csv"},
+		"garbage": {Algs: "btctp", Scenario: bad, Seeds: 1, Format: "csv"},
+		"invalid": {Algs: "btctp", Scenario: invalid, Seeds: 1, Format: "csv"},
+		"preset-conflict": {Algs: "btctp", Preset: "clustered", Scenario: "testdata/scenario.json",
+			Seeds: 1, Format: "csv"},
+	} {
+		if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseAdaptive(t *testing.T) {
+	a, err := parseAdaptive("avg_dcdt_s:0.05")
+	if err != nil || a.Metric != "avg_dcdt_s" || a.RelCI != 0.05 || a.MinReps != 0 || a.MaxReps != 0 {
+		t.Fatalf("parseAdaptive = %+v, %v", a, err)
+	}
+	a, err = parseAdaptive("avg_sd_s:0.1:4:40")
+	if err != nil || a.MinReps != 4 || a.MaxReps != 40 {
+		t.Fatalf("parseAdaptive = %+v, %v", a, err)
+	}
+	for _, bad := range []string{"", "m", "m:x", ":0.1", "m:0.1:x", "m:0.1:2:x", "m:0.1:2:3:4"} {
+		if _, err := parseAdaptive(bad); err == nil {
+			t.Fatalf("parseAdaptive(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAdaptiveSweepCLI: the acceptance path end to end — a low-variance
+// cell stops before the cap, the CSV reps column carries the actual
+// count, and the stop is reported on stderr.
+func TestAdaptiveSweepCLI(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := config{
+		Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform",
+		Seeds: 30, Horizon: 5_000, Format: "csv",
+		Adaptive: "avg_dcdt_s:0.3:3",
+	}
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	rec := strings.Split(lines[1], ",")
+	reps, err := strconv.Atoi(rec[11]) // the reps column follows the 11 point columns
+	if err != nil {
+		t.Fatalf("reps column %q: %v", rec[11], err)
+	}
+	if reps < 3 || reps >= 30 {
+		t.Fatalf("adaptive cell ran %d reps, want early stop in [3,30)", reps)
+	}
+	if !strings.Contains(errw.String(), "stopped cell") ||
+		!strings.Contains(errw.String(), "avg_dcdt_s") {
+		t.Fatalf("stop report missing:\n%s", errw.String())
+	}
+	if err := run(config{
+		Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform",
+		Seeds: 5, Horizon: 5_000, Format: "csv", Adaptive: "nope:0.3",
+	}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown adaptive metric accepted")
+	}
+}
+
+// TestCheckpointResumeCLI: -checkpoint writes a resumable state file
+// and -resume replays it to output identical to a plain run.
+func TestCheckpointResumeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	base := config{
+		Algs: "btctp", Targets: "6", Mules: "2", Speeds: "2", Placements: "uniform",
+		Seeds: 3, Horizon: 5_000, Format: "csv",
+	}
+	var plain, errw bytes.Buffer
+	if err := run(base, &plain, &errw); err != nil {
+		t.Fatal(err)
+	}
+
+	ck := base
+	ck.Checkpoint = path
+	var first bytes.Buffer
+	if err := run(ck, &first, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != plain.String() {
+		t.Fatalf("checkpointed run diverged from plain run")
+	}
+
+	ck.Resume = true
+	var resumed bytes.Buffer
+	if err := run(ck, &resumed, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != plain.String() {
+		t.Fatalf("-resume output diverged:\n%s\nvs\n%s", resumed.String(), plain.String())
+	}
+
+	// -resume without -checkpoint is rejected.
+	bad := base
+	bad.Resume = true
+	if err := run(bad, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
 	}
 }

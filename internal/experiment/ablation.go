@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
@@ -44,8 +43,8 @@ func (c AblationConfig) spec(p Params, name string, horizon float64) sweep.Spec 
 }
 
 // runCells executes the spec and hands each finished cell to row.
-func runCells(spec sweep.Spec, name string, row func(c *sweep.CellResult) error) error {
-	res, err := sweep.Run(context.Background(), spec)
+func runCells(p Params, spec sweep.Spec, name string, row func(c *sweep.CellResult) error) error {
+	res, err := p.run(spec)
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
@@ -84,7 +83,7 @@ func TourHeuristics(p Params, cfg AblationConfig) (*Table, error) {
 
 	table := NewTable("A1 — circuit construction heuristics",
 		"heuristic", "2-opt", "circuit length (m)", "avg DCDT (s)")
-	err := runCells(spec, "A1", func(c *sweep.CellResult) error {
+	err := runCells(p, spec, "A1", func(c *sweep.CellResult) error {
 		d := defs[c.Index]
 		table.AddF(d.h.String(), fmt.Sprint(d.improve),
 			c.Metric("circuit_m").Mean, c.Metric("avg_dcdt_s").Mean)
@@ -116,7 +115,7 @@ func BreakPolicies(p Params, cfg AblationConfig) (*Table, error) {
 
 	table := NewTable("A2 — break-edge policies (3 VIPs, weight 4)",
 		"policy", "WPP length (m)", "avg DCDT (s)", "avg SD (s)")
-	err := runCells(spec, "A2", func(c *sweep.CellResult) error {
+	err := runCells(p, spec, "A2", func(c *sweep.CellResult) error {
 		table.AddF(c.Point.Algorithm, c.Metric("circuit_m").Mean,
 			c.Metric("avg_dcdt_s").Mean, c.Metric("avg_sd_s").Mean)
 		return nil
@@ -148,7 +147,7 @@ func LocationInit(p Params, cfg AblationConfig) (*Table, error) {
 
 	table := NewTable("A3 — location initialization on/off",
 		"variant", "avg SD (s)", "max interval (s)")
-	err := runCells(spec, "A3", func(c *sweep.CellResult) error {
+	err := runCells(p, spec, "A3", func(c *sweep.CellResult) error {
 		table.AddF(c.Point.Algorithm,
 			c.Metric("avg_sd_s").Mean, c.Metric("max_interval_s").Mean)
 		return nil
@@ -199,7 +198,7 @@ func DwellSensitivity(p Params, cfg AblationConfig) (*Table, error) {
 
 	table := NewTable("A4 — dwell-time sensitivity",
 		"dwell (s)", "Equ.4 rounds", "steady avg SD (s)")
-	err := runCells(spec, "A4", func(c *sweep.CellResult) error {
+	err := runCells(p, spec, "A4", func(c *sweep.CellResult) error {
 		table.AddF(dwells[c.Index],
 			c.Metric("rounds").Mean, c.Metric("steady_sd").Mean)
 		return nil
@@ -228,7 +227,7 @@ func Traversal(p Params, cfg AblationConfig) (*Table, error) {
 
 	table := NewTable("A5 — WPP traversal order",
 		"traversal", "avg DCDT (s)", "avg SD (s)")
-	err := runCells(spec, "A5", func(c *sweep.CellResult) error {
+	err := runCells(p, spec, "A5", func(c *sweep.CellResult) error {
 		table.AddF(c.Point.Algorithm,
 			c.Metric("avg_dcdt_s").Mean, c.Metric("avg_sd_s").Mean)
 		return nil

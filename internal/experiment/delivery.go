@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
@@ -85,7 +84,7 @@ func Delivery(p Params, cfg DeliveryConfig) (*DeliveryResult, error) {
 		sweep.MeanLatency(), sweep.MaxLatency(),
 	}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("delivery: %w", err)
 	}

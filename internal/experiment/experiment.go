@@ -10,6 +10,10 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"tctp/internal/sweep"
@@ -27,6 +31,12 @@ type Params struct {
 	// Progress, when non-nil, receives the engine's progress snapshots
 	// (cmd/tctp-experiments wires it to -progress).
 	Progress func(sweep.Progress)
+	// Checkpoint, when non-empty, is a directory where every sweep an
+	// experiment runs persists its fold state (one <spec-name>.ckpt
+	// file each). A rerun of an interrupted experiment resumes at the
+	// last completed replication instead of starting over
+	// (cmd/tctp-experiments wires it to -checkpoint).
+	Checkpoint string
 }
 
 // spec seeds a sweep.Spec with the protocol knobs; runners fill in the
@@ -49,6 +59,26 @@ func (p Params) withDefaults() Params {
 		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	return p
+}
+
+// run executes the spec through the sweep engine, applying the
+// Params' checkpoint policy: without a checkpoint directory it is a
+// plain sweep.Run; with one, the sweep checkpoints to
+// <dir>/<spec-name>.ckpt and resumes from an existing file — so
+// rerunning a killed experiment command picks up where it stopped.
+func (p Params) run(spec sweep.Spec, sinks ...sweep.Sink) (*sweep.Result, error) {
+	ctx := context.Background()
+	if p.Checkpoint == "" {
+		return sweep.Run(ctx, spec, sinks...)
+	}
+	if spec.Name == "" {
+		return nil, fmt.Errorf("experiment: checkpointed sweep needs a spec name")
+	}
+	path := filepath.Join(p.Checkpoint, spec.Name+".ckpt")
+	if _, err := os.Stat(path); err == nil {
+		return sweep.Resume(ctx, spec, path, sinks...)
+	}
+	return sweep.RunCheckpointed(ctx, spec, path, sinks...)
 }
 
 // Quick returns a protocol suitable for smoke tests and benchmarks:

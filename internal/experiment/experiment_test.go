@@ -2,11 +2,14 @@ package experiment
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
 	"tctp/internal/stats"
+	"tctp/internal/sweep"
 )
 
 // quick2 is a 2-replication protocol that keeps experiment tests fast
@@ -225,5 +228,33 @@ func TestDeliveryShapesHold(t *testing.T) {
 		if parse(row[1]) <= 0 {
 			t.Fatalf("%s delivered nothing", name)
 		}
+	}
+}
+
+// A Params.Checkpoint directory makes every experiment sweep
+// checkpointed and resumable: the second run of the same experiment
+// restores instead of recomputing, and renders identically.
+func TestParamsCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	p := Quick()
+	p.Checkpoint = dir
+
+	render := func() string {
+		var buf bytes.Buffer
+		if err := RunFormat("a1-tour", p, &buf, FormatCSV); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	if _, err := os.Stat(filepath.Join(dir, "a1-tour.ckpt")); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	if second := render(); second != first {
+		t.Fatalf("checkpointed rerun diverged:\n%s\nvs\n%s", first, second)
+	}
+	// A nameless spec cannot derive a checkpoint file name.
+	if _, err := p.run(sweep.Spec{}); err == nil {
+		t.Fatal("nameless checkpointed spec accepted")
 	}
 }

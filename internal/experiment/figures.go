@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"tctp/internal/baseline"
@@ -74,7 +73,7 @@ func Fig7(p Params, cfg Fig7Config) (*Fig7Result, error) {
 	spec.Horizons = []float64{cfg.Horizon}
 	spec.Vectors = []sweep.VectorMetric{sweep.DCDTCurve(cfg.MaxVisits)}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
@@ -137,7 +136,7 @@ func Fig8(p Params, cfg Fig8Config) (*Fig8Result, error) {
 	spec.Horizons = []float64{cfg.Horizon}
 	spec.Metrics = []sweep.Metric{sweep.AvgSD()}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}
@@ -236,7 +235,7 @@ func WTCTPPolicies(p Params, cfg WTCTPConfig) (*WTCTPResult, error) {
 	spec.Horizons = []float64{cfg.Horizon}
 	spec.Metrics = []sweep.Metric{sweep.AvgDCDT(), sweep.AvgSD()}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("wtctp: %w", err)
 	}
@@ -331,7 +330,7 @@ func Energy(p Params, cfg EnergyConfig) (*EnergyResult, error) {
 		sweep.Recharges(), sweep.MaxInterval(),
 	}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("energy: %w", err)
 	}

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"tctp/internal/core"
@@ -74,7 +73,7 @@ func Resonance(p Params, cfg ResonanceConfig) (*ResonanceResult, error) {
 		}},
 	}
 
-	res, err := sweep.Run(context.Background(), spec)
+	res, err := p.run(spec)
 	if err != nil {
 		return nil, fmt.Errorf("resonance: %w", err)
 	}

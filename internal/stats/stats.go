@@ -198,6 +198,42 @@ func (a *Accumulator) Summary() Summary {
 	return Summary{N: a.n, Mean: a.Mean(), SD: a.SD(), Min: a.min, Max: a.max}
 }
 
+// AccumulatorState is the serializable snapshot of an Accumulator. The
+// floating-point moments travel as raw IEEE-754 bits so a
+// State→Restore round trip through any text encoding (JSON included)
+// is bit-exact — the sweep engine's checkpoint/resume path depends on
+// this for byte-identical output — and so non-finite values survive
+// encoders that reject NaN and ±Inf literals.
+type AccumulatorState struct {
+	N    int    `json:"n"`
+	Mean uint64 `json:"mean_bits"`
+	M2   uint64 `json:"m2_bits"`
+	Min  uint64 `json:"min_bits"`
+	Max  uint64 `json:"max_bits"`
+}
+
+// State snapshots the accumulator.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{
+		N:    a.n,
+		Mean: math.Float64bits(a.mean),
+		M2:   math.Float64bits(a.m2),
+		Min:  math.Float64bits(a.min),
+		Max:  math.Float64bits(a.max),
+	}
+}
+
+// Restore overwrites the accumulator with a snapshot taken by State.
+// Feeding the restored accumulator the same remaining samples in the
+// same order as the original produces bit-identical moments.
+func (a *Accumulator) Restore(s AccumulatorState) {
+	a.n = s.N
+	a.mean = math.Float64frombits(s.Mean)
+	a.m2 = math.Float64frombits(s.M2)
+	a.min = math.Float64frombits(s.Min)
+	a.max = math.Float64frombits(s.Max)
+}
+
 // MeanAcross averages replicated runs elementwise: runs[r][k] is the
 // k-th value of replication r. Rows may have different lengths; each
 // output position averages the rows that reach it. An empty input

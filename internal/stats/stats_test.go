@@ -271,3 +271,48 @@ func TestSurfaceEmpty(t *testing.T) {
 		t.Fatal("empty surface stats not zero")
 	}
 }
+
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	// Split a sample stream at every prefix: folding the suffix into a
+	// restored accumulator must be bit-identical to folding it all into
+	// one — the checkpoint/resume contract.
+	xs := []float64{3.25, -1.5, 0.1, 7.75, 2.2, -0.3, 5.5}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for cut := 0; cut <= len(xs); cut++ {
+		var prefix Accumulator
+		for _, x := range xs[:cut] {
+			prefix.Add(x)
+		}
+		var resumed Accumulator
+		resumed.Restore(prefix.State())
+		for _, x := range xs[cut:] {
+			resumed.Add(x)
+		}
+		if resumed.State() != whole.State() {
+			t.Fatalf("cut %d: resumed state %+v != whole %+v", cut, resumed.State(), whole.State())
+		}
+		if resumed.Mean() != whole.Mean() || resumed.SD() != whole.SD() ||
+			resumed.CI95() != whole.CI95() {
+			t.Fatalf("cut %d: resumed moments differ", cut)
+		}
+	}
+}
+
+func TestAccumulatorStateNonFinite(t *testing.T) {
+	// NaN and ±Inf survive the bit-level snapshot (JSON could not carry
+	// them as float literals).
+	var a Accumulator
+	a.Add(math.NaN())
+	a.Add(math.Inf(1))
+	var b Accumulator
+	b.Restore(a.State())
+	if b.N() != 2 || b.State() != a.State() {
+		t.Fatalf("non-finite state did not round-trip: %+v vs %+v", a.State(), b.State())
+	}
+	if !math.IsNaN(b.Mean()) {
+		t.Fatalf("restored mean %v, want NaN", b.Mean())
+	}
+}

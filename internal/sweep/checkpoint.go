@@ -1,0 +1,293 @@
+package sweep
+
+// Checkpoint/resume support. A checkpointed sweep appends one JSONL
+// record per completed (in-order) replication: the owning cell, the
+// next-replication counter, and the bit-exact state of every Welford
+// accumulator (see stats.AccumulatorState). Only the seed-ordered
+// folded prefix is ever persisted — out-of-order replications parked
+// in a collector's pending set are re-executed on resume — so a
+// resumed sweep folds exactly the samples an uninterrupted one would,
+// in the same order, and produces byte-identical sink output.
+//
+// The first line is a header carrying a fingerprint of the spec's
+// structural identity (cells, metrics, replication protocol). Resume
+// refuses a checkpoint whose fingerprint does not match the offered
+// spec: continuing a sweep under a different grid would silently mix
+// incompatible aggregates.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"tctp/internal/scenario"
+	"tctp/internal/stats"
+)
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Version     int    `json:"checkpoint"`
+	Sweep       string `json:"sweep"`
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	MaxReps     int    `json:"max_reps"`
+}
+
+// checkpointRecord is one cell's fold state after an in-order fold
+// advance. Later records for the same cell supersede earlier ones.
+type checkpointRecord struct {
+	Cell    int                        `json:"cell"`
+	Next    int                        `json:"next"`
+	Stopped bool                       `json:"stopped,omitempty"`
+	Reason  string                     `json:"reason,omitempty"`
+	Scalars []stats.AccumulatorState   `json:"scalars"`
+	Vectors [][]stats.AccumulatorState `json:"vectors,omitempty"`
+}
+
+// fingerprint hashes the spec's structural identity: everything
+// declarative that determines which replications run and how they fold
+// — the protocol, every cell's point, the full workload and fleet
+// configurations (points carry only their names), and the caller's
+// ConfigDigest. Behavior hooks (Configure, Options, Scenario, variant
+// constructors) cannot be hashed; callers whose hooks close over
+// external configuration must fold that configuration into
+// Spec.ConfigDigest, as cmd/tctp-sweep does for -preset/-scenario.
+func (s *Spec) fingerprint(defs []cellDef) (string, error) {
+	type vectorID struct {
+		Name string `json:"name"`
+		Len  int    `json:"len"`
+	}
+	id := struct {
+		Name      string              `json:"name"`
+		Seeds     int                 `json:"seeds"`
+		BaseSeed  uint64              `json:"base_seed"`
+		Adaptive  *Adaptive           `json:"adaptive,omitempty"`
+		Metrics   []string            `json:"metrics"`
+		Vectors   []vectorID          `json:"vectors,omitempty"`
+		Workloads []scenario.Workload `json:"workloads,omitempty"`
+		Fleets    []scenario.Fleet    `json:"fleets,omitempty"`
+		Digest    string              `json:"digest,omitempty"`
+		Points    []Point             `json:"points"`
+	}{
+		Name:      s.Name,
+		Seeds:     s.Seeds,
+		BaseSeed:  s.BaseSeed,
+		Adaptive:  s.Adaptive,
+		Metrics:   make([]string, len(s.Metrics)),
+		Workloads: s.Workloads,
+		Fleets:    s.Fleets,
+		Digest:    s.ConfigDigest,
+		Points:    make([]Point, len(defs)),
+	}
+	for i, m := range s.Metrics {
+		id.Metrics[i] = m.Name
+	}
+	for _, vm := range s.Vectors {
+		id.Vectors = append(id.Vectors, vectorID{Name: vm.Name, Len: vm.Len})
+	}
+	for i, d := range defs {
+		id.Points[i] = d.point
+	}
+	b, err := json.Marshal(id)
+	if err != nil {
+		return "", fmt.Errorf("sweep: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// checkpointWriter appends records to the checkpoint file. Each Encode
+// lands as a single write of one complete line, so a crash can at
+// worst truncate the final line — which the loader tolerates (and
+// Resume truncates away before appending). The writer has its own
+// lock: records are snapshotted under the engine lock but encoded and
+// written outside it, so workers do not serialize on checkpoint I/O.
+// Out-of-order writes are harmless — the loader keeps each cell's
+// furthest record, and every record is a self-contained prefix state.
+type checkpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+func createCheckpoint(path string, hdr checkpointHeader) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: create checkpoint: %w", err)
+	}
+	w := &checkpointWriter{f: f, enc: json.NewEncoder(f)}
+	if err := w.enc.Encode(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: checkpoint header: %w", err)
+	}
+	return w, nil
+}
+
+// appendCheckpoint reopens a loaded checkpoint for writing, first
+// truncating it to validLen — the end of its last valid line — so a
+// crash's partial final line is not merged with the next record.
+func appendCheckpoint(path string, validLen int64) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: trim checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// snapshotRecord copies one cell's current fold state. Called under
+// the engine lock; the copy is what write encodes outside it.
+func snapshotRecord(cell int, c *collector) *checkpointRecord {
+	rec := &checkpointRecord{
+		Cell:    cell,
+		Next:    c.next,
+		Stopped: c.stopReason != "",
+		Reason:  c.stopReason,
+		Scalars: make([]stats.AccumulatorState, len(c.scalars)),
+	}
+	for i := range c.scalars {
+		rec.Scalars[i] = c.scalars[i].State()
+	}
+	if len(c.vectors) > 0 {
+		rec.Vectors = make([][]stats.AccumulatorState, len(c.vectors))
+		for i, accs := range c.vectors {
+			rec.Vectors[i] = make([]stats.AccumulatorState, len(accs))
+			for k := range accs {
+				rec.Vectors[i][k] = accs[k].State()
+			}
+		}
+	}
+	return rec
+}
+
+// write persists a snapshotted record.
+func (w *checkpointWriter) write(rec *checkpointRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(rec)
+}
+
+// Close is idempotent: runSpec closes explicitly on success to surface
+// the error, and once more via defer on every other path.
+func (w *checkpointWriter) Close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	return f.Close()
+}
+
+// loadCheckpoint reads and validates a checkpoint, returning each
+// cell's furthest recorded state (records may land slightly out of
+// order — the writer runs outside the engine lock — and every record
+// is a self-contained prefix, so the largest counter wins) plus the
+// byte length of the valid content, which Resume truncates to before
+// appending. A truncated final line (the signature of a mid-write
+// crash) is ignored; any other malformed or inconsistent content is a
+// hard error — resuming from corrupted state would poison every
+// downstream aggregate.
+func loadCheckpoint(path, wantFP string, sp *Spec, cells int) (map[int]checkpointRecord, int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	content := string(raw)
+	lines := strings.Split(strings.TrimSuffix(content, "\n"), "\n")
+	if !strings.HasSuffix(content, "\n") && len(lines) > 0 {
+		// A torn write can cut a line anywhere — even leaving complete
+		// JSON with only the newline missing — so an unterminated final
+		// line is always discarded (Resume re-executes its replication)
+		// rather than parsed; counting it into validLen would make the
+		// truncate-then-append below corrupt the file.
+		if len(lines) == 1 {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s: truncated header", path)
+		}
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, 0, fmt.Errorf("sweep: checkpoint %s is empty", path)
+	}
+
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return nil, 0, fmt.Errorf("sweep: checkpoint %s: malformed header: %w", path, err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, 0, fmt.Errorf("sweep: checkpoint %s: unsupported version %d (want %d)",
+			path, hdr.Version, checkpointVersion)
+	}
+	if hdr.Fingerprint != wantFP {
+		return nil, 0, fmt.Errorf(
+			"sweep: checkpoint %s was written for a different sweep spec (fingerprint %s, spec %s): refusing to resume",
+			path, hdr.Fingerprint, wantFP)
+	}
+	if hdr.Cells != cells || hdr.MaxReps != sp.maxReps() {
+		return nil, 0, fmt.Errorf("sweep: checkpoint %s: %d cells × %d reps, spec has %d × %d",
+			path, hdr.Cells, hdr.MaxReps, cells, sp.maxReps())
+	}
+
+	validLen := int64(len(lines[0]) + 1)
+	out := make(map[int]checkpointRecord)
+	for i, line := range lines[1:] {
+		lineNo := i + 2
+		var rec checkpointRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: corrupt record: %w",
+				path, lineNo, err)
+		}
+		if err := validateRecord(&rec, sp, cells); err != nil {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: %w", path, lineNo, err)
+		}
+		validLen += int64(len(line) + 1)
+		if prev, ok := out[rec.Cell]; !ok || rec.Next > prev.Next {
+			out[rec.Cell] = rec
+		}
+	}
+	return out, validLen, nil
+}
+
+func validateRecord(rec *checkpointRecord, sp *Spec, cells int) error {
+	if rec.Cell < 0 || rec.Cell >= cells {
+		return fmt.Errorf("cell %d outside [0,%d)", rec.Cell, cells)
+	}
+	if rec.Next < 1 || rec.Next > sp.maxReps() {
+		return fmt.Errorf("cell %d has %d folded replications (max %d)",
+			rec.Cell, rec.Next, sp.maxReps())
+	}
+	if len(rec.Scalars) != len(sp.Metrics) {
+		return fmt.Errorf("cell %d carries %d scalar accumulators, spec has %d metrics",
+			rec.Cell, len(rec.Scalars), len(sp.Metrics))
+	}
+	for i, s := range rec.Scalars {
+		if s.N != rec.Next {
+			return fmt.Errorf("cell %d scalar %d folded %d samples, counter says %d",
+				rec.Cell, i, s.N, rec.Next)
+		}
+	}
+	if len(sp.Vectors) == 0 {
+		if len(rec.Vectors) != 0 {
+			return fmt.Errorf("cell %d carries vector state, spec has no vector metrics", rec.Cell)
+		}
+		return nil
+	}
+	if len(rec.Vectors) != len(sp.Vectors) {
+		return fmt.Errorf("cell %d carries %d vector accumulators, spec has %d",
+			rec.Cell, len(rec.Vectors), len(sp.Vectors))
+	}
+	for i, accs := range rec.Vectors {
+		if len(accs) != sp.Vectors[i].Len {
+			return fmt.Errorf("cell %d vector %d has %d positions, spec declares %d",
+				rec.Cell, i, len(accs), sp.Vectors[i].Len)
+		}
+	}
+	return nil
+}

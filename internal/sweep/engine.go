@@ -37,10 +37,16 @@ type VectorSummary struct {
 type CellResult struct {
 	// Index is the cell's position in the spec's enumeration order,
 	// counting executed (non-skipped) cells only.
-	Index   int             `json:"cell"`
-	Point   Point           `json:"point"`
-	Metrics []MetricSummary `json:"metrics,omitempty"`
-	Vectors []VectorSummary `json:"vectors,omitempty"`
+	Index int   `json:"cell"`
+	Point Point `json:"point"`
+	// Reps is the number of replications folded into the cell: Seeds,
+	// or fewer when adaptive early stopping cut the cell short.
+	Reps int `json:"reps"`
+	// StopReason is non-empty when the cell stopped before the
+	// replication ceiling.
+	StopReason string          `json:"stop_reason,omitempty"`
+	Metrics    []MetricSummary `json:"metrics,omitempty"`
+	Vectors    []VectorSummary `json:"vectors,omitempty"`
 }
 
 // Metric returns the named metric summary, or a zero summary if the
@@ -70,13 +76,28 @@ type SkippedCell struct {
 	Reason string `json:"reason"`
 }
 
+// StoppedCell records a cell that adaptive replication cut short of
+// the replication ceiling. It rides the same reporting channel as
+// SkippedCell: the text sink's footer and tctp-sweep's stderr report.
+type StoppedCell struct {
+	Point  Point  `json:"point"`
+	Reps   int    `json:"reps"`
+	Reason string `json:"reason"`
+}
+
 // Result is a finished sweep.
 type Result struct {
 	// Cells holds the executed cells in enumeration order.
 	Cells []*CellResult
 	// Skipped holds the excluded cells in enumeration order.
 	Skipped []SkippedCell
-	// Runs is the number of replications executed.
+	// Stopped holds the adaptively early-stopped cells in enumeration
+	// order.
+	Stopped []StoppedCell
+	// Runs is the number of replications folded into the result; on
+	// Resume this includes the replications restored from the
+	// checkpoint, so a resumed sweep finishes with the same count as an
+	// uninterrupted one.
 	Runs int
 }
 
@@ -91,6 +112,9 @@ func (r *Result) Cell(p Point) *CellResult {
 }
 
 // Progress is a snapshot handed to the Spec's Progress callback.
+// Under adaptive replication RunsTotal is the ceiling
+// (cells × MaxReps); early-stopped cells finish below it, so RunsDone
+// may never reach RunsTotal.
 type Progress struct {
 	CellsDone, CellsTotal int
 	RunsDone, RunsTotal   int
@@ -103,16 +127,23 @@ type Progress struct {
 // independent of the worker count. Pending never holds more than the
 // number of in-flight workers.
 type collector struct {
-	next    int
-	pending map[int]*runValues
-	scalars []stats.Accumulator
-	vectors [][]stats.Accumulator
+	next int
+	// stop is the cell's current replication target: the ceiling
+	// (Seeds, or Adaptive.MaxReps), shrunk to the folded count when the
+	// adaptive rule fires. The cell is finished when next == stop.
+	stop       int
+	stopReason string
+	pending    map[int]*runValues
+	scalars    []stats.Accumulator
+	vectors    [][]stats.Accumulator
 }
 
-// runValues is the raw output of one replication.
+// runValues is the outcome of one replication: its metric values, or
+// the error that produced neither.
 type runValues struct {
 	scalars []float64
 	vectors [][]float64
+	err     error
 }
 
 type job struct {
@@ -124,6 +155,8 @@ type engine struct {
 	spec  *Spec
 	defs  []cellDef
 	sinks []Sink
+	watch int               // index of the adaptive metric, or -1
+	ck    *checkpointWriter // nil when not checkpointing
 
 	mu         sync.Mutex
 	collectors []*collector
@@ -141,6 +174,38 @@ type engine struct {
 // context is canceled, or a replication fails; the first error in
 // (cell, replication) order wins, regardless of worker count.
 func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
+	return runSpec(ctx, spec, "", false, sinks)
+}
+
+// RunCheckpointed executes the spec like Run while persisting each
+// cell's fold state (the seed-ordered Welford accumulators and the
+// next-replication counter) to path as JSONL after every completed
+// replication. An interrupted run — error, crash, or context
+// cancellation — leaves a checkpoint that Resume can continue from.
+// An existing file at path is truncated.
+func RunCheckpointed(ctx context.Context, spec Spec, path string, sinks ...Sink) (*Result, error) {
+	if path == "" {
+		return nil, fmt.Errorf("sweep: RunCheckpointed needs a checkpoint path")
+	}
+	return runSpec(ctx, spec, path, false, sinks)
+}
+
+// Resume continues an interrupted checkpointed sweep. The spec must
+// structurally match the one the checkpoint was written for (same
+// cells, metrics, replication protocol — enforced by a fingerprint in
+// the checkpoint header); completed work is skipped, partially folded
+// cells continue at their next replication, and the sinks receive
+// every cell again in enumeration order, so the final output is
+// byte-identical to an uninterrupted run of the same spec. The
+// checkpoint keeps extending as the resumed sweep progresses.
+func Resume(ctx context.Context, spec Spec, path string, sinks ...Sink) (*Result, error) {
+	if path == "" {
+		return nil, fmt.Errorf("sweep: Resume needs a checkpoint path")
+	}
+	return runSpec(ctx, spec, path, true, sinks)
+}
+
+func runSpec(ctx context.Context, spec Spec, ckPath string, resume bool, sinks []Sink) (*Result, error) {
 	sp := spec.withDefaults()
 	if err := sp.validate(); err != nil {
 		return nil, err
@@ -159,6 +224,36 @@ func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
 		defs = append(defs, d)
 	}
 
+	// Open the checkpoint before the sinks: a stale or corrupt
+	// checkpoint must fail the resume before any sink writes a header.
+	var restored map[int]checkpointRecord
+	var ck *checkpointWriter
+	if ckPath != "" {
+		fp, err := sp.fingerprint(defs)
+		if err != nil {
+			return nil, err
+		}
+		if resume {
+			var validLen int64
+			if restored, validLen, err = loadCheckpoint(ckPath, fp, &sp, len(defs)); err != nil {
+				return nil, err
+			}
+			ck, err = appendCheckpoint(ckPath, validLen)
+		} else {
+			ck, err = createCheckpoint(ckPath, checkpointHeader{
+				Version:     checkpointVersion,
+				Sweep:       sp.Name,
+				Fingerprint: fp,
+				Cells:       len(defs),
+				MaxReps:     sp.maxReps(),
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
+	}
+
 	for _, s := range sinks {
 		if err := s.Begin(&sp, len(defs)); err != nil {
 			return nil, fmt.Errorf("sweep: sink begin: %w", err)
@@ -169,21 +264,77 @@ func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
 		spec:       &sp,
 		defs:       defs,
 		sinks:      sinks,
+		watch:      -1,
+		ck:         ck,
 		collectors: make([]*collector, len(defs)),
 		ready:      make(map[int]*CellResult),
 		result:     result,
 	}
+	if sp.Adaptive != nil {
+		for i, m := range sp.Metrics {
+			if m.Name == sp.Adaptive.Metric {
+				e.watch = i
+				break
+			}
+		}
+	}
+	maxReps := sp.maxReps()
+	startRep := make([]int, len(defs))
 	for i := range e.collectors {
-		e.collectors[i] = &collector{
+		c := &collector{
+			stop:    maxReps,
 			pending: make(map[int]*runValues),
 			scalars: make([]stats.Accumulator, len(sp.Metrics)),
 			vectors: newVectorAccs(sp.Vectors),
 		}
+		if rec, ok := restored[i]; ok {
+			c.next = rec.Next
+			for k := range c.scalars {
+				c.scalars[k].Restore(rec.Scalars[k])
+			}
+			for k := range c.vectors {
+				for j := range c.vectors[k] {
+					c.vectors[k][j].Restore(rec.Vectors[k][j])
+				}
+			}
+			if rec.Stopped {
+				c.stop, c.stopReason = rec.Next, rec.Reason
+			} else {
+				// Re-evaluate the stopping rule on the restored prefix:
+				// an uninterrupted run checks after every fold, so a
+				// resumed one must stop at the same replication.
+				e.adaptiveCheck(c)
+			}
+			result.Runs += rec.Next
+		}
+		startRep[i] = c.next
+		e.collectors[i] = c
+	}
+
+	// Cells the checkpoint already completed are finalized and emitted
+	// up front, before any worker starts.
+	e.mu.Lock()
+	for i, c := range e.collectors {
+		if c.next == c.stop {
+			e.ready[i] = e.finalize(i, c)
+			e.collectors[i] = nil
+			e.cellsDone++
+		}
+	}
+	e.emitReadyLocked()
+	preErr := e.err
+	e.mu.Unlock()
+	if preErr != nil {
+		return nil, preErr
 	}
 
 	workers := sp.Workers
-	if total := len(defs) * sp.Seeds; workers > total {
-		workers = total
+	remaining := 0
+	for i := range defs {
+		remaining += maxReps - startRep[i]
+	}
+	if workers > remaining {
+		workers = remaining
 	}
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -199,12 +350,17 @@ func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
 	}
 
 	// Dispatch cells × replications in order; stop early on abort or
-	// cancellation. Workers run every job they receive, so the
-	// lowest-ordered failing job is always executed and its error wins.
+	// cancellation, and stop a cell's dispatch once the adaptive rule
+	// froze its replication target. Workers run every job they receive,
+	// so the lowest-ordered failing job is always executed and its
+	// error wins.
 	var ctxErr error
 dispatch:
 	for c := range defs {
-		for r := 0; r < sp.Seeds; r++ {
+		for r := startRep[c]; r < maxReps; r++ {
+			if r >= e.cellStop(c) {
+				break // adaptive stop: free the pool for later cells
+			}
 			select {
 			case <-ctx.Done():
 				ctxErr = ctx.Err()
@@ -225,12 +381,75 @@ dispatch:
 	if ctxErr != nil {
 		return nil, ctxErr
 	}
+	if ck != nil {
+		if err := ck.Close(); err != nil {
+			return nil, fmt.Errorf("sweep: checkpoint close: %w", err)
+		}
+	}
 	for _, s := range sinks {
 		if err := s.End(result); err != nil {
 			return nil, fmt.Errorf("sweep: sink end: %w", err)
 		}
 	}
 	return result, nil
+}
+
+// cellStop reads a cell's current replication target.
+func (e *engine) cellStop(cell int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.collectors[cell]
+	if c == nil {
+		return 0 // finished
+	}
+	return c.stop
+}
+
+// adaptiveCheck shrinks the collector's replication target to the
+// folded count once the watched metric's confidence interval meets the
+// relative target. It must run after every in-order fold (and once on
+// restore) so the decision depends only on the folded prefix.
+func (e *engine) adaptiveCheck(c *collector) {
+	ad := e.spec.Adaptive
+	if ad == nil || e.watch < 0 || c.next >= c.stop || c.next < ad.MinReps {
+		return
+	}
+	if ad.converged(&c.scalars[e.watch]) {
+		c.stop = c.next
+		c.stopReason = fmt.Sprintf("adaptive: %s CI95 within %g of mean after %d replications",
+			ad.Metric, ad.RelCI, c.next)
+		for r := range c.pending {
+			if r >= c.stop {
+				delete(c.pending, r)
+			}
+		}
+	}
+}
+
+// emitReadyLocked drains finished cells to the sinks in enumeration
+// order and records adaptively stopped cells. Callers hold e.mu.
+func (e *engine) emitReadyLocked() {
+	for {
+		cr, ok := e.ready[e.emitNext]
+		if !ok {
+			return
+		}
+		delete(e.ready, e.emitNext)
+		for _, s := range e.sinks {
+			if serr := s.Cell(cr); serr != nil && e.err == nil {
+				e.err = fmt.Errorf("sweep: sink cell %d: %w", cr.Index, serr)
+				e.aborted = true
+				return
+			}
+		}
+		if cr.StopReason != "" {
+			e.result.Stopped = append(e.result.Stopped, StoppedCell{
+				Point: cr.Point, Reps: cr.Reps, Reason: cr.StopReason,
+			})
+		}
+		e.result.Cells = append(e.result.Cells, cr)
+		e.emitNext++
+	}
 }
 
 func (e *engine) abortedNow() bool {
@@ -311,55 +530,92 @@ func (e *engine) runOne(j job) (*runValues, error) {
 	return vals, nil
 }
 
-// deliver folds one replication's values into its cell, in seed order,
-// and emits finished cells to the sinks in enumeration order.
+// deliver folds one replication's values into its cell (under the
+// engine lock), then persists the cell's new fold state outside it, so
+// workers never serialize on checkpoint I/O.
 func (e *engine) deliver(j job, vals *runValues, err error) {
+	rec := e.fold(j, vals, err)
+	if rec == nil {
+		return
+	}
+	if werr := e.ck.write(rec); werr != nil {
+		e.mu.Lock()
+		if e.err == nil {
+			e.err = fmt.Errorf("sweep: checkpoint: %w", werr)
+		}
+		e.aborted = true
+		e.mu.Unlock()
+	}
+}
+
+// fold incorporates one replication's outcome into its cell, in seed
+// order, emits finished cells to the sinks in enumeration order, and
+// returns the snapshot to checkpoint (nil when nothing advanced or
+// checkpointing is off).
+//
+// Errors park in pending like values and surface only when the fold
+// reaches their replication: whether a failing replication aborts the
+// sweep is decided by its seed-order position — never by delivery
+// timing — so a failure on a replication beyond a cell's adaptive stop
+// is discarded identically at any worker count, and the lowest-ordered
+// failing replication always wins. That requires draining to continue
+// after an abort (a lower-ordered parked error may still be waiting on
+// its predecessors, which were all dispatched before the abort).
+func (e *engine) fold(j job, vals *runValues, err error) *checkpointRecord {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	order := j.cell*e.spec.Seeds + j.rep
-	if err != nil {
-		if e.err == nil || order < e.errOrder {
-			e.err, e.errOrder = err, order
-		}
-		e.aborted = true
-		return
-	}
-	if e.aborted {
-		return // result set is already doomed; don't bother folding
-	}
-
 	c := e.collectors[j.cell]
+	if c == nil || j.rep >= c.stop {
+		// Beyond the cell's (possibly adaptively frozen) replication
+		// target: discard, outcome and error alike.
+		return nil
+	}
+	if vals == nil {
+		vals = &runValues{}
+	}
+	vals.err = err
 	c.pending[j.rep] = vals
+	advanced := false
 	for {
 		v, ok := c.pending[c.next]
 		if !ok {
 			break
 		}
 		delete(c.pending, c.next)
+		if v.err != nil {
+			order := j.cell*e.spec.maxReps() + c.next
+			if e.err == nil || order < e.errOrder {
+				e.err, e.errOrder = v.err, order
+			}
+			e.aborted = true
+			return nil // freeze the cell at its failing replication
+		}
 		c.fold(v)
 		c.next++
+		e.result.Runs++
+		advanced = true
+		// The stopping rule sees exactly the folded prefix, so the
+		// decision point is deterministic.
+		e.adaptiveCheck(c)
 	}
-	e.result.Runs++
+	if e.aborted {
+		// The drain above still ran — a parked lower-ordered error must
+		// be able to surface — but the doomed result is not emitted or
+		// checkpointed further.
+		return nil
+	}
+	var rec *checkpointRecord
+	if advanced && e.ck != nil {
+		rec = snapshotRecord(j.cell, c)
+	}
 
-	if c.next == e.spec.Seeds {
+	if c.next == c.stop {
 		e.ready[j.cell] = e.finalize(j.cell, c)
 		e.collectors[j.cell] = nil
-		for {
-			cr, ok := e.ready[e.emitNext]
-			if !ok {
-				break
-			}
-			delete(e.ready, e.emitNext)
-			for _, s := range e.sinks {
-				if serr := s.Cell(cr); serr != nil && e.err == nil {
-					e.err = fmt.Errorf("sweep: sink cell %d: %w", cr.Index, serr)
-					e.aborted = true
-					return
-				}
-			}
-			e.result.Cells = append(e.result.Cells, cr)
-			e.emitNext++
+		e.emitReadyLocked()
+		if e.aborted {
+			return rec
 		}
 		e.cellsDone++
 	}
@@ -369,9 +625,10 @@ func (e *engine) deliver(j job, vals *runValues, err error) {
 			CellsDone:  e.cellsDone,
 			CellsTotal: len(e.defs),
 			RunsDone:   e.result.Runs,
-			RunsTotal:  len(e.defs) * e.spec.Seeds,
+			RunsTotal:  len(e.defs) * e.spec.maxReps(),
 		})
 	}
+	return rec
 }
 
 func (c *collector) fold(v *runValues) {
@@ -387,7 +644,10 @@ func (c *collector) fold(v *runValues) {
 
 func (e *engine) finalize(cell int, c *collector) *CellResult {
 	sp := e.spec
-	cr := &CellResult{Index: cell, Point: e.defs[cell].point}
+	cr := &CellResult{
+		Index: cell, Point: e.defs[cell].point,
+		Reps: c.next, StopReason: c.stopReason,
+	}
 	for i, m := range sp.Metrics {
 		a := &c.scalars[i]
 		cr.Metrics = append(cr.Metrics, MetricSummary{

@@ -59,6 +59,9 @@ func CSV(w io.Writer) Sink { return &csvSink{w: csv.NewWriter(w)} }
 func (s *csvSink) Begin(spec *Spec, cells int) error {
 	s.spec = spec
 	header := append([]string{}, pointHeader...)
+	// reps is the actual replication count folded into the row — Seeds
+	// everywhere unless adaptive early stopping cut a cell short.
+	header = append(header, "reps")
 	for _, m := range spec.Metrics {
 		header = append(header, m.Name, m.Name+"_ci95")
 	}
@@ -72,6 +75,7 @@ func (s *csvSink) Begin(spec *Spec, cells int) error {
 
 func (s *csvSink) Cell(c *CellResult) error {
 	rec := pointRecord(c.Point)
+	rec = append(rec, strconv.Itoa(c.Reps))
 	for _, m := range c.Metrics {
 		rec = append(rec, fmtF(m.Mean), fmtF(m.CI95))
 	}
@@ -114,17 +118,15 @@ func (s *jsonlSink) Begin(spec *Spec, cells int) error {
 func (s *jsonlSink) Cell(c *CellResult) error { return s.enc.Encode(c) }
 
 func (s *jsonlSink) End(r *Result) error {
-	return s.enc.Encode(struct {
-		Summary struct {
-			Cells   int           `json:"cells"`
-			Runs    int           `json:"runs"`
-			Skipped []SkippedCell `json:"skipped,omitempty"`
-		} `json:"summary"`
-	}{struct {
+	type summary struct {
 		Cells   int           `json:"cells"`
 		Runs    int           `json:"runs"`
 		Skipped []SkippedCell `json:"skipped,omitempty"`
-	}{len(r.Cells), r.Runs, r.Skipped}})
+		Stopped []StoppedCell `json:"stopped,omitempty"`
+	}
+	return s.enc.Encode(struct {
+		Summary summary `json:"summary"`
+	}{summary{len(r.Cells), r.Runs, r.Skipped, r.Stopped}})
 }
 
 // textSink renders an aligned table for terminals: only the axes that
@@ -229,6 +231,12 @@ func (s *textSink) End(r *Result) error {
 	}
 	for _, sk := range r.Skipped {
 		if _, err := fmt.Fprintf(s.out, "skipped: %v (%s)\n", sk.Point, sk.Reason); err != nil {
+			return err
+		}
+	}
+	for _, st := range r.Stopped {
+		if _, err := fmt.Fprintf(s.out, "stopped early: %v after %d reps (%s)\n",
+			st.Point, st.Reps, st.Reason); err != nil {
 			return err
 		}
 	}

@@ -27,12 +27,14 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 
 	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/scenario"
+	"tctp/internal/stats"
 	"tctp/internal/wsn"
 	"tctp/internal/xrand"
 )
@@ -141,6 +143,49 @@ type VectorMetric struct {
 	Fn   func(Env) []float64
 }
 
+// Adaptive configures per-cell early stopping: a cell stops
+// replicating once the watched scalar metric's CI95 half-width shrinks
+// to RelCI times the magnitude of its running mean (a zero-variance
+// cell therefore stops at MinReps). Replications still fold strictly
+// in seed order, so the stopping replication count of every cell is a
+// deterministic function of the spec alone — independent of worker
+// count and of checkpoint/resume boundaries.
+type Adaptive struct {
+	// Metric names the watched scalar metric; it must appear in
+	// Spec.Metrics.
+	Metric string
+	// RelCI is the relative CI95 target (e.g. 0.05 stops a cell once
+	// the half-width is within 5% of the mean's magnitude).
+	RelCI float64
+	// MinReps is the floor before stopping is considered (default 5,
+	// minimum 2 — a single replication has no variance estimate).
+	MinReps int
+	// MaxReps caps the replications per cell (default Spec.Seeds).
+	MaxReps int
+}
+
+func (a *Adaptive) withDefaults(seeds int) *Adaptive {
+	d := *a
+	if d.MaxReps == 0 {
+		d.MaxReps = seeds
+	}
+	if d.MinReps == 0 {
+		// Only the defaulted floor is clamped to the cap; an explicit
+		// MinReps > MaxReps is a validation error, not a silent clamp.
+		d.MinReps = 5
+		if d.MinReps > d.MaxReps {
+			d.MinReps = d.MaxReps
+		}
+	}
+	return &d
+}
+
+// converged reports whether the watched accumulator satisfies the
+// relative CI95 target.
+func (a *Adaptive) converged(acc *stats.Accumulator) bool {
+	return acc.CI95() <= a.RelCI*math.Abs(acc.Mean())
+}
+
 // Spec declares a sweep: the axes, the metrics, the protocol, and
 // optional hooks. The zero value of every axis means "the single
 // default value", so a Spec only spells out what it sweeps.
@@ -173,8 +218,19 @@ type Spec struct {
 	Vectors []VectorMetric
 
 	// Seeds is the number of replications per cell (default 20, the
-	// paper's protocol).
+	// paper's protocol). With Adaptive set it is the default MaxReps.
 	Seeds int
+	// Adaptive, when non-nil, enables per-cell early stopping; cells
+	// then run between Adaptive.MinReps and Adaptive.MaxReps
+	// replications instead of exactly Seeds.
+	Adaptive *Adaptive
+	// ConfigDigest is extra identity folded into the checkpoint
+	// fingerprint. Hooks (Configure, Options, Scenario) cannot be
+	// hashed, so a caller whose hooks close over external configuration
+	// — a preset's field geometry, a scenario file — must serialize
+	// that configuration here, or Resume would accept a checkpoint
+	// written under different hook behavior.
+	ConfigDigest string
 	// BaseSeed offsets the replication seeds.
 	BaseSeed uint64
 	// Workers bounds the worker pool (default GOMAXPROCS). The pool is
@@ -238,7 +294,19 @@ func (s Spec) withDefaults() Spec {
 	if s.Workers == 0 {
 		s.Workers = runtime.GOMAXPROCS(0)
 	}
+	if s.Adaptive != nil {
+		s.Adaptive = s.Adaptive.withDefaults(s.Seeds)
+	}
 	return s
+}
+
+// maxReps is the per-cell replication ceiling: Seeds, or the adaptive
+// cap when early stopping is on.
+func (s *Spec) maxReps() int {
+	if s.Adaptive != nil {
+		return s.Adaptive.MaxReps
+	}
+	return s.Seeds
 }
 
 func (s *Spec) validate() error {
@@ -264,6 +332,29 @@ func (s *Spec) validate() error {
 	}
 	if s.Seeds < 1 {
 		return fmt.Errorf("sweep: spec %q has %d replications", s.Name, s.Seeds)
+	}
+	if a := s.Adaptive; a != nil {
+		if a.RelCI <= 0 {
+			return fmt.Errorf("sweep: spec %q: adaptive RelCI %g must be positive", s.Name, a.RelCI)
+		}
+		if a.MinReps < 2 {
+			return fmt.Errorf("sweep: spec %q: adaptive MinReps %d < 2", s.Name, a.MinReps)
+		}
+		if a.MaxReps < a.MinReps {
+			return fmt.Errorf("sweep: spec %q: adaptive MaxReps %d < MinReps %d",
+				s.Name, a.MaxReps, a.MinReps)
+		}
+		found := false
+		for _, m := range s.Metrics {
+			if m.Name == a.Metric {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sweep: spec %q: adaptive metric %q is not a declared scalar metric",
+				s.Name, a.Metric)
+		}
 	}
 	if s.Workers < 1 {
 		// withDefaults maps 0 to GOMAXPROCS, so only a negative value

@@ -265,6 +265,9 @@ type (
 	SweepResult = sweep.Result
 	// SweepSink receives results as cells finish (CSV, JSONL, table).
 	SweepSink = sweep.Sink
+	// SweepAdaptive configures per-cell early stopping on a CI95
+	// target.
+	SweepAdaptive = sweep.Adaptive
 )
 
 // SweepAlgo wraps a fixed algorithm as a variant of the algorithm
@@ -277,6 +280,20 @@ func SweepAlgo(name string, p Planner) SweepVariant {
 // declaration order; output is bit-identical for any worker count.
 func RunSweep(ctx context.Context, spec SweepSpec, sinks ...SweepSink) (*SweepResult, error) {
 	return sweep.Run(ctx, spec, sinks...)
+}
+
+// RunSweepCheckpointed executes the spec like RunSweep while
+// persisting per-cell fold state to the JSONL file at path after every
+// completed replication.
+func RunSweepCheckpointed(ctx context.Context, spec SweepSpec, path string, sinks ...SweepSink) (*SweepResult, error) {
+	return sweep.RunCheckpointed(ctx, spec, path, sinks...)
+}
+
+// ResumeSweep continues an interrupted checkpointed sweep, skipping
+// completed replications; the final sink output is byte-identical to
+// an uninterrupted run.
+func ResumeSweep(ctx context.Context, spec SweepSpec, path string, sinks ...SweepSink) (*SweepResult, error) {
+	return sweep.Resume(ctx, spec, path, sinks...)
 }
 
 // SweepCSV, SweepJSONL and SweepTable are the built-in sinks.
