@@ -21,7 +21,12 @@
 // Without -base, benchgate only summarizes the head run (used on
 // pushes to main, where there is no merge base to compare against);
 // the -json artifact is written either way, the start of a BENCH_*
-// trajectory tracked across builds.
+// trajectory tracked across builds. The artifact carries the
+// machine-readable verdict — a top-level "pass" / "fail" /
+// "head-only" plus a per-(benchmark, unit) "regression" / "pass" /
+// "info" — so bench-history tooling can grade builds without parsing
+// exit codes or tables; -json - streams it to stdout instead of a
+// file.
 package main
 
 import (
@@ -45,7 +50,7 @@ func main() {
 		headPath  = flag.String("head", "", "head `go test -bench` output (required)")
 		gate      = flag.String("gate", "^BenchmarkEngine", "regexp of benchmark names the gate applies to")
 		threshold = flag.Float64("threshold", 0.15, "relative time/op regression that fails the gate")
-		jsonOut   = flag.String("json", "", "write the machine-readable comparison to this file")
+		jsonOut   = flag.String("json", "", `write the machine-readable comparison verdict to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if err := run(*basePath, *headPath, *gate, *threshold, *jsonOut, os.Stdout); err != nil {
@@ -90,10 +95,14 @@ func parseBench(r io.Reader) (map[string]map[string][]float64, error) {
 	return out, sc.Err()
 }
 
-// comparison is one (benchmark, unit) verdict.
+// comparison is one (benchmark, unit) verdict. Verdict is the
+// machine-readable judgement: "regression" (gated and regressed),
+// "pass" (gated and clean), or "info" (reported but never gating —
+// ungated benchmarks and head-only summaries).
 type comparison struct {
 	Name        string  `json:"name"`
 	Unit        string  `json:"unit"`
+	Verdict     string  `json:"verdict"`
 	BaseN       int     `json:"base_n,omitempty"`
 	BaseMean    float64 `json:"base_mean,omitempty"`
 	BaseCI95    float64 `json:"base_ci95,omitempty"`
@@ -110,6 +119,19 @@ type comparison struct {
 // gatedUnits are the metrics the gate judges; everything else is
 // reported but never fails the build.
 var gatedUnits = map[string]bool{"ns/op": true, "allocs/op": true}
+
+// setVerdict derives the machine-readable judgement from the gate
+// flags; call it once the Gated/Regression fields are final.
+func (c *comparison) setVerdict() {
+	switch {
+	case c.Regression:
+		c.Verdict = "regression"
+	case c.Gated:
+		c.Verdict = "pass"
+	default:
+		c.Verdict = "info"
+	}
+}
 
 func summarize(vals []float64) (mean, ci95 float64) {
 	var acc stats.Accumulator
@@ -138,10 +160,12 @@ func compare(base, head map[string]map[string][]float64, gateRe *regexp.Regexp, 
 		}
 		sort.Strings(units)
 		if head[name] == nil {
-			out = append(out, comparison{
+			c := comparison{
 				Name: name, Gated: gated, Regression: gated,
 				Note: "benchmark missing from head run",
-			})
+			}
+			c.setVerdict()
+			out = append(out, c)
 			failed = failed || gated
 			continue
 		}
@@ -152,12 +176,14 @@ func compare(base, head map[string]map[string][]float64, gateRe *regexp.Regexp, 
 				// A gated metric that vanished from head (e.g. a dropped
 				// b.ReportAllocs()) must not dodge the gate.
 				gatedUnit := gated && gatedUnits[unit]
-				out = append(out, comparison{
+				c := comparison{
 					Name: name, Unit: unit,
 					BaseN: len(base[name][unit]), BaseMean: bm, BaseCI95: bci,
 					Gated: gatedUnit, Regression: gatedUnit,
 					Note: "metric missing from head run",
-				})
+				}
+				c.setVerdict()
+				out = append(out, c)
 				failed = failed || gatedUnit
 				continue
 			}
@@ -184,6 +210,7 @@ func compare(base, head map[string]map[string][]float64, gateRe *regexp.Regexp, 
 				c.Regression = c.Gated && hm > bm
 			}
 			failed = failed || c.Regression
+			c.setVerdict()
 			out = append(out, c)
 		}
 	}
@@ -210,18 +237,24 @@ func headOnly(head map[string]map[string][]float64, gateRe *regexp.Regexp) []com
 				Name: name, Unit: unit,
 				HeadN: len(head[name][unit]), HeadMean: hm, HeadCI95: hci,
 				Gated: gateRe.MatchString(name) && gatedUnits[unit],
+				// Without a base there is nothing to judge: every row
+				// is informational, gated or not.
+				Verdict: "info",
 			})
 		}
 	}
 	return out
 }
 
-// report is the -json artifact schema.
+// report is the -json artifact schema. Verdict is the machine-readable
+// gate outcome: "pass", "fail", or "head-only" when there was no base
+// to judge against (Failed stays false then).
 type report struct {
 	Base       string       `json:"base,omitempty"`
 	Head       string       `json:"head"`
 	Gate       string       `json:"gate"`
 	Threshold  float64      `json:"threshold"`
+	Verdict    string       `json:"verdict"`
 	Failed     bool         `json:"failed"`
 	Benchmarks []comparison `json:"benchmarks"`
 }
@@ -258,12 +291,17 @@ func run(basePath, headPath, gate string, threshold float64, jsonOut string, w i
 	rep := report{Base: basePath, Head: headPath, Gate: gate, Threshold: threshold}
 	if basePath == "" {
 		rep.Benchmarks = headOnly(head, gateRe)
+		rep.Verdict = "head-only"
 	} else {
 		base, err := loadBench(basePath)
 		if err != nil {
 			return err
 		}
 		rep.Benchmarks, rep.Failed = compare(base, head, gateRe, threshold)
+		rep.Verdict = "pass"
+		if rep.Failed {
+			rep.Verdict = "fail"
+		}
 	}
 
 	for _, c := range rep.Benchmarks {
@@ -292,7 +330,13 @@ func run(basePath, headPath, gate string, threshold float64, jsonOut string, w i
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+		if jsonOut == "-" {
+			// JSON to stdout for pipelines; the table above went there
+			// too, so strictly-parsing consumers should prefer a file.
+			if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

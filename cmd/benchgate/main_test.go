@@ -198,3 +198,99 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("bad regexp accepted")
 	}
 }
+
+// TestJSONVerdict pins the machine-readable artifact: a top-level
+// pass/fail/head-only verdict plus per-(benchmark, unit) verdicts, and
+// the "-" sink streaming the same JSON to stdout.
+func TestJSONVerdict(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	headPath := filepath.Join(dir, "head.txt")
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(basePath, []byte(bench("BenchmarkEngine", []float64{100, 101, 102}, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(t *testing.T) report {
+		t.Helper()
+		var rep report
+		b, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// Clean head: verdict pass, per-benchmark verdicts pass.
+	if err := os.WriteFile(headPath, []byte(bench("BenchmarkEngine", []float64{100, 101, 102}, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(basePath, headPath, "^BenchmarkEngine", 0.15, jsonPath, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rep := load(t)
+	if rep.Verdict != "pass" {
+		t.Fatalf("clean verdict %q", rep.Verdict)
+	}
+	for _, c := range rep.Benchmarks {
+		// Gated units judge pass; ungated ones (B/op) stay info.
+		if want := map[bool]string{true: "pass", false: "info"}[c.Gated]; c.Verdict != want {
+			t.Fatalf("clean per-benchmark verdict %+v, want %q", c, want)
+		}
+	}
+
+	// Regressed head: verdict fail, the ns/op row says regression.
+	if err := os.WriteFile(headPath, []byte(bench("BenchmarkEngine", []float64{200, 201, 202}, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(basePath, headPath, "^BenchmarkEngine", 0.15, jsonPath, &bytes.Buffer{}); err == nil {
+		t.Fatal("regressed head passed")
+	}
+	rep = load(t)
+	if rep.Verdict != "fail" || !rep.Failed {
+		t.Fatalf("regressed verdict %q failed=%v", rep.Verdict, rep.Failed)
+	}
+	found := false
+	for _, c := range rep.Benchmarks {
+		if c.Unit == "ns/op" && c.Verdict == "regression" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no regression verdict in %+v", rep.Benchmarks)
+	}
+
+	// Head-only mode: verdict head-only, rows informational.
+	if err := run("", headPath, "^BenchmarkEngine", 0.15, jsonPath, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rep = load(t)
+	if rep.Verdict != "head-only" || rep.Failed {
+		t.Fatalf("head-only verdict %q failed=%v", rep.Verdict, rep.Failed)
+	}
+	for _, c := range rep.Benchmarks {
+		if c.Verdict != "info" {
+			t.Fatalf("head-only per-benchmark verdict %+v", c)
+		}
+	}
+
+	// "-" streams the artifact to the writer.
+	var out bytes.Buffer
+	if err := run("", headPath, "^BenchmarkEngine", 0.15, "-", &out); err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(out.String(), "{")
+	if idx < 0 {
+		t.Fatalf("no JSON on stdout:\n%s", out.String())
+	}
+	var streamed report
+	if err := json.Unmarshal(out.Bytes()[idx:], &streamed); err != nil {
+		t.Fatalf("stdout artifact unparsable: %v\n%s", err, out.String())
+	}
+	if streamed.Verdict != "head-only" {
+		t.Fatalf("streamed verdict %q", streamed.Verdict)
+	}
+}

@@ -17,12 +17,27 @@
 //	tctp-sweep -alg btctp -checkpoint sweep.ckpt          # interrupted?
 //	tctp-sweep -alg btctp -checkpoint sweep.ckpt -resume  # …continue
 //
+//	# Distributed: run shard i of n per machine (same flags everywhere),
+//	# then merge the shard checkpoints into the full, byte-identical CSV.
+//	tctp-sweep -alg btctp -seeds 50 -shard 1/3 -checkpoint shard1.jsonl
+//	tctp-sweep -alg btctp -seeds 50 -shard 2/3 -checkpoint shard2.jsonl
+//	tctp-sweep -alg btctp -seeds 50 -shard 3/3 -checkpoint shard3.jsonl
+//	tctp-sweep -alg btctp -seeds 50 -merge out.csv shard1.jsonl shard2.jsonl shard3.jsonl
+//
 // Long-running sweeps can be checkpointed (-checkpoint) and continued
 // after an interruption (-resume) with byte-identical output, and
 // -adaptive metric:relci[:min[:max]] stops each cell early once the
 // metric's CI95 half-width falls below the relative target. -scenario
 // loads a JSON scenario file (the internal/scenario model) supplying
 // the field geometry and axis defaults, like -preset but from disk.
+//
+// -shard i/n runs the i-th of n contiguous deterministic cell ranges
+// of the grid; every machine must be given the same sweep flags so the
+// plans (and their sha256 fingerprints) agree. A shard's -checkpoint
+// file is its mergeable artifact: -merge OUT rebuilds the whole sweep
+// from the named shard files, refusing shards whose fingerprint does
+// not match the flags, and writes the -format output (byte-identical
+// to an unsharded run) to OUT, or to stdout when OUT is "-".
 //
 // Placements are the values accepted by field.ParsePlacement: uniform
 // (the paper's §5.1 model), clusters (disconnected discs), grid
@@ -36,6 +51,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -77,6 +93,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "persist per-cell fold state to this JSONL file")
 		resumeF    = flag.Bool("resume", false, "continue from the -checkpoint file instead of starting over")
 		adaptive   = flag.String("adaptive", "", "adaptive replication as metric:relci[:min[:max]], e.g. avg_dcdt_s:0.05:5:50")
+		shard      = flag.String("shard", "", `run one shard of the grid as "i/n" (1-based), e.g. -shard 2/3`)
+		merge      = flag.String("merge", "", `merge the shard checkpoint files given as arguments, writing the full sweep to this path ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -88,6 +106,7 @@ func main() {
 		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
 		Workers: *workers, Format: *format, Progress: *progress,
 		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
+		Shard: *shard, Merge: *merge, MergeInputs: flag.Args(),
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
@@ -114,6 +133,28 @@ type config struct {
 	Checkpoint                                                  string
 	Resume                                                      bool
 	Adaptive                                                    string
+	Shard                                                       string
+	Merge                                                       string
+	MergeInputs                                                 []string
+}
+
+// parseShard decodes a 1-based "i/n" shard selector into the job API's
+// 0-based index.
+func parseShard(s string) (i, n int, err error) {
+	lo, hi, ok := strings.Cut(s, "/")
+	if ok {
+		i, err = strconv.Atoi(strings.TrimSpace(lo))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(hi))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/n, e.g. 2/3)", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("shard %d/%d outside 1/%d..%d/%d", i, n, n, n, n)
+	}
+	return i - 1, n, nil
 }
 
 func parseInts(s string) ([]int, error) {
@@ -449,36 +490,105 @@ func run(cfg config, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Merge != "" {
+		if cfg.Shard != "" || cfg.Checkpoint != "" || cfg.Resume {
+			return fmt.Errorf("-merge conflicts with -shard/-checkpoint/-resume: merging only reads finished shard files")
+		}
+		if len(cfg.MergeInputs) == 0 {
+			return fmt.Errorf("-merge needs shard checkpoint files as arguments")
+		}
+		return runMerge(cfg, spec, out, errw)
+	}
+	if len(cfg.MergeInputs) != 0 {
+		return fmt.Errorf("unexpected arguments %v (shard files are only read with -merge)", cfg.MergeInputs)
+	}
 	snk, err := sink(cfg.Format, out)
 	if err != nil {
 		return err
+	}
+
+	job, err := sweep.Plan(spec)
+	if err != nil {
+		return err
+	}
+	if cfg.Shard != "" {
+		i, n, err := parseShard(cfg.Shard)
+		if err != nil {
+			return err
+		}
+		if job, err = job.Shard(i, n); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "tctp-sweep: shard %d/%d: %d of %d cells, plan %s\n",
+			i+1, n, job.Cells(), job.TotalCells(), job.Fingerprint())
+	}
+	opts := sweep.RunOpts{
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
+		Sinks:      []sweep.Sink{snk},
 	}
 	// The in-place progress line is terminated after the run returns,
 	// not at RunsDone == RunsTotal: under adaptive replication the
 	// total is a ceiling early-stopped cells never reach.
 	progressed := false
 	if cfg.Progress {
-		spec.Progress = func(p sweep.Progress) {
+		opts.Progress = func(p sweep.Progress) {
 			progressed = true
 			fmt.Fprintf(errw, "\rcells %d/%d runs %d/%d",
 				p.CellsDone, p.CellsTotal, p.RunsDone, p.RunsTotal)
 		}
 	}
-	var res *sweep.Result
-	switch {
-	case cfg.Resume:
-		res, err = sweep.Resume(context.Background(), spec, cfg.Checkpoint, snk)
-	case cfg.Checkpoint != "":
-		res, err = sweep.RunCheckpointed(context.Background(), spec, cfg.Checkpoint, snk)
-	default:
-		res, err = sweep.Run(context.Background(), spec, snk)
-	}
+	partial, err := job.Run(context.Background(), opts)
 	if progressed {
 		fmt.Fprintln(errw)
 	}
 	if err != nil {
 		return err
 	}
+	report(partial.Result(), errw)
+	return nil
+}
+
+// runMerge rebuilds the full sweep from shard checkpoint files and
+// writes it through the selected sink to cfg.Merge ("-" = out).
+func runMerge(cfg config, spec sweep.Spec, out, errw io.Writer) error {
+	partials := make([]*sweep.Partial, len(cfg.MergeInputs))
+	for i, path := range cfg.MergeInputs {
+		p, err := sweep.LoadPartial(path)
+		if err != nil {
+			return err
+		}
+		partials[i] = p
+	}
+	// Merge into memory first: a refused shard set (fingerprint
+	// mismatch, missing cell, overlap) must not truncate a previously
+	// good output file.
+	w := out
+	var buf bytes.Buffer
+	if cfg.Merge != "-" {
+		w = &buf
+	}
+	snk, err := sink(cfg.Format, w)
+	if err != nil {
+		return err
+	}
+	res, err := sweep.Merge(spec, partials, snk)
+	if err != nil {
+		return err
+	}
+	if cfg.Merge != "-" {
+		if err := os.WriteFile(cfg.Merge, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(errw, "tctp-sweep: merged %d shard files into %d cells (%d runs)\n",
+		len(partials), len(res.Cells), res.Runs)
+	report(res, errw)
+	return nil
+}
+
+// report surfaces skipped and early-stopped cells on stderr.
+func report(res *sweep.Result, errw io.Writer) {
 	for _, sk := range res.Skipped {
 		fmt.Fprintf(errw, "tctp-sweep: skipped cell %v: %s\n", sk.Point, sk.Reason)
 	}
@@ -490,5 +600,4 @@ func run(cfg config, out, errw io.Writer) error {
 		fmt.Fprintf(errw, "tctp-sweep: stopped cell %v early after %d reps: %s\n",
 			st.Point, st.Reps, st.Reason)
 	}
-	return nil
 }

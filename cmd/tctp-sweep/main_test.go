@@ -473,3 +473,124 @@ func TestCheckpointResumeCLI(t *testing.T) {
 		t.Fatal("-resume without -checkpoint accepted")
 	}
 }
+
+func TestParseShard(t *testing.T) {
+	i, n, err := parseShard("2/3")
+	if err != nil || i != 1 || n != 3 {
+		t.Fatalf("parseShard(2/3) = %d, %d, %v", i, n, err)
+	}
+	i, n, err = parseShard(" 1 / 1 ")
+	if err != nil || i != 0 || n != 1 {
+		t.Fatalf("parseShard(1/1) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "a/3", "2/b", "0/3", "4/3", "-1/3", "1/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Fatalf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardMergeCLI is the distributed workflow end to end: the same
+// flags run whole, and as three shards whose checkpoints merge back to
+// byte-identical CSV — with skipped cells reproduced on stderr.
+func TestShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	base := goldenConfig()
+	base.Mules = "2,8" // targets=6 cannot host 8 mules: skipped cells
+	var whole, wholeErr bytes.Buffer
+	if err := run(base, &whole, &wholeErr); err != nil {
+		t.Fatal(err)
+	}
+
+	shards := make([]string, 3)
+	for i := range shards {
+		shards[i] = filepath.Join(dir, "shard"+strconv.Itoa(i+1)+".jsonl")
+		cfg := base
+		cfg.Shard = strconv.Itoa(i+1) + "/3"
+		cfg.Checkpoint = shards[i]
+		var out, errw bytes.Buffer
+		if err := run(cfg, &out, &errw); err != nil {
+			t.Fatalf("shard %d: %v", i+1, err)
+		}
+		if !strings.Contains(errw.String(), "shard "+strconv.Itoa(i+1)+"/3") {
+			t.Fatalf("shard %d report missing:\n%s", i+1, errw.String())
+		}
+	}
+
+	mergeCfg := base
+	mergeCfg.Merge = "-"
+	mergeCfg.MergeInputs = shards
+	var merged, mergedErr bytes.Buffer
+	if err := run(mergeCfg, &merged, &mergedErr); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != whole.String() {
+		t.Fatalf("merged CSV diverged from whole run:\n%s\nvs\n%s", merged.String(), whole.String())
+	}
+	if !strings.Contains(mergedErr.String(), "merged 3 shard files") ||
+		!strings.Contains(mergedErr.String(), "skipped cell") {
+		t.Fatalf("merge report missing:\n%s", mergedErr.String())
+	}
+
+	// -merge to a file path writes the same bytes to disk.
+	outPath := filepath.Join(dir, "merged.csv")
+	mergeCfg.Merge = outPath
+	if err := run(mergeCfg, &bytes.Buffer{}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != whole.String() {
+		t.Fatalf("-merge file diverged from whole run")
+	}
+
+	// A shard merged under different flags is refused on the
+	// fingerprint.
+	mismatch := mergeCfg
+	mismatch.Seeds++
+	if err := run(mismatch, &bytes.Buffer{}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "refusing to merge") {
+		t.Fatalf("mismatched merge: err = %v, want fingerprint refusal", err)
+	}
+}
+
+// A shard can itself be checkpoint-killed and resumed before merging.
+func TestShardResumeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.jsonl")
+	cfg := goldenConfig()
+	cfg.Shard = "2/2"
+	cfg.Checkpoint = path
+	var first bytes.Buffer
+	if err := run(cfg, &first, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	var resumed bytes.Buffer
+	if err := run(cfg, &resumed, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != first.String() {
+		t.Fatalf("resumed shard output diverged:\n%s\nvs\n%s", resumed.String(), first.String())
+	}
+}
+
+func TestShardMergeFlagErrors(t *testing.T) {
+	base := goldenConfig()
+	for name, mutate := range map[string]func(*config){
+		"bad-shard":        func(c *config) { c.Shard = "5/2" },
+		"malformed-shard":  func(c *config) { c.Shard = "two/three" },
+		"merge-no-inputs":  func(c *config) { c.Merge = "-" },
+		"merge-with-shard": func(c *config) { c.Merge = "-"; c.MergeInputs = []string{"x"}; c.Shard = "1/2" },
+		"merge-with-ckpt":  func(c *config) { c.Merge = "-"; c.MergeInputs = []string{"x"}; c.Checkpoint = "c" },
+		"merge-missing":    func(c *config) { c.Merge = "-"; c.MergeInputs = []string{"absent.jsonl"} },
+		"stray-args":       func(c *config) { c.MergeInputs = []string{"stray.jsonl"} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

@@ -30,12 +30,21 @@ import (
 
 const checkpointVersion = 1
 
+// checkpointHeader is the first line of every checkpoint file. The
+// shard fields locate the file's cells inside the full plan; files
+// written before sharding existed omit them, and readCheckpoint
+// normalizes that to the unsharded coordinates (shard 0 of 1 covering
+// the whole plan), so legacy checkpoints keep resuming.
 type checkpointHeader struct {
 	Version     int    `json:"checkpoint"`
 	Sweep       string `json:"sweep"`
 	Fingerprint string `json:"fingerprint"`
 	Cells       int    `json:"cells"`
 	MaxReps     int    `json:"max_reps"`
+	Shard       int    `json:"shard,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	Offset      int    `json:"offset,omitempty"`
+	TotalCells  int    `json:"total_cells,omitempty"`
 }
 
 // checkpointRecord is one cell's fold state after an in-order fold
@@ -186,19 +195,22 @@ func (w *checkpointWriter) Close() error {
 	return f.Close()
 }
 
-// loadCheckpoint reads and validates a checkpoint, returning each
-// cell's furthest recorded state (records may land slightly out of
-// order — the writer runs outside the engine lock — and every record
-// is a self-contained prefix, so the largest counter wins) plus the
-// byte length of the valid content, which Resume truncates to before
-// appending. A truncated final line (the signature of a mid-write
-// crash) is ignored; any other malformed or inconsistent content is a
-// hard error — resuming from corrupted state would poison every
-// downstream aggregate.
-func loadCheckpoint(path, wantFP string, sp *Spec, cells int) (map[int]checkpointRecord, int64, error) {
+// readCheckpoint parses a checkpoint file without reference to a spec:
+// the normalized header, each cell's furthest recorded state (records
+// may land slightly out of order — the writer runs outside the engine
+// lock — and every record is a self-contained prefix, so the largest
+// counter wins), and the byte length of the valid content, which
+// Resume truncates to before appending. A truncated final line (the
+// signature of a mid-write crash) is ignored; any other malformed or
+// internally inconsistent content is a hard error — resuming from or
+// merging corrupted state would poison every downstream aggregate.
+// Spec conformance (fingerprint, shard coordinates, metric shapes) is
+// the caller's job: loadCheckpoint for Resume, Merge for partials.
+func readCheckpoint(path string) (checkpointHeader, map[int]checkpointRecord, int64, error) {
+	var hdr checkpointHeader
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
+		return hdr, nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
 	}
 	content := string(raw)
 	lines := strings.Split(strings.TrimSuffix(content, "\n"), "\n")
@@ -207,32 +219,31 @@ func loadCheckpoint(path, wantFP string, sp *Spec, cells int) (map[int]checkpoin
 		// JSON with only the newline missing — so an unterminated final
 		// line is always discarded (Resume re-executes its replication)
 		// rather than parsed; counting it into validLen would make the
-		// truncate-then-append below corrupt the file.
+		// truncate-then-append corrupt the file.
 		if len(lines) == 1 {
-			return nil, 0, fmt.Errorf("sweep: checkpoint %s: truncated header", path)
+			return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: truncated header", path)
 		}
 		lines = lines[:len(lines)-1]
 	}
 	if len(lines) == 0 || lines[0] == "" {
-		return nil, 0, fmt.Errorf("sweep: checkpoint %s is empty", path)
+		return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s is empty", path)
 	}
 
-	var hdr checkpointHeader
 	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
-		return nil, 0, fmt.Errorf("sweep: checkpoint %s: malformed header: %w", path, err)
+		return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: malformed header: %w", path, err)
 	}
 	if hdr.Version != checkpointVersion {
-		return nil, 0, fmt.Errorf("sweep: checkpoint %s: unsupported version %d (want %d)",
+		return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: unsupported version %d (want %d)",
 			path, hdr.Version, checkpointVersion)
 	}
-	if hdr.Fingerprint != wantFP {
-		return nil, 0, fmt.Errorf(
-			"sweep: checkpoint %s was written for a different sweep spec (fingerprint %s, spec %s): refusing to resume",
-			path, hdr.Fingerprint, wantFP)
+	if hdr.Shards == 0 {
+		// Pre-sharding file: the whole plan in one piece.
+		hdr.Shard, hdr.Shards, hdr.Offset, hdr.TotalCells = 0, 1, 0, hdr.Cells
 	}
-	if hdr.Cells != cells || hdr.MaxReps != sp.maxReps() {
-		return nil, 0, fmt.Errorf("sweep: checkpoint %s: %d cells × %d reps, spec has %d × %d",
-			path, hdr.Cells, hdr.MaxReps, cells, sp.maxReps())
+	if hdr.Shard < 0 || hdr.Shard >= hdr.Shards || hdr.Offset < 0 ||
+		hdr.Offset+hdr.Cells > hdr.TotalCells {
+		return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: inconsistent shard geometry %d/%d cells %d..%d of %d",
+			path, hdr.Shard, hdr.Shards, hdr.Offset, hdr.Offset+hdr.Cells, hdr.TotalCells)
 	}
 
 	validLen := int64(len(lines[0]) + 1)
@@ -241,37 +252,82 @@ func loadCheckpoint(path, wantFP string, sp *Spec, cells int) (map[int]checkpoin
 		lineNo := i + 2
 		var rec checkpointRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			return nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: corrupt record: %w",
+			return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: corrupt record: %w",
 				path, lineNo, err)
 		}
-		if err := validateRecord(&rec, sp, cells); err != nil {
-			return nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: %w", path, lineNo, err)
+		if err := checkRecordShape(&rec, &hdr); err != nil {
+			return hdr, nil, 0, fmt.Errorf("sweep: checkpoint %s: line %d: %w", path, lineNo, err)
 		}
 		validLen += int64(len(line) + 1)
 		if prev, ok := out[rec.Cell]; !ok || rec.Next > prev.Next {
 			out[rec.Cell] = rec
 		}
 	}
-	return out, validLen, nil
+	return hdr, out, validLen, nil
 }
 
-func validateRecord(rec *checkpointRecord, sp *Spec, cells int) error {
-	if rec.Cell < 0 || rec.Cell >= cells {
-		return fmt.Errorf("cell %d outside [0,%d)", rec.Cell, cells)
+// checkRecordShape enforces the invariants a record must satisfy
+// against its own header, spec unseen: cell and counter ranges, and
+// agreement between the counter and every scalar accumulator's sample
+// count.
+func checkRecordShape(rec *checkpointRecord, hdr *checkpointHeader) error {
+	if rec.Cell < 0 || rec.Cell >= hdr.Cells {
+		return fmt.Errorf("cell %d outside [0,%d)", rec.Cell, hdr.Cells)
 	}
-	if rec.Next < 1 || rec.Next > sp.maxReps() {
+	if rec.Next < 1 || rec.Next > hdr.MaxReps {
 		return fmt.Errorf("cell %d has %d folded replications (max %d)",
-			rec.Cell, rec.Next, sp.maxReps())
-	}
-	if len(rec.Scalars) != len(sp.Metrics) {
-		return fmt.Errorf("cell %d carries %d scalar accumulators, spec has %d metrics",
-			rec.Cell, len(rec.Scalars), len(sp.Metrics))
+			rec.Cell, rec.Next, hdr.MaxReps)
 	}
 	for i, s := range rec.Scalars {
 		if s.N != rec.Next {
 			return fmt.Errorf("cell %d scalar %d folded %d samples, counter says %d",
 				rec.Cell, i, s.N, rec.Next)
 		}
+	}
+	return nil
+}
+
+// loadCheckpoint reads and validates a checkpoint for resuming the
+// given job: the header must carry the job's plan fingerprint and
+// shard coordinates, and every record must match the spec's metric
+// shapes.
+func loadCheckpoint(path string, j *Job) (map[int]checkpointRecord, int64, error) {
+	hdr, records, validLen, err := readCheckpoint(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp := &j.spec
+	if hdr.Fingerprint != j.fp {
+		return nil, 0, fmt.Errorf(
+			"sweep: checkpoint %s was written for a different sweep spec (fingerprint %s, spec %s): refusing to resume",
+			path, hdr.Fingerprint, j.fp)
+	}
+	if hdr.Shard != j.shard || hdr.Shards != j.shards ||
+		hdr.Offset != j.offset || hdr.TotalCells != j.total {
+		return nil, 0, fmt.Errorf(
+			"sweep: checkpoint %s belongs to shard %d/%d (cells %d..%d of %d), this job is shard %d/%d (cells %d..%d of %d): refusing to resume",
+			path, hdr.Shard, hdr.Shards, hdr.Offset, hdr.Offset+hdr.Cells, hdr.TotalCells,
+			j.shard, j.shards, j.offset, j.offset+len(j.defs), j.total)
+	}
+	if hdr.Cells != len(j.defs) || hdr.MaxReps != sp.maxReps() {
+		return nil, 0, fmt.Errorf("sweep: checkpoint %s: %d cells × %d reps, spec has %d × %d",
+			path, hdr.Cells, hdr.MaxReps, len(j.defs), sp.maxReps())
+	}
+	for _, rec := range records {
+		if err := validateRecord(&rec, sp); err != nil {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+		}
+	}
+	return records, validLen, nil
+}
+
+// validateRecord checks a record's accumulator shapes against the
+// spec's metrics; range and counter invariants are already enforced by
+// checkRecordShape at parse time.
+func validateRecord(rec *checkpointRecord, sp *Spec) error {
+	if len(rec.Scalars) != len(sp.Metrics) {
+		return fmt.Errorf("cell %d carries %d scalar accumulators, spec has %d metrics",
+			rec.Cell, len(rec.Scalars), len(sp.Metrics))
 	}
 	if len(sp.Vectors) == 0 {
 		if len(rec.Vectors) != 0 {

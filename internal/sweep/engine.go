@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"tctp/internal/field"
@@ -150,17 +151,20 @@ type job struct {
 	cell, rep int
 }
 
-// engine is the shared state of one Run call.
+// engine is the shared state of one Job.Run call.
 type engine struct {
-	spec  *Spec
-	defs  []cellDef
-	sinks []Sink
-	watch int               // index of the adaptive metric, or -1
-	ck    *checkpointWriter // nil when not checkpointing
+	spec     *Spec
+	defs     []cellDef
+	offset   int // global index of defs[0] in the full plan
+	sinks    []Sink
+	progress []func(Progress)
+	watch    int               // index of the adaptive metric, or -1
+	ck       *checkpointWriter // nil when not checkpointing
 
 	mu         sync.Mutex
 	collectors []*collector
-	ready      map[int]*CellResult // finished cells awaiting ordered emission
+	records    map[int]checkpointRecord // final fold record per finished cell
+	ready      map[int]*CellResult      // finished cells awaiting ordered emission
 	emitNext   int
 	result     *Result
 	cellsDone  int
@@ -172,9 +176,10 @@ type engine struct {
 // Run executes the spec and streams finished cells to the sinks in
 // enumeration order. It returns once every cell has completed, the
 // context is canceled, or a replication fails; the first error in
-// (cell, replication) order wins, regardless of worker count.
+// (cell, replication) order wins, regardless of worker count. It is a
+// thin wrapper over the job API: Plan + Job.Run.
 func Run(ctx context.Context, spec Spec, sinks ...Sink) (*Result, error) {
-	return runSpec(ctx, spec, "", false, sinks)
+	return runWrapped(ctx, spec, RunOpts{Sinks: sinks})
 }
 
 // RunCheckpointed executes the spec like Run while persisting each
@@ -187,7 +192,7 @@ func RunCheckpointed(ctx context.Context, spec Spec, path string, sinks ...Sink)
 	if path == "" {
 		return nil, fmt.Errorf("sweep: RunCheckpointed needs a checkpoint path")
 	}
-	return runSpec(ctx, spec, path, false, sinks)
+	return runWrapped(ctx, spec, RunOpts{Checkpoint: path, Sinks: sinks})
 }
 
 // Resume continues an interrupted checkpointed sweep. The spec must
@@ -202,51 +207,81 @@ func Resume(ctx context.Context, spec Spec, path string, sinks ...Sink) (*Result
 	if path == "" {
 		return nil, fmt.Errorf("sweep: Resume needs a checkpoint path")
 	}
-	return runSpec(ctx, spec, path, true, sinks)
+	return runWrapped(ctx, spec, RunOpts{Checkpoint: path, Resume: true, Sinks: sinks})
 }
 
-func runSpec(ctx context.Context, spec Spec, ckPath string, resume bool, sinks []Sink) (*Result, error) {
-	sp := spec.withDefaults()
-	if err := sp.validate(); err != nil {
+func runWrapped(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
+	j, err := Plan(spec)
+	if err != nil {
 		return nil, err
 	}
-
-	all := sp.cells()
-	result := &Result{}
-	defs := make([]cellDef, 0, len(all))
-	for _, d := range all {
-		if sp.Skip != nil {
-			if reason := sp.Skip(d.point); reason != "" {
-				result.Skipped = append(result.Skipped, SkippedCell{Point: d.point, Reason: reason})
-				continue
-			}
-		}
-		defs = append(defs, d)
+	// The wrappers return only the Result, so the engine is told not
+	// to retain the per-cell fold records a mergeable Partial carries.
+	p, err := j.run(ctx, opts, false)
+	if err != nil {
+		return nil, err
 	}
+	return p.Result(), nil
+}
+
+// RunOpts configures one Job.Run.
+type RunOpts struct {
+	// Checkpoint, when non-empty, persists per-cell fold state to this
+	// JSONL file after every completed replication; for a shard, the
+	// finished file is its mergeable artifact (see LoadPartial).
+	Checkpoint string
+	// Resume continues from the Checkpoint file instead of truncating
+	// it; the checkpoint must carry this job's plan fingerprint and
+	// shard coordinates.
+	Resume bool
+	// Sinks receive this job's cells in enumeration order.
+	Sinks []Sink
+	// Progress, when non-nil, is called after every completed
+	// replication and cell, in addition to the Spec's own Progress
+	// hook and under the same constraints (engine lock held — keep it
+	// fast). Totals are job-local: a shard reports its own cells.
+	Progress func(Progress)
+}
+
+// Run executes the job's cells and streams them to the sinks in
+// enumeration order, exactly as the spec-level Run does for the whole
+// plan: same seeds, same seed-ordered folds, same adaptive stop
+// decisions, and cell indices that are global to the plan, so a
+// shard's output rows are identical to the corresponding rows of an
+// unsharded run. On success the returned Partial carries every cell's
+// final fold record, ready for Merge.
+func (j *Job) Run(ctx context.Context, opts RunOpts) (*Partial, error) {
+	return j.run(ctx, opts, true)
+}
+
+// run executes the job; keepRecords selects whether each finished
+// cell's fold snapshot is retained for the Partial — the job API needs
+// them for in-process merging, the classic Run/RunCheckpointed/Resume
+// wrappers drop them, so retaining there would only hold an extra copy
+// of every cell's accumulator state for the length of the sweep.
+func (j *Job) run(ctx context.Context, opts RunOpts, keepRecords bool) (*Partial, error) {
+	if opts.Resume && opts.Checkpoint == "" {
+		return nil, fmt.Errorf("sweep: Resume needs a checkpoint path")
+	}
+	sp := &j.spec
+	defs := j.defs
+	sinks := opts.Sinks
+	result := &Result{Skipped: j.skipped}
 
 	// Open the checkpoint before the sinks: a stale or corrupt
 	// checkpoint must fail the resume before any sink writes a header.
 	var restored map[int]checkpointRecord
 	var ck *checkpointWriter
-	if ckPath != "" {
-		fp, err := sp.fingerprint(defs)
-		if err != nil {
-			return nil, err
-		}
-		if resume {
+	if opts.Checkpoint != "" {
+		var err error
+		if opts.Resume {
 			var validLen int64
-			if restored, validLen, err = loadCheckpoint(ckPath, fp, &sp, len(defs)); err != nil {
+			if restored, validLen, err = loadCheckpoint(opts.Checkpoint, j); err != nil {
 				return nil, err
 			}
-			ck, err = appendCheckpoint(ckPath, validLen)
+			ck, err = appendCheckpoint(opts.Checkpoint, validLen)
 		} else {
-			ck, err = createCheckpoint(ckPath, checkpointHeader{
-				Version:     checkpointVersion,
-				Sweep:       sp.Name,
-				Fingerprint: fp,
-				Cells:       len(defs),
-				MaxReps:     sp.maxReps(),
-			})
+			ck, err = createCheckpoint(opts.Checkpoint, j.header())
 		}
 		if err != nil {
 			return nil, err
@@ -255,20 +290,30 @@ func runSpec(ctx context.Context, spec Spec, ckPath string, resume bool, sinks [
 	}
 
 	for _, s := range sinks {
-		if err := s.Begin(&sp, len(defs)); err != nil {
+		if err := s.Begin(sp, len(defs)); err != nil {
 			return nil, fmt.Errorf("sweep: sink begin: %w", err)
 		}
 	}
 
 	e := &engine{
-		spec:       &sp,
+		spec:       sp,
 		defs:       defs,
+		offset:     j.offset,
 		sinks:      sinks,
 		watch:      -1,
 		ck:         ck,
 		collectors: make([]*collector, len(defs)),
 		ready:      make(map[int]*CellResult),
 		result:     result,
+	}
+	if keepRecords {
+		e.records = make(map[int]checkpointRecord, len(defs))
+	}
+	if sp.Progress != nil {
+		e.progress = append(e.progress, sp.Progress)
+	}
+	if opts.Progress != nil {
+		e.progress = append(e.progress, opts.Progress)
 	}
 	if sp.Adaptive != nil {
 		for i, m := range sp.Metrics {
@@ -281,25 +326,10 @@ func runSpec(ctx context.Context, spec Spec, ckPath string, resume bool, sinks [
 	maxReps := sp.maxReps()
 	startRep := make([]int, len(defs))
 	for i := range e.collectors {
-		c := &collector{
-			stop:    maxReps,
-			pending: make(map[int]*runValues),
-			scalars: make([]stats.Accumulator, len(sp.Metrics)),
-			vectors: newVectorAccs(sp.Vectors),
-		}
+		c := sp.newCollector()
 		if rec, ok := restored[i]; ok {
-			c.next = rec.Next
-			for k := range c.scalars {
-				c.scalars[k].Restore(rec.Scalars[k])
-			}
-			for k := range c.vectors {
-				for j := range c.vectors[k] {
-					c.vectors[k][j].Restore(rec.Vectors[k][j])
-				}
-			}
-			if rec.Stopped {
-				c.stop, c.stopReason = rec.Next, rec.Reason
-			} else {
+			c.restore(rec)
+			if !rec.Stopped {
 				// Re-evaluate the stopping rule on the restored prefix:
 				// an uninterrupted run checks after every fold, so a
 				// resumed one must stop at the same replication.
@@ -316,6 +346,9 @@ func runSpec(ctx context.Context, spec Spec, ckPath string, resume bool, sinks [
 	e.mu.Lock()
 	for i, c := range e.collectors {
 		if c.next == c.stop {
+			if e.records != nil {
+				e.records[i] = *snapshotRecord(i, c)
+			}
 			e.ready[i] = e.finalize(i, c)
 			e.collectors[i] = nil
 			e.cellsDone++
@@ -370,6 +403,14 @@ dispatch:
 			if e.abortedNow() {
 				break dispatch
 			}
+			// On a single-P runtime the unbuffered handoff between this
+			// loop and a worker can ride the scheduler's run-next fast
+			// path indefinitely, starving a sibling worker whose
+			// finished replication is still undelivered; its cell's
+			// fold — and with it abort detection, checkpointing, and
+			// the pending buffer — stalls until dispatch ends. Yield so
+			// every in-flight delivery lands between dispatches.
+			runtime.Gosched()
 		}
 	}
 	close(jobs)
@@ -391,7 +432,57 @@ dispatch:
 			return nil, fmt.Errorf("sweep: sink end: %w", err)
 		}
 	}
-	return result, nil
+	return &Partial{
+		sweep: sp.Name, fp: j.fp,
+		shard: j.shard, shards: j.shards,
+		offset: j.offset, cells: len(defs),
+		total: j.total, maxReps: maxReps,
+		records: e.records, result: result,
+	}, nil
+}
+
+// header is the checkpoint header this job writes: the plan
+// fingerprint plus the job's shard coordinates.
+func (j *Job) header() checkpointHeader {
+	return checkpointHeader{
+		Version:     checkpointVersion,
+		Sweep:       j.spec.Name,
+		Fingerprint: j.fp,
+		Cells:       len(j.defs),
+		MaxReps:     j.spec.maxReps(),
+		Shard:       j.shard,
+		Shards:      j.shards,
+		Offset:      j.offset,
+		TotalCells:  j.total,
+	}
+}
+
+// newCollector allocates an empty collector shaped for the spec's
+// metrics.
+func (s *Spec) newCollector() *collector {
+	return &collector{
+		stop:    s.maxReps(),
+		pending: make(map[int]*runValues),
+		scalars: make([]stats.Accumulator, len(s.Metrics)),
+		vectors: newVectorAccs(s.Vectors),
+	}
+}
+
+// restore overwrites the collector's fold state with a checkpoint
+// record's bit-exact snapshot.
+func (c *collector) restore(rec checkpointRecord) {
+	c.next = rec.Next
+	for k := range c.scalars {
+		c.scalars[k].Restore(rec.Scalars[k])
+	}
+	for k := range c.vectors {
+		for j := range c.vectors[k] {
+			c.vectors[k][j].Restore(rec.Vectors[k][j])
+		}
+	}
+	if rec.Stopped {
+		c.stop, c.stopReason = rec.Next, rec.Reason
+	}
 }
 
 // cellStop reads a cell's current replication target.
@@ -611,6 +702,16 @@ func (e *engine) fold(j job, vals *runValues, err error) *checkpointRecord {
 	}
 
 	if c.next == c.stop {
+		if e.records != nil {
+			// The checkpoint snapshot above, when taken, is already the
+			// cell's final state — don't deep-copy the accumulators
+			// twice.
+			final := rec
+			if final == nil {
+				final = snapshotRecord(j.cell, c)
+			}
+			e.records[j.cell] = *final
+		}
 		e.ready[j.cell] = e.finalize(j.cell, c)
 		e.collectors[j.cell] = nil
 		e.emitReadyLocked()
@@ -620,8 +721,8 @@ func (e *engine) fold(j job, vals *runValues, err error) *checkpointRecord {
 		e.cellsDone++
 	}
 
-	if e.spec.Progress != nil {
-		e.spec.Progress(Progress{
+	for _, fn := range e.progress {
+		fn(Progress{
 			CellsDone:  e.cellsDone,
 			CellsTotal: len(e.defs),
 			RunsDone:   e.result.Runs,
@@ -642,10 +743,19 @@ func (c *collector) fold(v *runValues) {
 	}
 }
 
+// finalize builds the cell's result under the engine lock; the index
+// is global to the plan, so a shard's cells carry the same indices an
+// unsharded run would give them.
 func (e *engine) finalize(cell int, c *collector) *CellResult {
-	sp := e.spec
+	return finalizeCell(e.spec, e.offset+cell, e.defs[cell].point, c)
+}
+
+// finalizeCell renders a finished collector as a CellResult; it is
+// shared by the engine and by Merge, which rebuilds collectors from
+// shard records.
+func finalizeCell(sp *Spec, index int, p Point, c *collector) *CellResult {
 	cr := &CellResult{
-		Index: cell, Point: e.defs[cell].point,
+		Index: index, Point: p,
 		Reps: c.next, StopReason: c.stopReason,
 	}
 	for i, m := range sp.Metrics {

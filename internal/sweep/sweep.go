@@ -23,6 +23,13 @@
 // (out-of-order arrivals are buffered until their predecessors land),
 // and cells are emitted to sinks in declaration order, so the output
 // is bit-identical regardless of worker count.
+//
+// # Distributed execution
+//
+// Run, RunCheckpointed and Resume are thin wrappers over the
+// composable job API — Plan, Job.Shard, Job.Run, Merge (see job.go) —
+// which splits a sweep into deterministic cell ranges across machines
+// and merges their checkpoint files back into byte-identical output.
 package sweep
 
 import (

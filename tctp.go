@@ -268,6 +268,15 @@ type (
 	// SweepAdaptive configures per-cell early stopping on a CI95
 	// target.
 	SweepAdaptive = sweep.Adaptive
+	// SweepJob is a planned sweep or one shard of it; Run it with
+	// SweepRunOpts, or split it with Shard for distributed execution.
+	SweepJob = sweep.Job
+	// SweepRunOpts configures one SweepJob.Run (checkpoint path,
+	// resume, sinks, progress).
+	SweepRunOpts = sweep.RunOpts
+	// SweepPartial is one shard's output: per-cell fold records that
+	// MergeSweep fuses losslessly.
+	SweepPartial = sweep.Partial
 )
 
 // SweepAlgo wraps a fixed algorithm as a variant of the algorithm
@@ -295,6 +304,25 @@ func RunSweepCheckpointed(ctx context.Context, spec SweepSpec, path string, sink
 func ResumeSweep(ctx context.Context, spec SweepSpec, path string, sinks ...SweepSink) (*SweepResult, error) {
 	return sweep.Resume(ctx, spec, path, sinks...)
 }
+
+// PlanSweep validates the spec and enumerates its cells into an
+// immutable job with a sha256 plan fingerprint. Job.Shard(i, n) splits
+// the plan into contiguous deterministic cell ranges for distributed
+// runs; Job.Run executes one job (or shard) with per-run options.
+func PlanSweep(spec SweepSpec) (*SweepJob, error) { return sweep.Plan(spec) }
+
+// MergeSweep fuses shard partials into the full sweep result,
+// streaming cells to the sinks; the merged output is byte-identical to
+// an unsharded RunSweep, and partials from a different spec
+// (mismatched fingerprint) are refused.
+func MergeSweep(spec SweepSpec, partials []*SweepPartial, sinks ...SweepSink) (*SweepResult, error) {
+	return sweep.Merge(spec, partials, sinks...)
+}
+
+// LoadSweepPartial reads a shard's checkpoint file into a mergeable
+// partial — the file a shard's Job.Run writes when SweepRunOpts names
+// a checkpoint path.
+func LoadSweepPartial(path string) (*SweepPartial, error) { return sweep.LoadPartial(path) }
 
 // SweepCSV, SweepJSONL and SweepTable are the built-in sinks.
 func SweepCSV(w io.Writer) SweepSink   { return sweep.CSV(w) }

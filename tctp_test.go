@@ -130,3 +130,50 @@ func TestFacadeSweep(t *testing.T) {
 		t.Fatalf("CSV sink output:\n%s", buf.String())
 	}
 }
+
+func TestFacadeSweepJob(t *testing.T) {
+	spec := SweepSpec{
+		Name:       "facade-job",
+		Algorithms: []SweepVariant{SweepAlgo("btctp", &BTCTP{})},
+		Targets:    []int{6, 8},
+		Mules:      []int{2},
+		Horizons:   []float64{4_000},
+		Metrics: []SweepMetric{{Name: "dcdt", Fn: func(e SweepEnv) float64 {
+			return e.Result.Recorder.AvgDCDTAfter(e.Warm())
+		}}},
+		Seeds: 2,
+	}
+	var whole bytes.Buffer
+	if _, err := RunSweep(context.Background(), spec, SweepCSV(&whole)); err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := PlanSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Cells() != 2 || job.Fingerprint() == "" {
+		t.Fatalf("planned %d cells, fp %q", job.Cells(), job.Fingerprint())
+	}
+	partials := make([]*SweepPartial, 2)
+	for i := range partials {
+		shard, err := job.Shard(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if partials[i], err = shard.Run(context.Background(), SweepRunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged bytes.Buffer
+	res, err := MergeSweep(spec, partials, SweepCSV(&merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != whole.String() {
+		t.Fatalf("merged facade output diverged:\n%s\nvs\n%s", merged.String(), whole.String())
+	}
+	if res.Runs != 4 {
+		t.Fatalf("merged Runs = %d", res.Runs)
+	}
+}
