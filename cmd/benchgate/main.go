@@ -27,6 +27,15 @@
 // "info" — so bench-history tooling can grade builds without parsing
 // exit codes or tables; -json - streams it to stdout instead of a
 // file.
+//
+// The -history subcommand is that tooling: it folds any number of
+// BENCH_*.json artifacts (downloaded from successive builds, given as
+// arguments in build order) into a per-benchmark time-series table —
+// one row per build with the head mean ±CI95, the delta against the
+// previous build, and the recorded verdict. It never fails the build;
+// it exists to make drift visible between the gate's hard stops:
+//
+//	benchgate -history BENCH_engine_build1.json BENCH_engine_build2.json ...
 package main
 
 import (
@@ -51,8 +60,16 @@ func main() {
 		gate      = flag.String("gate", "^BenchmarkEngine", "regexp of benchmark names the gate applies to")
 		threshold = flag.Float64("threshold", 0.15, "relative time/op regression that fails the gate")
 		jsonOut   = flag.String("json", "", `write the machine-readable comparison verdict to this file ("-" = stdout)`)
+		history   = flag.Bool("history", false, "fold the BENCH_*.json artifacts given as arguments into a per-benchmark time-series table (never fails)")
 	)
 	flag.Parse()
+	if *history {
+		if err := runHistory(flag.Args(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*basePath, *headPath, *gate, *threshold, *jsonOut, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
@@ -257,6 +274,69 @@ type report struct {
 	Verdict    string       `json:"verdict"`
 	Failed     bool         `json:"failed"`
 	Benchmarks []comparison `json:"benchmarks"`
+}
+
+// runHistory folds -json artifacts from successive builds into a
+// per-benchmark time-series table. Files are taken in argument order
+// (pass them in build order); the delta column compares each build's
+// head mean against the previous one. A benchmark missing from a
+// build simply skips that row. History never fails the caller on
+// benchmark content — only unreadable files are errors.
+func runHistory(paths []string, w io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-history needs BENCH_*.json artifact files as arguments")
+	}
+	type sample struct {
+		build   string
+		n       int
+		mean    float64
+		ci95    float64
+		verdict string
+	}
+	series := make(map[string][]sample) // "name unit" → builds in order
+	var keys []string
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var rep report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, c := range rep.Benchmarks {
+			if c.Unit == "" || c.HeadN == 0 {
+				continue // note-only rows (missing benchmarks) have no head sample
+			}
+			key := c.Name + " " + c.Unit
+			if _, seen := series[key]; !seen {
+				keys = append(keys, key)
+			}
+			series[key] = append(series[key], sample{
+				build: path, n: c.HeadN,
+				mean: c.HeadMean, ci95: c.HeadCI95,
+				verdict: c.Verdict,
+			})
+		}
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no benchmark samples in %d artifacts", len(paths))
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(w, "== %s ==\n", key)
+		prev := 0.0
+		for i, s := range series[key] {
+			delta := "     —"
+			if i > 0 && prev != 0 {
+				delta = fmt.Sprintf("%+5.1f%%", 100*(s.mean-prev)/prev)
+			}
+			fmt.Fprintf(w, "  %-40s %12.2f ±%-10.2f %s  %s\n",
+				s.build, s.mean, s.ci95, delta, s.verdict)
+			prev = s.mean
+		}
+	}
+	return nil
 }
 
 func loadBench(path string) (map[string]map[string][]float64, error) {

@@ -294,3 +294,43 @@ func TestJSONVerdict(t *testing.T) {
 		t.Fatalf("streamed verdict %q", streamed.Verdict)
 	}
 }
+
+// TestHistory folds two successive -json artifacts into the
+// per-benchmark time-series table with a delta column.
+func TestHistory(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact := func(name, bench string) string {
+		headPath := filepath.Join(dir, name+".txt")
+		jsonPath := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(headPath, []byte(bench), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := run("", headPath, "^BenchmarkEngine", 0.15, jsonPath, &out); err != nil {
+			t.Fatal(err)
+		}
+		return jsonPath
+	}
+	a := writeArtifact("BENCH_1", "BenchmarkEngine-8   100   1000 ns/op   2 allocs/op\n")
+	b := writeArtifact("BENCH_2", "BenchmarkEngine-8   100   1100 ns/op   2 allocs/op\n")
+
+	var out bytes.Buffer
+	if err := runHistory([]string{a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== BenchmarkEngine ns/op ==") ||
+		!strings.Contains(got, "== BenchmarkEngine allocs/op ==") {
+		t.Fatalf("history misses a series header:\n%s", got)
+	}
+	if !strings.Contains(got, "+10.0%") {
+		t.Fatalf("history misses the delta against the previous build:\n%s", got)
+	}
+
+	if err := runHistory(nil, &out); err == nil {
+		t.Fatal("history with no artifacts accepted")
+	}
+	if err := runHistory([]string{filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Fatal("unreadable artifact accepted")
+	}
+}

@@ -12,6 +12,8 @@
 //	tctp-sweep -alg btctp,chb -speeds 1,2,4 -placements uniform,clusters -format json
 //	tctp-sweep -alg btctp -fleets "4x2;2x1+2x3" -workloads off,on -format table
 //	tctp-sweep -alg btctp -preset clustered -progress
+//	tctp-sweep -alg btctp -preset clustered -partition kmeans:4   # C-BTCTP
+//	tctp-sweep -alg btctp -workloads bursts -burst-hot 5
 //	tctp-sweep -alg btctp -scenario world.json -seeds 20
 //	tctp-sweep -alg btctp -seeds 50 -adaptive avg_dcdt_s:0.05
 //	tctp-sweep -alg btctp -checkpoint sweep.ckpt          # interrupted?
@@ -46,8 +48,18 @@
 // groups joined by "+", and several fleets separated by ";" form the
 // fleet axis, replacing -mules and -speeds.
 //
-// Cells that cannot run (more mules than targets+1) are skipped and
-// reported on stderr.
+// -partition adds the target-partition axis: "none" keeps the
+// algorithm's own single-circuit planning, "method:k[:alloc]" (methods
+// kmeans, sectors; alloc length, count) runs the partitioned C-variant
+// — B-TCTP cells become C-BTCTP, W-TCTP cells C-WTCTP — and the output
+// gains a partition column, a groups metric, and per-group DCDT
+// columns (group_dcdt_s_1..k). -workloads bursts layers the
+// event-driven Poisson-burst workload (see -burst-*) instead of the
+// periodic packet model.
+//
+// Cells that cannot run (more mules than targets+1, partitioned cells
+// of algorithms without a partitioned variant, fewer mules than
+// regions) are skipped and reported on stderr.
 package main
 
 import (
@@ -78,10 +90,13 @@ func main() {
 		speeds     = flag.String("speeds", "", "comma-separated mule speeds in m/s (default 2)")
 		fleets     = flag.String("fleets", "", `semicolon-separated fleet specs, e.g. "4x2;2x1+2x3" (replaces -mules and -speeds; combining them is an error)`)
 		placements = flag.String("placements", "", "comma-separated placements: "+field.PlacementNames+" (default uniform)")
-		workloads  = flag.String("workloads", "", "comma-separated workload axis values: off, on (default off)")
+		workloads  = flag.String("workloads", "", "comma-separated workload axis values: off, on, bursts (default off)")
 		wlGen      = flag.Float64("workload-gen", 60, "packet generation interval in seconds for -workloads on")
 		wlBuf      = flag.Int("workload-buffer", 50, "node buffer capacity in packets for -workloads on")
-		wlDeadline = flag.Float64("workload-deadline", 3600, "delivery deadline in seconds for -workloads on")
+		wlDeadline = flag.Float64("workload-deadline", 3600, "delivery deadline in seconds for -workloads on and bursts")
+		burstHot   = flag.Int("burst-hot", 0, "burst-active targets for -workloads bursts (0 = all)")
+		burstGap   = flag.Float64("burst-gap", 1800, "mean seconds between bursts for -workloads bursts")
+		burstSize  = flag.Int("burst-size", 10, "packets per burst for -workloads bursts")
 		preset     = flag.String("preset", "", "scenario preset supplying field geometry and axis defaults: "+strings.Join(scenario.PresetNames(), ", "))
 		scenarioF  = flag.String("scenario", "", "JSON scenario file supplying field geometry and axis defaults (like -preset, from disk)")
 		seeds      = flag.Int("seeds", 10, "replications per cell")
@@ -93,6 +108,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "persist per-cell fold state to this JSONL file")
 		resumeF    = flag.Bool("resume", false, "continue from the -checkpoint file instead of starting over")
 		adaptive   = flag.String("adaptive", "", "adaptive replication as metric:relci[:min[:max]], e.g. avg_dcdt_s:0.05:5:50")
+		partition  = flag.String("partition", "", `comma-separated partition axis values: none or method:k[:alloc], e.g. "none,kmeans:4" (methods kmeans, sectors; alloc length, count)`)
 		shard      = flag.String("shard", "", `run one shard of the grid as "i/n" (1-based), e.g. -shard 2/3`)
 		merge      = flag.String("merge", "", `merge the shard checkpoint files given as arguments, writing the full sweep to this path ("-" = stdout)`)
 	)
@@ -102,11 +118,14 @@ func main() {
 		Algs: *algs, Targets: *targets, Mules: *mules,
 		Speeds: *speeds, Fleets: *fleets, Placements: *placements,
 		Workloads: *workloads, WorkloadGen: *wlGen, WorkloadBuf: *wlBuf,
-		WorkloadDeadline: *wlDeadline, Preset: *preset, Scenario: *scenarioF,
+		WorkloadDeadline: *wlDeadline,
+		BurstHot:         *burstHot, BurstGap: *burstGap, BurstSize: *burstSize,
+		Preset: *preset, Scenario: *scenarioF,
 		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
 		Workers: *workers, Format: *format, Progress: *progress,
 		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
-		Shard: *shard, Merge: *merge, MergeInputs: flag.Args(),
+		Partition: *partition,
+		Shard:     *shard, Merge: *merge, MergeInputs: flag.Args(),
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
@@ -122,6 +141,9 @@ type config struct {
 	WorkloadGen                                                 float64
 	WorkloadBuf                                                 int
 	WorkloadDeadline                                            float64
+	BurstHot                                                    int
+	BurstGap                                                    float64
+	BurstSize                                                   int
 	Preset                                                      string
 	Scenario                                                    string
 	Seeds                                                       int
@@ -133,6 +155,7 @@ type config struct {
 	Checkpoint                                                  string
 	Resume                                                      bool
 	Adaptive                                                    string
+	Partition                                                   string
 	Shard                                                       string
 	Merge                                                       string
 	MergeInputs                                                 []string
@@ -209,8 +232,10 @@ func parseFleets(s string) ([]scenario.Fleet, error) {
 	return out, nil
 }
 
-// parseWorkloads maps off/on axis values to workloads; "on" is the
-// packet workload parameterized by the -workload-* knobs.
+// parseWorkloads maps off/on/bursts axis values to workloads; "on" is
+// the periodic packet workload parameterized by the -workload-* knobs,
+// "bursts" the event-driven Poisson-burst workload parameterized by
+// the -burst-* knobs.
 func parseWorkloads(cfg config) ([]scenario.Workload, error) {
 	var out []scenario.Workload
 	for _, p := range strings.Split(cfg.Workloads, ",") {
@@ -223,9 +248,34 @@ func parseWorkloads(cfg config) ([]scenario.Workload, error) {
 				BufferCap:   cfg.WorkloadBuf,
 				Deadline:    cfg.WorkloadDeadline,
 			}})
+		case "bursts":
+			out = append(out, scenario.Workload{
+				Name: "bursts", Kind: scenario.KindBursts,
+				Bursts: &wsn.BurstConfig{
+					Hot:       cfg.BurstHot,
+					MeanGap:   cfg.BurstGap,
+					Size:      cfg.BurstSize,
+					BufferCap: cfg.WorkloadBuf,
+					Deadline:  cfg.WorkloadDeadline,
+				},
+			})
 		default:
-			return nil, fmt.Errorf("unknown workload %q (valid: off, on)", p)
+			return nil, fmt.Errorf("unknown workload %q (valid: off, on, bursts)", p)
 		}
+	}
+	return out, nil
+}
+
+// parsePartitions maps the -partition axis values ("none" or
+// "method:k[:alloc]") to the engine's partition axis.
+func parsePartitions(s string) ([]sweep.Partition, error) {
+	var out []sweep.Partition
+	for _, p := range strings.Split(s, ",") {
+		part, err := sweep.ParsePartition(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part)
 	}
 	return out, nil
 }
@@ -401,6 +451,11 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 	if spec.Workloads, err = parseWorkloads(cfg); err != nil {
 		return spec, err
 	}
+	if cfg.Partition != "" {
+		if spec.Partitions, err = parsePartitions(cfg.Partition); err != nil {
+			return spec, err
+		}
+	}
 	for _, nt := range spec.Targets {
 		if nt < 1 {
 			return spec, fmt.Errorf("target count %d < 1", nt)
@@ -463,9 +518,49 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 			break
 		}
 	}
+	// With an enabled partition on the axis, report the group count and
+	// the per-group DCDT/SD columns (group_dcdt_s_1..k,
+	// group_sd_s_1..k); single-circuit cells fill only position 1.
+	partitionK := map[string]int{}
+	var probeCfg core.PartitionConfig
+	maxK := 0
+	for _, pa := range spec.Partitions {
+		if !pa.Enabled() {
+			continue
+		}
+		partitionK[pa.String()] = pa.K
+		if pa.K > maxK {
+			maxK = pa.K
+			probeCfg, _ = pa.Config() // parsePartitions already validated
+		}
+	}
+	// Partitioned cells of algorithms without a partitioned variant are
+	// skipped, not failed, so mixed-algorithm grids stay usable. The
+	// capability is probed from the algorithm itself (core.Partitionable
+	// via patrol.Partitioned), not a name list, so planners gaining a
+	// partitioned form are picked up automatically.
+	partitionable := map[string]bool{}
+	if maxK > 0 {
+		spec.Metrics = append(spec.Metrics, sweep.GroupCount())
+		spec.Vectors = append(spec.Vectors, sweep.GroupDCDT(maxK), sweep.GroupSD(maxK))
+		for _, v := range spec.Algorithms {
+			_, perr := patrol.Partitioned(v.Make(nil), probeCfg, nil)
+			partitionable[v.Name] = perr == nil
+		}
+	}
 	spec.Skip = func(p sweep.Point) string {
 		if p.Mules > p.Targets+1 {
 			return "sweep needs at least one target per mule"
+		}
+		if p.Partition != "" {
+			if !partitionable[p.Algorithm] {
+				return "algorithm has no partitioned variant"
+			}
+			if k := partitionK[p.Partition]; p.Mules < k {
+				return fmt.Sprintf("partition %s needs at least %d mules", p.Partition, k)
+			} else if k > p.Targets+1 {
+				return fmt.Sprintf("partition %s exceeds the %d targets", p.Partition, p.Targets+1)
+			}
 		}
 		return ""
 	}

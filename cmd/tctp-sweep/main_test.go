@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -223,7 +224,7 @@ func TestScenarioAxesSweep(t *testing.T) {
 	for i, line := range lines[1:] {
 		rec := strings.Split(line, ",")
 		workload := rec[10]
-		delivered := rec[20] // point columns + reps + 4 metric pairs
+		delivered := rec[21] // point columns + reps + 4 metric pairs
 		if workload == "packets" && delivered == "0.000" {
 			t.Fatalf("row %d: workload-on cell delivered nothing: %s", i, line)
 		}
@@ -415,9 +416,9 @@ func TestAdaptiveSweepCLI(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
 	rec := strings.Split(lines[1], ",")
-	reps, err := strconv.Atoi(rec[11]) // the reps column follows the 11 point columns
+	reps, err := strconv.Atoi(rec[12]) // the reps column follows the 12 point columns
 	if err != nil {
-		t.Fatalf("reps column %q: %v", rec[11], err)
+		t.Fatalf("reps column %q: %v", rec[12], err)
 	}
 	if reps < 3 || reps >= 30 {
 		t.Fatalf("adaptive cell ran %d reps, want early stop in [3,30)", reps)
@@ -592,5 +593,101 @@ func TestShardMergeFlagErrors(t *testing.T) {
 		if err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 			t.Fatalf("%s accepted", name)
 		}
+	}
+}
+
+// TestPartitionAxisCLI: -partition adds the partition axis — B-TCTP
+// cells become C-BTCTP, the CSV gains the partition column and the
+// per-group DCDT columns, and non-partitionable algorithms are
+// skipped rather than failed.
+func TestPartitionAxisCLI(t *testing.T) {
+	var out, errw bytes.Buffer
+	cfg := config{
+		Algs: "btctp,random", Targets: "12", Mules: "4", Speeds: "2",
+		Placements: "clusters", Partition: "none,kmeans:4",
+		Seeds: 2, Horizon: 5_000, Format: "csv",
+	}
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	header := lines[0]
+	for _, col := range []string{"partition", "groups", "group_dcdt_s_1", "group_dcdt_s_4", "group_sd_s_4"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header misses %q: %s", col, header)
+		}
+	}
+	// 2 algs × 2 partitions − the skipped random×kmeans:4 cell.
+	if len(lines) != 1+3 {
+		t.Fatalf("%d rows:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(out.String(), "kmeans:4") {
+		t.Fatalf("partitioned cell missing:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "no partitioned variant") {
+		t.Fatalf("skip report missing:\n%s", errw.String())
+	}
+	// The partitioned cell reports 4 groups.
+	for _, line := range lines[1:] {
+		if strings.Contains(line, "kmeans:4") && !strings.Contains(line, ",4.000,") {
+			t.Fatalf("partitioned row misses groups=4: %s", line)
+		}
+	}
+}
+
+// TestPartitionFlagErrors: malformed -partition values are refused.
+func TestPartitionFlagErrors(t *testing.T) {
+	for _, bad := range []string{"kmeans", "kmeans:0", "voronoi:2", "kmeans:2:zzz"} {
+		cfg := goldenConfig()
+		cfg.Partition = bad
+		var out, errw bytes.Buffer
+		if err := run(cfg, &out, &errw); err == nil {
+			t.Fatalf("-partition %q accepted", bad)
+		}
+	}
+}
+
+// TestPartitionShardMergeIdentical: the partition axis flows through
+// plan fingerprints, shard checkpoints, and merge unchanged.
+func TestPartitionShardMergeIdentical(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() config {
+		cfg := goldenConfig()
+		cfg.Partition = "none,kmeans:2"
+		return cfg
+	}
+
+	var whole, errw bytes.Buffer
+	if err := run(mk(), &whole, &errw); err != nil {
+		t.Fatal(err)
+	}
+
+	shards := make([]string, 2)
+	for i := range shards {
+		shards[i] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i+1))
+		cfg := mk()
+		cfg.Shard = fmt.Sprintf("%d/2", i+1)
+		cfg.Checkpoint = shards[i]
+		var out bytes.Buffer
+		if err := run(cfg, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.csv")
+	cfg := mk()
+	cfg.Merge = merged
+	cfg.MergeInputs = shards
+	var out bytes.Buffer
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, whole.Bytes()) {
+		t.Fatalf("merged partitioned sweep differs from the whole run:\n%s\nvs\n%s",
+			got, whole.Bytes())
 	}
 }

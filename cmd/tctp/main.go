@@ -158,16 +158,16 @@ func run(alg, policy string, targets, mules, vips, weight int, placement string,
 	fmt.Printf("scenario: %d targets (+sink), %d mules, %s placement, seed %d\n",
 		targets, mules, placement, seed)
 	if mapW > 0 {
-		if res.Plan != nil && res.Plan.Walk.Size() > 0 {
-			fmt.Print(viz.Map(s, &res.Plan.Walk, mapW, mapH))
-		} else {
-			fmt.Print(viz.Map(s, nil, mapW, mapH))
-		}
+		fmt.Print(viz.MapPlan(s, res.Plan, mapW, mapH))
 	}
 	if res.Plan != nil {
 		pts := s.Points()
-		fmt.Printf("patrolling path: %d stops, %.1f m\n",
-			res.Plan.Walk.Size(), res.Plan.Walk.Length(pts))
+		fmt.Printf("patrolling path: %d stops, %.1f m",
+			res.Plan.TotalWalkSize(), res.Plan.TotalWalkLength(pts))
+		if len(res.Plan.Groups) > 1 {
+			fmt.Printf(" across %d patrol groups", len(res.Plan.Groups))
+		}
+		fmt.Println()
 		if res.Plan.Rounds > 0 {
 			fmt.Printf("recharge rounds (Equ. 4): %d\n", res.Plan.Rounds)
 		}

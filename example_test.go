@@ -44,8 +44,8 @@ func ExampleWTCTP() {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Printf("VIP occurrences on the WPP: %d\n", plan.Walk.Occurrences(4))
-	fmt.Printf("cycles through the VIP:     %d\n", len(plan.Walk.CyclesAt(4)))
+	fmt.Printf("VIP occurrences on the WPP: %d\n", plan.Groups[0].Walk.Occurrences(4))
+	fmt.Printf("cycles through the VIP:     %d\n", len(plan.Groups[0].Walk.CyclesAt(4)))
 	// Output:
 	// VIP occurrences on the WPP: 3
 	// cycles through the VIP:     3

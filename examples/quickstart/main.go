@@ -35,8 +35,9 @@ func main() {
 	fmt.Print(tctp.MapString(res.Scenario, res.Plan, 72, 28))
 
 	pts := res.Scenario.Points()
+	circuit := res.Plan.Groups[0].Walk // B-TCTP: one group, one circuit
 	fmt.Printf("patrolling circuit: %d targets, %.0f m\n",
-		res.Plan.Walk.Size(), res.Plan.Walk.Length(pts))
+		circuit.Size(), circuit.Length(pts))
 	fmt.Printf("fleet: %d mules, synchronized patrol start at t=%.0f s\n",
 		len(res.Mules), res.PatrolStart)
 

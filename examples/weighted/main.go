@@ -37,9 +37,10 @@ func main() {
 		pts := res.Scenario.Points()
 		warm := res.PatrolStart + 1
 		fmt.Printf("\n%s policy:\n", policy)
-		fmt.Printf("  WPP: %d stops, %.0f m\n", res.Plan.Walk.Size(), res.Plan.Walk.Length(pts))
+		wpp := res.Plan.Groups[0].Walk // W-TCTP: one group, one WPP
+		fmt.Printf("  WPP: %d stops, %.0f m\n", wpp.Size(), wpp.Length(pts))
 		for _, vip := range res.Scenario.VIPs() {
-			lens := res.Plan.Walk.CycleLengthsAt(pts, vip)
+			lens := wpp.CycleLengthsAt(pts, vip)
 			fmt.Printf("  VIP %d cycles (m): ", vip)
 			for _, l := range lens {
 				fmt.Printf("%.0f ", l)

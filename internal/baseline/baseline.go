@@ -51,23 +51,31 @@ func (c *CHB) Plan(s *field.Scenario) (*core.FleetPlan, error) {
 	w := walk.New(t).RotateToNorthmost(pts)
 
 	n := s.NumMules()
-	plan := &core.FleetPlan{
-		Algorithm:   c.Name(),
+	// CHB is a one-group plan: the whole fleet shares the circuit, but
+	// the start points are each mule's nearest entry rather than the
+	// equal-length partition.
+	group := core.PatrolGroup{
 		Walk:        w,
+		Targets:     core.SeqIDs(s.NumTargets()),
+		Mules:       core.SeqIDs(n),
 		StartPoints: make([]geom.Point, n),
 		Assignment:  make([]int, n),
-		Routes:      make([]core.MuleRoute, n),
+	}
+	plan := &core.FleetPlan{
+		Algorithm: c.Name(),
+		Routes:    make([]core.MuleRoute, n),
 	}
 	for i, start := range s.MuleStarts {
 		d := w.NearestOffset(pts, start)
 		plan.Routes[i] = core.RouteFromArc(pts, w, d)
 		entry := plan.Routes[i].Approach[0].Pos
-		plan.StartPoints[i] = entry
-		plan.Assignment[i] = i
+		group.StartPoints[i] = entry
+		group.Assignment[i] = i
 		if dist := start.Dist(entry); dist > plan.MaxApproach {
 			plan.MaxApproach = dist
 		}
 	}
+	plan.Groups = []core.PatrolGroup{group}
 	return plan, nil
 }
 
@@ -108,8 +116,10 @@ type Sweep struct {
 func (sw *Sweep) Name() string { return "Sweep" }
 
 // Plan implements core.Planner: one target group per mule, one circuit
-// per group, each mule assigned to the group whose centroid is nearest
-// (greedily, without reuse).
+// per group, each mule assigned to an exclusive group by centroid
+// distance (closest mules settle first, ties by index). The plan is
+// expressed in the group model: one PatrolGroup per region, each
+// patrolled by exactly one mule.
 func (sw *Sweep) Plan(s *field.Scenario) (*core.FleetPlan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -153,38 +163,35 @@ func (sw *Sweep) Plan(s *field.Scenario) (*core.FleetPlan, error) {
 		groupWalks[g] = walk.New(seq)
 	}
 
-	// Greedy unique mule→group matching by centroid distance,
-	// processing mules in index order.
-	taken := make([]bool, n)
-	muleGroup := make([]int, n)
-	for i, start := range s.MuleStarts {
-		best, bestD := -1, 0.0
-		for g := 0; g < n; g++ {
-			if taken[g] {
-				continue
-			}
-			d := start.Dist2(centroids[g])
-			if best == -1 || d < bestD {
-				best, bestD = g, d
-			}
-		}
-		taken[best] = true
-		muleGroup[i] = best
+	// Unique mule→group matching by centroid distance. Mules settle in
+	// ascending (distance, index) order — like the location
+	// initialization's conflict resolution — so the matching does not
+	// depend on the mules' enumeration order beyond exact ties.
+	capacity := make([]int, n)
+	for g := range capacity {
+		capacity[g] = 1
 	}
+	muleGroup := core.MatchMulesToGroups(s.MuleStarts, centroids, capacity)
 
 	plan := &core.FleetPlan{
-		Algorithm:   sw.Name(),
-		StartPoints: make([]geom.Point, n),
-		Assignment:  make([]int, n),
-		Routes:      make([]core.MuleRoute, n),
+		Algorithm: sw.Name(),
+		Groups:    make([]core.PatrolGroup, n),
+		Routes:    make([]core.MuleRoute, n),
+	}
+	for g := range plan.Groups {
+		plan.Groups[g] = core.PatrolGroup{
+			Walk:    groupWalks[g],
+			Targets: groups[g],
+		}
 	}
 	for i, g := range muleGroup {
 		w := groupWalks[g]
 		d := w.NearestOffset(pts, s.MuleStarts[i])
 		plan.Routes[i] = core.RouteFromArc(pts, w, d)
 		entry := plan.Routes[i].Approach[0].Pos
-		plan.StartPoints[i] = entry
-		plan.Assignment[i] = g
+		plan.Groups[g].Mules = []int{i}
+		plan.Groups[g].StartPoints = []geom.Point{entry}
+		plan.Groups[g].Assignment = []int{0}
 		if dist := s.MuleStarts[i].Dist(entry); dist > plan.MaxApproach {
 			plan.MaxApproach = dist
 		}

@@ -3,7 +3,9 @@ package baseline
 import (
 	"testing"
 
+	"tctp/internal/core"
 	"tctp/internal/field"
+	"tctp/internal/geom"
 	"tctp/internal/mule"
 	"tctp/internal/xrand"
 )
@@ -28,8 +30,11 @@ func TestCHBPlanValid(t *testing.T) {
 	if p.Algorithm != "CHB" {
 		t.Fatalf("Algorithm = %q", p.Algorithm)
 	}
-	// Master walk is a Hamiltonian circuit over all targets.
-	if err := p.Walk.Validate(s.NumTargets(), nil); err != nil {
+	// One group whose walk is a Hamiltonian circuit over all targets.
+	if len(p.Groups) != 1 {
+		t.Fatalf("CHB plan has %d groups, want 1", len(p.Groups))
+	}
+	if err := p.Groups[0].Walk.Validate(s.NumTargets(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Every mule's loop covers all targets once.
@@ -51,15 +56,16 @@ func TestCHBEntersAtNearestPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := s.Points()
+	w := p.Groups[0].Walk
 	for i, r := range p.Routes {
 		entry := r.Approach[0].Pos
 		// The entry point must be at the minimal distance from the
 		// mule's start to the circuit (verified against a dense
 		// sampling of the circuit).
 		entryDist := s.MuleStarts[i].Dist(entry)
-		total := p.Walk.Length(pts)
+		total := w.Length(pts)
 		for f := 0.0; f < 1.0; f += 0.001 {
-			q := p.Walk.PointAt(pts, f*total)
+			q := w.PointAt(pts, f*total)
 			if s.MuleStarts[i].Dist(q) < entryDist-1.0 { // 1 m slack for sampling
 				t.Fatalf("mule %d entry %.2f m but point %v is %.2f m away",
 					i, entryDist, q, s.MuleStarts[i].Dist(q))
@@ -80,8 +86,9 @@ func TestCHBNoLocationInit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 1; i < len(p.StartPoints); i++ {
-		if !p.StartPoints[i].Eq(p.StartPoints[0]) {
+	sp := p.Groups[0].StartPoints
+	for i := 1; i < len(sp); i++ {
+		if !sp[i].Eq(sp[0]) {
 			t.Fatal("identical mule starts produced different entries")
 		}
 	}
@@ -123,12 +130,80 @@ func TestSweepGroupsAreMuleExclusive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(p.Groups) != s.NumMules() {
+		t.Fatalf("Sweep plan has %d groups for %d mules", len(p.Groups), s.NumMules())
+	}
 	seen := map[int]bool{}
-	for _, g := range p.Assignment {
-		if seen[g] {
-			t.Fatalf("group %d assigned to two mules", g)
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if len(g.Mules) != 1 {
+			t.Fatalf("group %d patrolled by %d mules, want 1", gi, len(g.Mules))
 		}
-		seen[g] = true
+		if seen[g.Mules[0]] {
+			t.Fatalf("mule %d patrols two groups", g.Mules[0])
+		}
+		seen[g.Mules[0]] = true
+	}
+}
+
+// twoClusterScenario is a hand-built two-region world with an obvious
+// k=2 partition: the sink and two targets in the lower-left disc, and
+// three targets in the upper-right disc.
+func twoClusterScenario(muleStarts []geom.Point) *field.Scenario {
+	mk := func(id int, x, y float64) field.Target {
+		return field.Target{ID: id, Pos: geom.Pt(x, y), Weight: 1}
+	}
+	return &field.Scenario{
+		Field: geom.NewRect(geom.Pt(0, 0), geom.Pt(800, 800)),
+		Targets: []field.Target{
+			mk(0, 100, 100), mk(1, 110, 100), mk(2, 100, 110),
+			mk(3, 700, 700), mk(4, 710, 700), mk(5, 700, 710),
+		},
+		SinkID:     0,
+		MuleStarts: muleStarts,
+	}
+}
+
+// TestSweepMatchingOrderIndependent pins the (distance, index) settle
+// order of the mule→group matching: the mule closest to a contested
+// group keeps it regardless of its index, and permuting the mules
+// permutes the matching consistently — the index-order greedy this
+// replaces gave the contested group to whichever mule enumerated
+// first.
+func TestSweepMatchingOrderIndependent(t *testing.T) {
+	// Both mules are nearest the lower-left group; mule 1 is closer,
+	// so it must keep it and mule 0 must take the upper-right group.
+	// The old index-order greedy assigned mule 0 the lower-left group.
+	s := twoClusterScenario([]geom.Point{geom.Pt(390, 390), geom.Pt(150, 150)})
+	p, err := (&Sweep{}).Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupOfMule := func(p *core.FleetPlan, mule int) []int {
+		gi := p.GroupOf(mule)
+		if gi < 0 {
+			t.Fatalf("mule %d unassigned", mule)
+		}
+		return p.Groups[gi].Targets
+	}
+	if got := groupOfMule(p, 1); got[0] != 0 {
+		t.Fatalf("mule 1 (closest) patrols targets %v, want the sink's group {0,1,2}", got)
+	}
+	if got := groupOfMule(p, 0); got[0] != 3 {
+		t.Fatalf("mule 0 patrols targets %v, want {3,4,5}", got)
+	}
+
+	// Permuting the mules permutes the matching consistently.
+	sw := twoClusterScenario([]geom.Point{geom.Pt(150, 150), geom.Pt(390, 390)})
+	ps, err := (&Sweep{}).Plan(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := groupOfMule(ps, 0); got[0] != 0 {
+		t.Fatalf("after permutation, mule 0 patrols targets %v, want {0,1,2}", got)
+	}
+	if got := groupOfMule(ps, 1); got[0] != 3 {
+		t.Fatalf("after permutation, mule 1 patrols targets %v, want {3,4,5}", got)
 	}
 }
 

@@ -76,7 +76,47 @@ func KMeans(pts []geom.Point, k int, src *xrand.Source, maxIter int) []int {
 			break
 		}
 	}
+	repairEmpty(pts, assign, centres)
 	return assign
+}
+
+// repairEmpty enforces the non-empty guarantee after the Lloyd loop.
+// The in-loop re-seeding can still end with empty clusters on
+// degenerate inputs — e.g. duplicate-heavy point sets where two
+// re-seeded centres coincide and the next assignment pass drains one
+// of them. Each empty cluster steals the point farthest from its
+// current centre among clusters that can spare one (ties by lower
+// point index, so the repair is deterministic even when every
+// distance is zero).
+func repairEmpty(pts []geom.Point, assign []int, centres []geom.Point) {
+	k := len(centres)
+	counts := make([]int, k)
+	for _, c := range assign {
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		for counts[c] == 0 {
+			far, farD := -1, -1.0
+			for i, p := range pts {
+				if counts[assign[i]] < 2 {
+					continue
+				}
+				if d := p.Dist2(centres[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				// Unreachable for k <= len(pts): k non-empty clusters
+				// would need k points, and some cluster holds >= 2 while
+				// any is empty.
+				panic("cluster: cannot repair empty cluster")
+			}
+			counts[assign[far]]--
+			assign[far] = c
+			centres[c] = pts[far]
+			counts[c]++
+		}
+	}
 }
 
 // seedPlusPlus picks k initial centres with the k-means++ rule.

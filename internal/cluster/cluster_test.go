@@ -121,6 +121,110 @@ func TestKMeansIdenticalPoints(t *testing.T) {
 	}
 }
 
+// TestKMeansNeverEmptyProperty drives KMeans across adversarial
+// randomized inputs — heavy duplicate mass plus a few distinct
+// outliers, any k up to n — and requires every cluster non-empty every
+// time, plus run-to-run determinism from equal sources.
+func TestKMeansNeverEmptyProperty(t *testing.T) {
+	meta := xrand.New(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + meta.Intn(30)
+		pts := make([]geom.Point, n)
+		heavy := geom.Pt(meta.Range(0, 800), meta.Range(0, 800))
+		for i := range pts {
+			if meta.Float64() < 0.7 {
+				pts[i] = heavy // duplicate mass at one point
+			} else {
+				pts[i] = geom.Pt(meta.Range(0, 800), meta.Range(0, 800))
+			}
+		}
+		k := 1 + meta.Intn(n)
+		seed := meta.Uint64()
+		assign := KMeans(pts, k, xrand.New(seed), 50)
+		for c, g := range Groups(assign, k) {
+			if len(g) == 0 {
+				t.Fatalf("trial %d: cluster %d empty (k=%d, n=%d, pts=%v)", trial, c, k, n, pts)
+			}
+		}
+		again := KMeans(pts, k, xrand.New(seed), 50)
+		for i := range assign {
+			if assign[i] != again[i] {
+				t.Fatalf("trial %d: KMeans not deterministic across runs", trial)
+			}
+		}
+	}
+}
+
+// validSectors asserts the structural Sectors contract on degenerate
+// geometries: a complete label range, non-empty near-equal sectors,
+// and determinism across runs.
+func validSectors(t *testing.T, pts []geom.Point, k int) {
+	t.Helper()
+	assign := Sectors(pts, k)
+	groups := Groups(assign, k) // panics on out-of-range labels
+	for c, g := range groups {
+		if len(g) < len(pts)/k || len(g) > len(pts)/k+1 {
+			t.Fatalf("sector %d has %d members of %d (k=%d)", c, len(g), len(pts), k)
+		}
+	}
+	again := Sectors(pts, k)
+	for i := range assign {
+		if assign[i] != again[i] {
+			t.Fatal("Sectors not deterministic across runs")
+		}
+	}
+}
+
+// TestSectorsCollinearPoints: every point on one line through the
+// centroid, so only two distinct polar angles exist.
+func TestSectorsCollinearPoints(t *testing.T) {
+	pts := make([]geom.Point, 11)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i*10), 50)
+	}
+	for _, k := range []int{1, 2, 3, 5, 11} {
+		validSectors(t, pts, k)
+	}
+}
+
+// TestSectorsDuplicateAngles: many points share the exact same polar
+// angle (stacked on one ray), which exercises the index tie-break of
+// the angular sort.
+func TestSectorsDuplicateAngles(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Pt(100+float64(i+1)*10, 100)) // one ray
+	}
+	pts = append(pts, geom.Pt(100, 200), geom.Pt(0, 100)) // off-ray mass
+	for _, k := range []int{2, 3, 4} {
+		validSectors(t, pts, k)
+	}
+}
+
+// TestSectorsCentroidCoincident: points sitting exactly on the
+// centroid (Atan2(0,0) = 0) must still land in exactly one sector.
+func TestSectorsCentroidCoincident(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(100, 0), geom.Pt(-100, 0), geom.Pt(0, 100), geom.Pt(0, -100),
+		geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0, 0), // at the centroid
+	}
+	for _, k := range []int{1, 2, 3, 7} {
+		validSectors(t, pts, k)
+	}
+}
+
+// TestSectorsAllCoincident: every point identical — the centroid
+// coincides with all of them and every angle is Atan2(0,0).
+func TestSectorsAllCoincident(t *testing.T) {
+	pts := make([]geom.Point, 9)
+	for i := range pts {
+		pts[i] = geom.Pt(42, 42)
+	}
+	for _, k := range []int{1, 3, 9} {
+		validSectors(t, pts, k)
+	}
+}
+
 func TestSectorsBalancedSizes(t *testing.T) {
 	src := xrand.New(9)
 	pts := make([]geom.Point, 23)

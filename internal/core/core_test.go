@@ -103,7 +103,7 @@ func TestBTCTPPlanStructure(t *testing.T) {
 		t.Fatalf("Algorithm = %q", p.Algorithm)
 	}
 	// The master walk is a Hamiltonian circuit over all 21 targets.
-	if err := p.Walk.Validate(s.NumTargets(), nil); err != nil {
+	if err := p.Groups[0].Walk.Validate(s.NumTargets(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Every mule's loop visits every target exactly once.
@@ -133,7 +133,7 @@ func TestBTCTPWalkStartsAtNorthmost(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := s.Points()
-	first := pts[p.Walk.Seq[0]]
+	first := pts[p.Groups[0].Walk.Seq[0]]
 	for _, q := range pts {
 		if q.Y > first.Y+geom.Eps {
 			t.Fatalf("walk starts at %v but %v is more north", first, q)
@@ -148,10 +148,10 @@ func TestBTCTPStartPointsEquallySpaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := s.Points()
-	L := p.Walk.Length(pts)
-	n := len(p.StartPoints)
-	for k, sp := range p.StartPoints {
-		want := p.Walk.PointAt(pts, float64(k)*L/float64(n))
+	L := p.Groups[0].Walk.Length(pts)
+	n := len(p.Groups[0].StartPoints)
+	for k, sp := range p.Groups[0].StartPoints {
+		want := p.Groups[0].Walk.PointAt(pts, float64(k)*L/float64(n))
 		if !sp.Eq(want) {
 			t.Fatalf("start point %d at %v, want %v", k, sp, want)
 		}
@@ -198,7 +198,7 @@ func TestBTCTPHeuristics(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", h, err)
 		}
-		if err := p.Walk.Validate(s.NumTargets(), nil); err != nil {
+		if err := p.Groups[0].Walk.Validate(s.NumTargets(), nil); err != nil {
 			t.Fatalf("%v: %v", h, err)
 		}
 	}
@@ -218,7 +218,7 @@ func TestBTCTPImproveShortens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if improved.Walk.Length(pts) > plain.Walk.Length(pts)+1e-9 {
+	if improved.Groups[0].Walk.Length(pts) > plain.Groups[0].Walk.Length(pts)+1e-9 {
 		t.Fatal("2-opt lengthened the circuit")
 	}
 }
@@ -229,8 +229,8 @@ func TestBTCTPSingleMule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.StartPoints) != 1 || p.Assignment[0] != 0 {
-		t.Fatalf("single-mule plan: %v %v", p.StartPoints, p.Assignment)
+	if len(p.Groups[0].StartPoints) != 1 || p.Groups[0].Assignment[0] != 0 {
+		t.Fatalf("single-mule plan: %v %v", p.Groups[0].StartPoints, p.Groups[0].Assignment)
 	}
 }
 
@@ -264,14 +264,14 @@ func TestAngleRulePlainCircuitUnchanged(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := s.Points()
-	re := TraverseAngleRule(pts, p.Walk)
-	if len(re.Seq) != len(p.Walk.Seq) {
-		t.Fatalf("length changed: %d vs %d", len(re.Seq), len(p.Walk.Seq))
+	re := TraverseAngleRule(pts, p.Groups[0].Walk)
+	if len(re.Seq) != len(p.Groups[0].Walk.Seq) {
+		t.Fatalf("length changed: %d vs %d", len(re.Seq), len(p.Groups[0].Walk.Seq))
 	}
 	// Degree-2 vertices leave no choice: the sequence is identical.
 	for i := range re.Seq {
-		if re.Seq[i] != p.Walk.Seq[i] {
-			t.Fatalf("plain circuit reordered at %d: %v vs %v", i, re.Seq, p.Walk.Seq)
+		if re.Seq[i] != p.Groups[0].Walk.Seq[i] {
+			t.Fatalf("plain circuit reordered at %d: %v vs %v", i, re.Seq, p.Groups[0].Walk.Seq)
 		}
 	}
 }
@@ -623,7 +623,7 @@ func TestRWTCTPRechargeWalk(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	for _, v := range p.RechargeWalk.Seq {
+	for _, v := range p.Groups[0].RechargeWalk.Seq {
 		if v == RechargeID {
 			count++
 		}
@@ -631,9 +631,9 @@ func TestRWTCTPRechargeWalk(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("RechargeWalk has %d station entries", count)
 	}
-	if len(p.RechargeWalk.Seq) != len(p.Walk.Seq)+1 {
+	if len(p.Groups[0].RechargeWalk.Seq) != len(p.Groups[0].Walk.Seq)+1 {
 		t.Fatalf("RechargeWalk size %d, WPP size %d",
-			len(p.RechargeWalk.Seq), len(p.Walk.Seq))
+			len(p.Groups[0].RechargeWalk.Seq), len(p.Groups[0].Walk.Seq))
 	}
 }
 
@@ -679,14 +679,14 @@ func TestSelectRechargeEdgeIsMinimalDetour(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := s.Points()
-	pos, err := selectRechargeEdge(pts, p.Walk, s.Recharge)
+	pos, err := selectRechargeEdge(pts, p.Groups[0].Walk, s.Recharge)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := len(p.Walk.Seq)
-	chosen := geom.DetourCost(pts[p.Walk.Seq[pos]], pts[p.Walk.Seq[(pos+1)%n]], s.Recharge)
+	n := len(p.Groups[0].Walk.Seq)
+	chosen := geom.DetourCost(pts[p.Groups[0].Walk.Seq[pos]], pts[p.Groups[0].Walk.Seq[(pos+1)%n]], s.Recharge)
 	for i := 0; i < n; i++ {
-		c := geom.DetourCost(pts[p.Walk.Seq[i]], pts[p.Walk.Seq[(i+1)%n]], s.Recharge)
+		c := geom.DetourCost(pts[p.Groups[0].Walk.Seq[i]], pts[p.Groups[0].Walk.Seq[(i+1)%n]], s.Recharge)
 		if c < chosen-1e-9 {
 			t.Fatalf("edge %d detour %.3f < chosen %.3f", i, c, chosen)
 		}
@@ -702,12 +702,12 @@ func TestRWTCTPSuperRoundAffordable(t *testing.T) {
 	}
 	pts := s.Points()
 	m := r.model()
-	wppLen := p.Walk.Length(pts)
-	visits := p.Walk.Size()
+	wppLen := p.Groups[0].Walk.Length(pts)
+	visits := p.Groups[0].Walk.Size()
 	// Reconstruct WRP length from the plan's walks.
 	var wrpLen float64
 	{
-		seq := p.RechargeWalk.Seq
+		seq := p.Groups[0].RechargeWalk.Seq
 		n := len(seq)
 		get := func(i int) geom.Point {
 			if seq[i] == RechargeID {
@@ -747,13 +747,13 @@ func TestPlanValidateCatchesCorruption(t *testing.T) {
 	}
 
 	p := mk()
-	p.Assignment[0] = p.Assignment[1]
+	p.Groups[0].Assignment[0] = p.Groups[0].Assignment[1]
 	if p.Validate(s) == nil {
 		t.Fatal("duplicate assignment accepted")
 	}
 
 	p = mk()
-	p.Assignment[0] = 99
+	p.Groups[0].Assignment[0] = 99
 	if p.Validate(s) == nil {
 		t.Fatal("out-of-range assignment accepted")
 	}
@@ -771,7 +771,7 @@ func TestPlanValidateCatchesCorruption(t *testing.T) {
 	}
 
 	p = mk()
-	p.StartPoints = p.StartPoints[:1]
+	p.Groups[0].StartPoints = p.Groups[0].StartPoints[:1]
 	if p.Validate(s) == nil {
 		t.Fatal("truncated start points accepted")
 	}
@@ -851,9 +851,9 @@ func TestBTCTPEnergiesAffectAssignment(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Swapping the energy order must swap the assignment.
-	if lowFirst.Assignment[0] != highFirst.Assignment[1] ||
-		lowFirst.Assignment[1] != highFirst.Assignment[0] {
+	if lowFirst.Groups[0].Assignment[0] != highFirst.Groups[0].Assignment[1] ||
+		lowFirst.Groups[0].Assignment[1] != highFirst.Groups[0].Assignment[0] {
 		t.Fatalf("assignments %v vs %v do not mirror the energy swap",
-			lowFirst.Assignment, highFirst.Assignment)
+			lowFirst.Groups[0].Assignment, highFirst.Groups[0].Assignment)
 	}
 }

@@ -87,22 +87,47 @@ type MuleRoute struct {
 	ExtraHold float64
 }
 
-// FleetPlan is a planner's complete output.
+// PatrolGroup is one patrol region of a plan: its own closed walk, the
+// start points partitioning that walk, the member targets, and the
+// mules assigned to patrol it. Single-circuit planners (B/W/RW-TCTP,
+// CHB) emit exactly one group covering every target and every mule —
+// the degenerate form — while partitioned planners (C-BTCTP, C-WTCTP,
+// the Sweep baseline) emit one group per region. Together a plan's
+// groups always partition both the target set and the fleet.
+type PatrolGroup struct {
+	// Walk is the group's patrolling walk over global target ids (the
+	// Hamiltonian circuit, or the WPP with VIP revisits), rotated to
+	// begin at the group's most-north target.
+	Walk walk.Walk
+	// RechargeWalk is the group's WRP for recharge-aware plans; empty
+	// otherwise.
+	RechargeWalk walk.Walk
+	// Targets are the member target ids in ascending order. A target
+	// belongs to exactly one group.
+	Targets []int
+	// Mules are the global indices of the mules patrolling this group,
+	// in ascending order. A mule belongs to exactly one group.
+	Mules []int
+	// StartPoints are the points where the group's mules enter the
+	// walk, one per member mule. For planners with location
+	// initialization they are the equal-spaced partition points
+	// (StartPoints[k] lies k·|walk|/len(Mules) along the walk); for
+	// CHB and Sweep they are the nearest-entry points.
+	StartPoints []geom.Point
+	// Assignment maps member index k (the mule Mules[k]) to its
+	// start-point index within StartPoints — a bijection.
+	Assignment []int
+}
+
+// FleetPlan is a planner's complete output: the patrol groups plus the
+// per-mule concrete routes realizing them.
 type FleetPlan struct {
 	// Algorithm names the planner that produced the plan.
 	Algorithm string
-	// Walk is the master patrolling walk shared by every mule (the
-	// Hamiltonian circuit for B-TCTP, the WPP for W-TCTP/RW-TCTP),
-	// rotated to begin at the most-north target.
-	Walk walk.Walk
-	// RechargeWalk is the WRP for RW-TCTP plans; empty otherwise.
-	RechargeWalk walk.Walk
-	// StartPoints are the equal-spaced points partitioning the walk,
-	// one per mule; StartPoints[k] lies k·|walk|/n along the walk.
-	StartPoints []geom.Point
-	// Assignment maps mule index to start-point index.
-	Assignment []int
-	// Routes holds each mule's concrete route.
+	// Groups are the patrol groups. They partition the scenario's
+	// targets and mules; single-circuit planners emit exactly one.
+	Groups []PatrolGroup
+	// Routes holds each mule's concrete route, indexed by mule.
 	Routes []MuleRoute
 	// MaxApproach is the longest straight-line distance any mule
 	// travels to reach its start point; dividing by the mule speed
@@ -112,27 +137,144 @@ type FleetPlan struct {
 	Rounds int
 }
 
+// Walks returns every group's walk in group order.
+func (p *FleetPlan) Walks() []walk.Walk {
+	out := make([]walk.Walk, len(p.Groups))
+	for i := range p.Groups {
+		out[i] = p.Groups[i].Walk
+	}
+	return out
+}
+
+// TotalWalkLength returns the summed length of every group's walk —
+// for a single-group plan, the master circuit's length.
+func (p *FleetPlan) TotalWalkLength(pts []geom.Point) float64 {
+	total := 0.0
+	for i := range p.Groups {
+		total += p.Groups[i].Walk.Length(pts)
+	}
+	return total
+}
+
+// TotalWalkSize returns the summed hop count of every group's walk.
+func (p *FleetPlan) TotalWalkSize() int {
+	n := 0
+	for i := range p.Groups {
+		n += p.Groups[i].Walk.Size()
+	}
+	return n
+}
+
+// GroupOf returns the index of the group mule i patrols, or -1 when
+// the plan does not assign the mule (an invalid plan).
+func (p *FleetPlan) GroupOf(mule int) int {
+	for gi := range p.Groups {
+		for _, m := range p.Groups[gi].Mules {
+			if m == mule {
+				return gi
+			}
+		}
+	}
+	return -1
+}
+
 // Validate performs structural checks on the plan against the
-// scenario.
+// scenario: the groups partition the targets and the fleet, each
+// group's start-point assignment is a bijection, and every route is a
+// well-formed cycle.
 func (p *FleetPlan) Validate(s *field.Scenario) error {
 	n := s.NumMules()
-	if len(p.StartPoints) != n {
-		return fmt.Errorf("core: %d start points for %d mules", len(p.StartPoints), n)
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("core: plan has no patrol groups")
 	}
-	if len(p.Assignment) != n || len(p.Routes) != n {
-		return fmt.Errorf("core: assignment/routes sized %d/%d, want %d",
-			len(p.Assignment), len(p.Routes), n)
+	if len(p.Routes) != n {
+		return fmt.Errorf("core: %d routes for %d mules", len(p.Routes), n)
 	}
-	seen := make([]bool, n)
-	for i, a := range p.Assignment {
-		if a < 0 || a >= n {
-			return fmt.Errorf("core: mule %d assigned to start point %d", i, a)
+
+	targetOwner := make([]int, s.NumTargets())
+	muleOwner := make([]int, n)
+	for i := range targetOwner {
+		targetOwner[i] = -1
+	}
+	for i := range muleOwner {
+		muleOwner[i] = -1
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if g.Walk.Size() == 0 {
+			return fmt.Errorf("core: group %d has an empty walk", gi)
 		}
-		if seen[a] {
-			return fmt.Errorf("core: start point %d assigned twice", a)
+		if len(g.Targets) == 0 {
+			return fmt.Errorf("core: group %d has no targets", gi)
 		}
-		seen[a] = true
+		if len(g.Mules) == 0 {
+			return fmt.Errorf("core: group %d has no mules", gi)
+		}
+		for k, t := range g.Targets {
+			if t < 0 || t >= s.NumTargets() {
+				return fmt.Errorf("core: group %d target %d out of range", gi, t)
+			}
+			if k > 0 && g.Targets[k-1] >= t {
+				return fmt.Errorf("core: group %d targets not strictly ascending", gi)
+			}
+			if targetOwner[t] != -1 {
+				return fmt.Errorf("core: target %d in groups %d and %d", t, targetOwner[t], gi)
+			}
+			targetOwner[t] = gi
+		}
+		member := make(map[int]bool, len(g.Targets))
+		for _, t := range g.Targets {
+			member[t] = true
+		}
+		for _, v := range g.Walk.Seq {
+			if !member[v] {
+				return fmt.Errorf("core: group %d walk visits non-member target %d", gi, v)
+			}
+		}
+		for k, m := range g.Mules {
+			if m < 0 || m >= n {
+				return fmt.Errorf("core: group %d mule %d out of range", gi, m)
+			}
+			if k > 0 && g.Mules[k-1] >= m {
+				return fmt.Errorf("core: group %d mules not strictly ascending", gi)
+			}
+			if muleOwner[m] != -1 {
+				return fmt.Errorf("core: mule %d in groups %d and %d", m, muleOwner[m], gi)
+			}
+			muleOwner[m] = gi
+		}
+		ng := len(g.Mules)
+		if len(g.StartPoints) != ng {
+			return fmt.Errorf("core: group %d has %d start points for %d mules",
+				gi, len(g.StartPoints), ng)
+		}
+		if len(g.Assignment) != ng {
+			return fmt.Errorf("core: group %d assignment sized %d, want %d",
+				gi, len(g.Assignment), ng)
+		}
+		seen := make([]bool, ng)
+		for k, a := range g.Assignment {
+			if a < 0 || a >= ng {
+				return fmt.Errorf("core: group %d mule %d assigned to start point %d",
+					gi, g.Mules[k], a)
+			}
+			if seen[a] {
+				return fmt.Errorf("core: group %d start point %d assigned twice", gi, a)
+			}
+			seen[a] = true
+		}
 	}
+	for t, owner := range targetOwner {
+		if owner == -1 {
+			return fmt.Errorf("core: target %d belongs to no group", t)
+		}
+	}
+	for m, owner := range muleOwner {
+		if owner == -1 {
+			return fmt.Errorf("core: mule %d belongs to no group", m)
+		}
+	}
+
 	for i, r := range p.Routes {
 		if len(r.Cycle) == 0 {
 			return fmt.Errorf("core: mule %d has no cycle", i)
@@ -249,62 +391,119 @@ func RouteFromArc(pts []geom.Point, w walk.Walk, d float64) MuleRoute {
 	}
 }
 
-// assembleFleet builds start points, the location-initialization
-// assignment, and the per-mule single-phase routes for a common walk.
-// It is shared by B-TCTP, W-TCTP, and the fixed-route baselines. The
-// returned slice holds each mule's loop anchor (the walk position of
-// its first stop). dwell is the per-collection pause used to compute
-// the phase-equalizing holds.
-func assembleFleet(s *field.Scenario, w walk.Walk, energies []float64, dwell float64) (*FleetPlan, []int, error) {
+// groupSpec is the planner-side description of one patrol group before
+// fleet assembly: the walk over global target ids, the member target
+// ids (ascending), and the global indices of the mules assigned to it
+// (ascending).
+type groupSpec struct {
+	walk    walk.Walk
+	targets []int
+	mules   []int
+}
+
+// SeqIDs returns 0..n-1: the member list of a degenerate one-group
+// plan (every target, every mule). Baselines building such plans by
+// hand (CHB) share it.
+func SeqIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// assembleGroups builds the fleet plan for a set of patrol groups by
+// applying B-TCTP's §2.2 machinery per group: each group's walk is
+// rotated to its most-north target and partitioned into equal-length
+// arcs, and the group's mules run the location-initialization
+// assignment against those start points. anchors[i] is mule i's loop
+// anchor (the walk position of its first stop), which RW-TCTP needs to
+// locate the recharge insertion point. energies (nil = all equal) are
+// indexed by global mule id; dwell feeds the per-group
+// phase-equalizing holds.
+func assembleGroups(s *field.Scenario, groups []groupSpec, energies []float64, dwell float64) (*FleetPlan, []int, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
 	}
 	pts := s.Points()
-	w = w.RotateToNorthmost(pts)
-	n := s.NumMules()
-	startPts := w.StartPoints(pts, n)
-	assign := assignStartPoints(s.MuleStarts, startPts, energies)
-
-	total := w.Length(pts)
-	nStops := float64(w.Size())
 	plan := &FleetPlan{
-		Walk:        w,
-		StartPoints: startPts,
-		Assignment:  assign,
-		Routes:      make([]MuleRoute, n),
+		Groups: make([]PatrolGroup, len(groups)),
+		Routes: make([]MuleRoute, s.NumMules()),
 	}
-	anchors := make([]int, n)
-	holds := make([]float64, n)
-	minHold := math.Inf(1)
-	for i := 0; i < n; i++ {
-		spIdx := assign[i]
-		sp := startPts[spIdx]
-		d := float64(spIdx) * total / float64(n)
-		approachDist := s.MuleStarts[i].Dist(sp)
-		if approachDist > plan.MaxApproach {
-			plan.MaxApproach = approachDist
+	anchors := make([]int, s.NumMules())
+	for gi, g := range groups {
+		if len(g.mules) == 0 {
+			return nil, nil, fmt.Errorf("core: group %d (%d targets) has no mules", gi, len(g.targets))
 		}
-		stops, k0, stopsBefore := loopFrom(pts, w, d)
-		anchors[i] = k0
-		// Phase equalization: mule at start point j has stopsBefore
-		// stops before it on the walk; holding
-		// dwell·(stopsBefore − j·S/n) makes the time phases exactly
-		// j·T/n apart (T = walk time incl. dwells). The common offset
-		// is normalized out below.
-		holds[i] = dwell * (float64(stopsBefore) - float64(spIdx)*nStops/float64(n))
-		if holds[i] < minHold {
-			minHold = holds[i]
+		w := g.walk.RotateToNorthmost(pts)
+		n := len(g.mules)
+		startPts := w.StartPoints(pts, n)
+		muleStarts := make([]geom.Point, n)
+		var groupEnergies []float64
+		if energies != nil {
+			groupEnergies = make([]float64, n)
 		}
-		plan.Routes[i] = MuleRoute{
-			Approach: []mule.Waypoint{{Pos: sp, TargetID: mule.NoTarget}},
-			Cycle: []Phase{{
-				Stops:  stops,
-				Repeat: 1,
-			}},
+		for k, mi := range g.mules {
+			muleStarts[k] = s.MuleStarts[mi]
+			if energies != nil {
+				groupEnergies[k] = energies[mi]
+			}
 		}
-	}
-	for i := range plan.Routes {
-		plan.Routes[i].ExtraHold = holds[i] - minHold
+		assign := assignStartPoints(muleStarts, startPts, groupEnergies)
+
+		total := w.Length(pts)
+		nStops := float64(w.Size())
+		holds := make([]float64, n)
+		minHold := math.Inf(1)
+		for k, mi := range g.mules {
+			spIdx := assign[k]
+			sp := startPts[spIdx]
+			d := float64(spIdx) * total / float64(n)
+			approachDist := s.MuleStarts[mi].Dist(sp)
+			if approachDist > plan.MaxApproach {
+				plan.MaxApproach = approachDist
+			}
+			stops, k0, stopsBefore := loopFrom(pts, w, d)
+			anchors[mi] = k0
+			// Phase equalization: the mule at start point j has
+			// stopsBefore stops before it on the walk; holding
+			// dwell·(stopsBefore − j·S/n) makes the time phases exactly
+			// j·T/n apart (T = walk time incl. dwells). The common
+			// offset is normalized out per group below.
+			holds[k] = dwell * (float64(stopsBefore) - float64(spIdx)*nStops/float64(n))
+			if holds[k] < minHold {
+				minHold = holds[k]
+			}
+			plan.Routes[mi] = MuleRoute{
+				Approach: []mule.Waypoint{{Pos: sp, TargetID: mule.NoTarget}},
+				Cycle: []Phase{{
+					Stops:  stops,
+					Repeat: 1,
+				}},
+			}
+		}
+		for k, mi := range g.mules {
+			plan.Routes[mi].ExtraHold = holds[k] - minHold
+		}
+		plan.Groups[gi] = PatrolGroup{
+			Walk:        w,
+			Targets:     g.targets,
+			Mules:       g.mules,
+			StartPoints: startPts,
+			Assignment:  assign,
+		}
 	}
 	return plan, anchors, nil
+}
+
+// assembleFleet builds the degenerate one-group plan for a common
+// walk: every target and every mule in a single patrol group. It is
+// shared by B-TCTP, W-TCTP, and RW-TCTP; the partitioned planners call
+// assembleGroups with their own partition.
+func assembleFleet(s *field.Scenario, w walk.Walk, energies []float64, dwell float64) (*FleetPlan, []int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := groupSpec{walk: w, targets: SeqIDs(s.NumTargets()), mules: SeqIDs(s.NumMules())}
+	return assembleGroups(s, []groupSpec{g}, energies, dwell)
 }

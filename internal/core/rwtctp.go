@@ -60,13 +60,13 @@ func (r *RWTCTP) Plan(s *field.Scenario) (*FleetPlan, error) {
 		return nil, err
 	}
 	plan.Algorithm = r.Name()
-	wpp = plan.Walk // assembleFleet rotated the walk to the northmost target
+	wpp = plan.Groups[0].Walk // assembleFleet rotated the walk to the northmost target
 
 	breakPos, err := selectRechargeEdge(pts, wpp, s.Recharge)
 	if err != nil {
 		return nil, err
 	}
-	plan.RechargeWalk = buildWRPWalk(wpp, breakPos)
+	plan.Groups[0].RechargeWalk = buildWRPWalk(wpp, breakPos)
 
 	rounds, err := r.roundBudget(pts, wpp, s.Recharge, breakPos)
 	if err != nil {

@@ -188,8 +188,11 @@ func DwellSensitivity(p Params, cfg AblationConfig) (*Table, error) {
 		{Name: "rounds", Fn: func(e sweep.Env) float64 {
 			model := energy.Default()
 			model.Dwell = e.Variant.Tag
-			length := e.Result.Plan.Walk.Length(e.Scenario.Points())
-			return float64(model.Rounds(length, e.Result.Plan.Walk.Size()))
+			// Group-model accessors: for the single-group B-TCTP plan
+			// these are the master circuit's length and size, and they
+			// stay meaningful for partitioned plans.
+			length := e.Result.Plan.TotalWalkLength(e.Scenario.Points())
+			return float64(model.Rounds(length, e.Result.Plan.TotalWalkSize()))
 		}},
 		{Name: "steady_sd", Fn: func(e sweep.Env) float64 {
 			return e.Result.Recorder.AvgSDAfter(e.Result.PatrolStart + e.Variant.Tag + 1)

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/sweep"
+)
+
+// PartitionConfig parameterizes the partitioned-patrolling study: the
+// single-circuit B-TCTP against the C-BTCTP family (k-means and
+// sector partitions at several k) on the clustered deployment the
+// partition is built for.
+type PartitionConfig struct {
+	Targets int     // default 20
+	Mules   int     // default 6
+	Horizon float64 // default 60 000 s
+	// Ks are the region counts to sweep (default {2, 4}).
+	Ks []int
+	// Placement selects the layout (default Clusters, the deployment
+	// that motivates per-region patrolling).
+	Placement field.Placement
+}
+
+func (c PartitionConfig) withDefaults() PartitionConfig {
+	if c.Targets == 0 {
+		c.Targets = 20
+	}
+	if c.Mules == 0 {
+		c.Mules = 6
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 60_000
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{2, 4}
+	}
+	if c.Placement == 0 {
+		c.Placement = field.Clusters
+	}
+	return c
+}
+
+// PartitionStudy compares the single global circuit against
+// partitioned per-region patrolling: one B-TCTP variant crossed with
+// the partition axis (none + kmeans/sectors × k). The table reports
+// the whole-fleet DCDT, the total tour length, and the spread of the
+// per-group DCDTs — the idleness-vs-delay trade-off of partitioned vs
+// cyclic strategies (Scherer & Rinner, arXiv:1906.11539).
+func PartitionStudy(p Params, cfg PartitionConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	spec := p.spec("partition")
+	spec.Algorithms = []sweep.Variant{sweep.Algo("B-TCTP", patrol.Planned(&core.BTCTP{}))}
+	spec.Targets = []int{cfg.Targets}
+	spec.Mules = []int{cfg.Mules}
+	spec.Placements = []field.Placement{cfg.Placement}
+	spec.Horizons = []float64{cfg.Horizon}
+
+	maxK := 0
+	spec.Partitions = []sweep.Partition{{}}
+	for _, method := range []string{"kmeans", "sectors"} {
+		for _, k := range cfg.Ks {
+			if k > cfg.Mules {
+				continue // a region would go unmuled
+			}
+			spec.Partitions = append(spec.Partitions, sweep.Partition{Method: method, K: k})
+			if k > maxK {
+				maxK = k
+			}
+		}
+	}
+	if maxK == 0 {
+		return nil, fmt.Errorf("partition: no feasible k in %v for %d mules", cfg.Ks, cfg.Mules)
+	}
+	spec.Metrics = []sweep.Metric{
+		sweep.AvgDCDT(), sweep.MaxInterval(), sweep.CircuitLength(), sweep.GroupCount(),
+	}
+	spec.Vectors = []sweep.VectorMetric{sweep.GroupDCDT(maxK)}
+
+	table := NewTable(
+		fmt.Sprintf("Partitioned patrolling — B-TCTP vs C-BTCTP (%s, %d targets, %d mules)",
+			cfg.Placement, cfg.Targets, cfg.Mules),
+		"partition", "groups", "avg DCDT (s)", "max interval (s)",
+		"tour length (m)", "group DCDT spread (s)")
+	err := runCells(p, spec, "partition", func(c *sweep.CellResult) error {
+		name := c.Point.Partition
+		if name == "" {
+			name = "none"
+		}
+		// Spread of the per-group mean DCDTs: how unevenly the regions
+		// are served (0 for the single-circuit plan).
+		groupDCDT := c.Vector("group_dcdt_s").Mean
+		lo, hi := 0.0, 0.0
+		for i, v := range groupDCDT {
+			if i == 0 || v < lo {
+				lo = v
+			}
+			if i == 0 || v > hi {
+				hi = v
+			}
+		}
+		table.AddF(name, c.Metric("groups").Mean,
+			c.Metric("avg_dcdt_s").Mean, c.Metric("max_interval_s").Mean,
+			c.Metric("circuit_m").Mean, hi-lo)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}

@@ -142,6 +142,13 @@ var Registry = map[string]Runner{
 		}
 		return renderSurfaces(w, f, r.String(), r.SD)
 	},
+	"partition": func(p Params, w io.Writer, f Format) error {
+		t, err := PartitionStudy(p, PartitionConfig{})
+		if err != nil {
+			return err
+		}
+		return renderTable(t, w, f)
+	},
 	"a1-tour":      tableRunner(TourHeuristics),
 	"a2-break":     tableRunner(BreakPolicies),
 	"a3-init":      tableRunner(LocationInit),

@@ -135,49 +135,85 @@ func (r *Recorder) MeanInterval(target int) float64 {
 	return stats.Mean(r.Intervals(target))
 }
 
+// eachTarget invokes fn for every target of the subset — or for every
+// recorded target, in ascending id order, when targets is nil. The nil
+// form is the classic whole-scenario metric; a patrol group passes its
+// member ids to get the same metric restricted to its region.
+func (r *Recorder) eachTarget(targets []int, fn func(t int)) {
+	if targets == nil {
+		for t := range r.visits {
+			fn(t)
+		}
+		return
+	}
+	for _, t := range targets {
+		fn(t)
+	}
+}
+
 // AvgSD returns the SD metric averaged over all targets that have at
 // least two intervals — the z-axis of Figs. 8 and 10.
-func (r *Recorder) AvgSD() float64 {
+func (r *Recorder) AvgSD() float64 { return r.AvgSDOver(nil) }
+
+// AvgSDOver is AvgSD restricted to a target subset (nil = all
+// targets) — the per-group regularity of a partitioned plan.
+func (r *Recorder) AvgSDOver(targets []int) float64 {
 	var acc stats.Accumulator
-	for t := range r.visits {
+	r.eachTarget(targets, func(t int) {
 		if iv := r.Intervals(t); len(iv) >= 2 {
 			acc.Add(stats.SampleSD(iv))
 		}
-	}
+	})
 	return acc.Mean()
 }
 
 // AvgSDAfter is AvgSD restricted to visits at or after t0.
 func (r *Recorder) AvgSDAfter(t0 float64) float64 {
+	return r.AvgSDAfterOver(nil, t0)
+}
+
+// AvgSDAfterOver is AvgSDAfter restricted to a target subset (nil =
+// all targets).
+func (r *Recorder) AvgSDAfterOver(targets []int, t0 float64) float64 {
 	var acc stats.Accumulator
-	for t := range r.visits {
+	r.eachTarget(targets, func(t int) {
 		if iv := r.IntervalsAfter(t, t0); len(iv) >= 2 {
 			acc.Add(stats.SampleSD(iv))
 		}
-	}
+	})
 	return acc.Mean()
 }
 
 // AvgDCDT returns the mean visiting interval averaged over all targets
 // with at least one interval — the z-axis of Fig. 9.
-func (r *Recorder) AvgDCDT() float64 {
+func (r *Recorder) AvgDCDT() float64 { return r.AvgDCDTOver(nil) }
+
+// AvgDCDTOver is AvgDCDT restricted to a target subset (nil = all
+// targets) — the per-group delay of a partitioned plan.
+func (r *Recorder) AvgDCDTOver(targets []int) float64 {
 	var acc stats.Accumulator
-	for t := range r.visits {
+	r.eachTarget(targets, func(t int) {
 		if iv := r.Intervals(t); len(iv) > 0 {
 			acc.Add(stats.Mean(iv))
 		}
-	}
+	})
 	return acc.Mean()
 }
 
 // AvgDCDTAfter is AvgDCDT restricted to visits at or after t0.
 func (r *Recorder) AvgDCDTAfter(t0 float64) float64 {
+	return r.AvgDCDTAfterOver(nil, t0)
+}
+
+// AvgDCDTAfterOver is AvgDCDTAfter restricted to a target subset
+// (nil = all targets).
+func (r *Recorder) AvgDCDTAfterOver(targets []int, t0 float64) float64 {
 	var acc stats.Accumulator
-	for t := range r.visits {
+	r.eachTarget(targets, func(t int) {
 		if iv := r.IntervalsAfter(t, t0); len(iv) > 0 {
 			acc.Add(stats.Mean(iv))
 		}
-	}
+	})
 	return acc.Mean()
 }
 
@@ -185,15 +221,19 @@ func (r *Recorder) AvgDCDTAfter(t0 float64) float64 {
 // and intervals — the quantity the paper's problem statement
 // minimizes ("the goal ... is to minimize the maximal visiting
 // interval"). Returns 0 when no target has two visits.
-func (r *Recorder) MaxInterval() float64 {
+func (r *Recorder) MaxInterval() float64 { return r.MaxIntervalOver(nil) }
+
+// MaxIntervalOver is MaxInterval restricted to a target subset (nil =
+// all targets).
+func (r *Recorder) MaxIntervalOver(targets []int) float64 {
 	m := 0.0
-	for t := range r.visits {
+	r.eachTarget(targets, func(t int) {
 		for _, iv := range r.Intervals(t) {
 			if iv > m {
 				m = iv
 			}
 		}
-	}
+	})
 	return m
 }
 

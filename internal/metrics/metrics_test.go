@@ -296,3 +296,52 @@ func TestEventDCDTSeriesConstantForPeriodic(t *testing.T) {
 		}
 	}
 }
+
+// TestOverSubsetMetrics: the ...Over variants restrict the classic
+// metrics to a target subset, and the nil subset reproduces the
+// global values exactly.
+func TestOverSubsetMetrics(t *testing.T) {
+	r := NewRecorder(3)
+	// Target 0: intervals 10, 10. Target 1: intervals 20, 40.
+	// Target 2: one visit, no interval.
+	for _, v := range []struct {
+		target int
+		t      float64
+	}{
+		{0, 0}, {0, 10}, {0, 20},
+		{1, 0}, {1, 20}, {1, 60},
+		{2, 5},
+	} {
+		r.OnVisit(0, v.target, v.t)
+	}
+
+	if got, want := r.AvgDCDTOver(nil), r.AvgDCDT(); got != want {
+		t.Fatalf("AvgDCDTOver(nil) = %v, AvgDCDT = %v", got, want)
+	}
+	if got := r.AvgDCDTOver([]int{0}); got != 10 {
+		t.Fatalf("AvgDCDTOver({0}) = %v, want 10", got)
+	}
+	if got := r.AvgDCDTOver([]int{1}); got != 30 {
+		t.Fatalf("AvgDCDTOver({1}) = %v, want 30", got)
+	}
+	if got := r.AvgDCDTOver([]int{2}); got != 0 {
+		t.Fatalf("AvgDCDTOver({2}) = %v, want 0 (no interval)", got)
+	}
+	if got := r.MaxIntervalOver([]int{0}); got != 10 {
+		t.Fatalf("MaxIntervalOver({0}) = %v", got)
+	}
+	if got, want := r.MaxIntervalOver(nil), r.MaxInterval(); got != want {
+		t.Fatalf("MaxIntervalOver(nil) = %v, MaxInterval = %v", got, want)
+	}
+	if got := r.AvgSDOver([]int{0}); got != 0 {
+		t.Fatalf("AvgSDOver({0}) = %v, want 0 (constant intervals)", got)
+	}
+	if got, want := r.AvgSDAfterOver(nil, 0), r.AvgSDAfter(0); got != want {
+		t.Fatalf("AvgSDAfterOver(nil) = %v, AvgSDAfter = %v", got, want)
+	}
+	// After t0=15, target 0 keeps visit 20 only → no interval; target
+	// 1 keeps visits 20, 60 → one interval of 40.
+	if got := r.AvgDCDTAfterOver([]int{0, 1}, 15); got != 40 {
+		t.Fatalf("AvgDCDTAfterOver({0,1}, 15) = %v, want 40", got)
+	}
+}

@@ -107,6 +107,25 @@ type MuleStats struct {
 	Dead           bool
 }
 
+// GroupStats summarizes one patrol group of a plan-based run: the
+// group's identity (member targets and mules) plus the aggregate of
+// its mules' statistics. Per-group interval metrics are derived by
+// passing Targets to the Recorder's ...Over methods.
+type GroupStats struct {
+	// Targets are the group's member target ids.
+	Targets []int
+	// Mules are the group's member mule indices.
+	Mules []int
+	// WalkLength is the group's patrolling walk length in metres.
+	WalkLength float64
+	// Distance is the summed travel distance of the group's mules.
+	Distance float64
+	// Visits is the summed collection count of the group's mules.
+	Visits int
+	// EnergyConsumed is the summed energy of the group's mules.
+	EnergyConsumed float64
+}
+
 // Result bundles everything a run produces.
 type Result struct {
 	// Algorithm names the executed algorithm.
@@ -120,6 +139,22 @@ type Result struct {
 	PatrolStart float64
 	// Plan is the fixed-route plan, when the algorithm has one.
 	Plan *core.FleetPlan
+	// Groups holds per-group statistics for plan-based runs, in the
+	// plan's group order; nil for online algorithms. Single-circuit
+	// plans carry exactly one entry covering the whole scenario.
+	Groups []GroupStats
+}
+
+// GroupDCDTAfter returns group g's steady-state average visiting
+// interval: the AvgDCDT of the group's member targets after t0.
+func (r *Result) GroupDCDTAfter(g int, t0 float64) float64 {
+	return r.Recorder.AvgDCDTAfterOver(r.Groups[g].Targets, t0)
+}
+
+// GroupSDAfter returns group g's steady-state interval SD over its
+// member targets after t0.
+func (r *Result) GroupSDAfter(g int, t0 float64) float64 {
+	return r.Recorder.AvgSDAfterOver(r.Groups[g].Targets, t0)
 }
 
 // TotalEnergy returns the fleet's total energy consumption in joules.
@@ -200,6 +235,23 @@ func (a plannedAlg) prepare(s *field.Scenario, opts Options, _ *xrand.Source) ([
 		routers[i] = &planRouter{route: plan.Routes[i], holdUntil: hold}
 	}
 	return routers, plan, nil
+}
+
+// Partitioned derives the per-region variant of a plan-based
+// algorithm: the underlying planner must implement core.Partitionable
+// (B-TCTP → C-BTCTP, W-TCTP → C-WTCTP). src seeds the partition's
+// randomness and may be nil. Online algorithms and planners without a
+// partitioned form are refused.
+func Partitioned(a Algorithm, cfg core.PartitionConfig, src *xrand.Source) (Algorithm, error) {
+	pa, ok := a.(plannedAlg)
+	if !ok {
+		return nil, fmt.Errorf("patrol: %s has no plan to partition", a.Name())
+	}
+	p, ok := pa.p.(core.Partitionable)
+	if !ok {
+		return nil, fmt.Errorf("patrol: planner %s has no partitioned variant", pa.p.Name())
+	}
+	return Planned(p.Partitioned(cfg, src)), nil
 }
 
 // RouterMaker is an online algorithm that builds one router per mule.
@@ -342,6 +394,24 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 			Visits:         m.Visits(),
 			Recharges:      m.Recharges(),
 			Dead:           m.Dead(),
+		}
+	}
+	if plan != nil {
+		pts := s.Points()
+		res.Groups = make([]GroupStats, len(plan.Groups))
+		for gi := range plan.Groups {
+			g := &plan.Groups[gi]
+			gs := GroupStats{
+				Targets:    g.Targets,
+				Mules:      g.Mules,
+				WalkLength: g.Walk.Length(pts),
+			}
+			for _, mi := range g.Mules {
+				gs.Distance += res.Mules[mi].Distance
+				gs.Visits += res.Mules[mi].Visits
+				gs.EnergyConsumed += res.Mules[mi].EnergyConsumed
+			}
+			res.Groups[gi] = gs
 		}
 	}
 	return res, nil

@@ -66,11 +66,11 @@ func TestBTCTPIntervalMatchesTheory(t *testing.T) {
 	opts := Options{Horizon: 60_000}
 	res := run(t, s, Planned(&core.BTCTP{}), opts, 1)
 	pts := s.Points()
-	L := res.Plan.Walk.Length(pts)
+	L := res.Plan.Groups[0].Walk.Length(pts)
 	// One full circuit takes L/v plus one dwell per stop (default
 	// dwell 1 s); with 3 mules equally spaced the per-target interval
 	// is a third of that.
-	nStops := float64(res.Plan.Walk.Size())
+	nStops := float64(res.Plan.Groups[0].Walk.Size())
 	circuit := L/2 + nStops*1.0
 	want := circuit / 3
 	warmup := res.PatrolStart + 1
@@ -524,5 +524,77 @@ func TestUnsyncedStartBreaksBalance(t *testing.T) {
 	}
 	if uSD <= sSD {
 		t.Fatalf("unsynced SD %v not above synced %v", uSD, sSD)
+	}
+}
+
+// TestGroupStats: plan-based runs report per-group identity and
+// aggregate stats; the partitioned planner yields one entry per
+// region, the single-circuit planners exactly one.
+func TestGroupStats(t *testing.T) {
+	s := scenario(31, 16, 4)
+	single := run(t, s, Planned(&core.BTCTP{}), Options{Horizon: 20_000}, 1)
+	if len(single.Groups) != 1 {
+		t.Fatalf("B-TCTP run has %d group stats, want 1", len(single.Groups))
+	}
+	g := single.Groups[0]
+	if len(g.Targets) != s.NumTargets() || len(g.Mules) != s.NumMules() {
+		t.Fatalf("degenerate group covers %d targets / %d mules", len(g.Targets), len(g.Mules))
+	}
+	if g.Visits != single.TotalVisits() || g.WalkLength <= 0 {
+		t.Fatalf("group aggregate %+v does not match run totals", g)
+	}
+	// The group-restricted DCDT over all targets equals the global one.
+	warm := single.PatrolStart + 1
+	if got, want := single.GroupDCDTAfter(0, warm), single.Recorder.AvgDCDTAfter(warm); got != want {
+		t.Fatalf("GroupDCDTAfter = %v, global AvgDCDTAfter = %v", got, want)
+	}
+
+	part := run(t, s, Planned(&core.CBTCTP{
+		Config: core.PartitionConfig{Method: core.KMeansMethod, K: 3},
+	}), Options{Horizon: 20_000}, 1)
+	if len(part.Groups) != 3 {
+		t.Fatalf("C-BTCTP run has %d group stats, want 3", len(part.Groups))
+	}
+	visits, targets := 0, 0
+	for gi, g := range part.Groups {
+		visits += g.Visits
+		targets += len(g.Targets)
+		if g.WalkLength <= 0 {
+			t.Fatalf("group %d walk length %v", gi, g.WalkLength)
+		}
+		if part.GroupDCDTAfter(gi, part.PatrolStart+1) <= 0 {
+			t.Fatalf("group %d DCDT not positive", gi)
+		}
+	}
+	if visits != part.TotalVisits() || targets != s.NumTargets() {
+		t.Fatalf("group aggregates (%d visits, %d targets) do not partition the run", visits, targets)
+	}
+
+	// Online algorithms carry no plan and no group stats.
+	online := run(t, s, Online(&baseline.Random{}), Options{Horizon: 5_000}, 1)
+	if online.Groups != nil {
+		t.Fatalf("online run has group stats: %+v", online.Groups)
+	}
+}
+
+// TestPartitionedAdapter: patrol.Partitioned derives the C-variant
+// from a planned algorithm and refuses online algorithms and
+// unpartitionable planners.
+func TestPartitionedAdapter(t *testing.T) {
+	cfg := core.PartitionConfig{Method: core.KMeansMethod, K: 2}
+	alg, err := Partitioned(Planned(&core.BTCTP{}), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scenario(32, 10, 2)
+	res := run(t, s, alg, Options{Horizon: 10_000}, 1)
+	if len(res.Groups) != 2 {
+		t.Fatalf("partitioned adapter produced %d groups", len(res.Groups))
+	}
+	if _, err := Partitioned(Online(&baseline.Random{}), cfg, nil); err == nil {
+		t.Fatal("online algorithm partitioned")
+	}
+	if _, err := Partitioned(Planned(&baseline.CHB{}), cfg, nil); err == nil {
+		t.Fatal("CHB has no partitioned variant but was accepted")
 	}
 }

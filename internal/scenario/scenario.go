@@ -124,26 +124,75 @@ func Homogeneous(n int, speed float64) Fleet {
 	return Fleet{Name: fmt.Sprintf("%dx%g", n, speed), Mules: mules}
 }
 
+// Workload kinds.
+const (
+	// KindPackets is the periodic model: every node emits one reading
+	// per generation interval (the default; an empty Kind means the
+	// same).
+	KindPackets = "packets"
+	// KindBursts is the event-driven model: a subset of targets emits
+	// packets in Poisson bursts (exponential inter-burst gaps).
+	KindBursts = "bursts"
+)
+
 // Workload is one data workload layered on a run: sensor nodes at the
 // targets generate packets that mules pick up and deliver to the sink
-// (the wsn overlay). The sweep engine exposes workloads as a
-// first-class axis.
+// (the wsn overlay). Kind selects the generation model — periodic
+// readings or event-driven Poisson bursts — and the sweep engine
+// exposes workloads as a first-class axis either way.
 type Workload struct {
 	// Name labels the workload; it must be non-empty (the sweep
 	// engine's zero Workload, with an empty name, means "none").
 	Name string `json:"name"`
-	// Data parameterizes the packet workload.
+	// Kind selects the generation model: "" or "packets" for the
+	// periodic model parameterized by Data, "bursts" for Poisson
+	// bursts parameterized by Bursts.
+	Kind string `json:"kind,omitempty"`
+	// Data parameterizes the periodic packet workload.
 	Data wsn.Config `json:"data"`
+	// Bursts parameterizes the burst workload (nil uses the burst
+	// defaults); ignored unless Kind is "bursts".
+	Bursts *wsn.BurstConfig `json:"bursts,omitempty"`
 }
 
 // Enabled reports whether the workload is real (named).
 func (w Workload) Enabled() bool { return w.Name != "" }
+
+// Build materializes the workload's overlay for a concrete scenario.
+// src drives the workload's randomness (burst arrival processes); the
+// periodic model consumes none, so passing nil there is allowed.
+func (w Workload) Build(s *field.Scenario, src *xrand.Source) *wsn.Network {
+	if w.Kind == KindBursts {
+		var cfg wsn.BurstConfig
+		if w.Bursts != nil {
+			cfg = *w.Bursts
+		}
+		if src == nil {
+			src = xrand.New(0)
+		}
+		return wsn.NewBursts(s, cfg, src)
+	}
+	return wsn.New(s, w.Data)
+}
 
 // Packets returns the conventional packet workload: one reading per
 // node per minute, 50-packet buffers, a one-hour delivery deadline.
 func Packets() Workload {
 	return Workload{Name: "packets", Data: wsn.Config{
 		GenInterval: 60, BufferCap: 50, Deadline: 3600,
+	}}
+}
+
+// Bursts returns the conventional event-driven workload: every fourth
+// target is hot, emitting 10-packet bursts every ~30 minutes on
+// average, with 50-packet buffers and a one-hour deadline.
+func Bursts(targets int) Workload {
+	hot := targets / 4
+	if hot < 1 {
+		hot = 1
+	}
+	return Workload{Name: "bursts", Kind: KindBursts, Bursts: &wsn.BurstConfig{
+		Hot: hot, MeanGap: 1800, Size: 10, BufferCap: 50, Deadline: 3600,
 	}}
 }
 
@@ -213,8 +262,24 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: duplicate workload %q", w.Name)
 		}
 		seen[w.Name] = true
-		if w.Data.GenInterval < 0 || w.Data.BufferCap < 0 || w.Data.Deadline < 0 {
-			return fmt.Errorf("scenario: workload %q has negative parameters", w.Name)
+		switch w.Kind {
+		case "", KindPackets:
+			if w.Data.GenInterval < 0 || w.Data.BufferCap < 0 || w.Data.Deadline < 0 {
+				return fmt.Errorf("scenario: workload %q has negative parameters", w.Name)
+			}
+		case KindBursts:
+			if b := w.Bursts; b != nil {
+				if b.Hot < 0 || b.MeanGap < 0 || b.Size < 0 || b.BufferCap < 0 || b.Deadline < 0 {
+					return fmt.Errorf("scenario: workload %q has negative parameters", w.Name)
+				}
+				if b.Hot > s.Targets.Count {
+					return fmt.Errorf("scenario: workload %q marks %d hot targets of %d",
+						w.Name, b.Hot, s.Targets.Count)
+				}
+			}
+		default:
+			return fmt.Errorf("scenario: workload %q has unknown kind %q (valid: %s, %s)",
+				w.Name, w.Kind, KindPackets, KindBursts)
 		}
 	}
 	return nil
@@ -277,11 +342,14 @@ type Result struct {
 // the declared workloads and any extra observers as peers, and
 // executes the algorithm. Seed derivation follows the engine-wide
 // contract (see sweep.ScenarioSource): stream 1 of the seed feeds
-// scenario generation, stream 2 the algorithm's randomness.
+// scenario generation, stream 2 the algorithm's randomness, stream 3
+// the workloads' (each workload splits its own sub-stream in
+// declaration order).
 func (s *Scenario) Run(alg patrol.Algorithm, seed uint64, obs ...patrol.Observer) (*Result, error) {
 	root := xrand.New(seed)
 	scnSrc := root.Split()
 	algSrc := root.Split()
+	wlSrc := root.Split()
 
 	scn, err := s.Materialize(scnSrc)
 	if err != nil {
@@ -290,7 +358,7 @@ func (s *Scenario) Run(alg patrol.Algorithm, seed uint64, obs ...patrol.Observer
 	opts := s.PatrolOptions()
 	data := make([]*wsn.Network, len(s.Workloads))
 	for i, w := range s.Workloads {
-		data[i] = wsn.New(scn, w.Data)
+		data[i] = w.Build(scn, wlSrc.Split())
 		opts.Observers = append(opts.Observers, data[i])
 	}
 	opts.Observers = append(opts.Observers, obs...)

@@ -582,12 +582,15 @@ func (e *engine) runOne(j job) (*runValues, error) {
 	// Attach the scenario's workload overlays as peer observers. The
 	// axis workload sits last (cellScenario appends it); Env.Data
 	// points at it when the axis is on, else at the first declared
-	// overlay.
+	// overlay. Each workload builds from its own sub-stream of the
+	// replication's workload source (matching scenario.Run), so burst
+	// arrivals are deterministic per seed.
 	var data *wsn.Network
 	if len(sc.Workloads) > 0 {
+		wlSrc := WorkloadSource(seed)
 		nets := make([]*wsn.Network, len(sc.Workloads))
 		for i, w := range sc.Workloads {
-			nets[i] = wsn.New(scn, w.Data)
+			nets[i] = w.Build(scn, wlSrc.Split())
 			opts.Observers = append(opts.Observers, nets[i])
 		}
 		if d.workload.Enabled() {
@@ -598,6 +601,15 @@ func (e *engine) runOne(j job) (*runValues, error) {
 	}
 
 	alg := d.variant.Make(AlgorithmSource(seed))
+	if d.partition.Enabled() {
+		cfg, cerr := d.partition.Config()
+		if cerr == nil {
+			alg, cerr = patrol.Partitioned(alg, cfg, PartitionSource(seed))
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("sweep: cell %v: %w", p, cerr)
+		}
+	}
 	res, err := patrol.Run(scn, alg, opts, AlgorithmSource(seed))
 	if err != nil {
 		return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, err)

@@ -59,14 +59,59 @@ func Recharges() Metric {
 	}}
 }
 
-// CircuitLength is the planned patrolling circuit's length in metres
-// (0 for online algorithms, which have no plan).
+// CircuitLength is the planned patrolling path length in metres —
+// summed over every patrol group of the plan, so partitioned plans
+// (C-TCTP, the Sweep baseline) report the total tour length instead
+// of a silent zero (0 for online algorithms, which have no plan).
 func CircuitLength() Metric {
 	return Metric{Name: "circuit_m", Fn: func(e Env) float64 {
 		if e.Result.Plan == nil {
 			return 0
 		}
-		return e.Result.Plan.Walk.Length(e.Scenario.Points())
+		return e.Result.Plan.TotalWalkLength(e.Scenario.Points())
+	}}
+}
+
+// GroupCount is the number of patrol groups of the plan (1 for
+// single-circuit planners, 0 for online algorithms).
+func GroupCount() Metric {
+	return Metric{Name: "groups", Fn: func(e Env) float64 {
+		return float64(len(e.Result.Groups))
+	}}
+}
+
+// GroupDCDT is the per-group steady-state DCDT vector: element g is
+// the average visiting interval of group g's member targets after
+// patrol start, in the plan's group order. Plans with fewer than
+// maxGroups groups fill only their own positions; online algorithms
+// contribute nothing.
+func GroupDCDT(maxGroups int) VectorMetric {
+	return VectorMetric{Name: "group_dcdt_s", Len: maxGroups, Fn: func(e Env) []float64 {
+		n := len(e.Result.Groups)
+		if n > maxGroups {
+			n = maxGroups
+		}
+		out := make([]float64, n)
+		for g := 0; g < n; g++ {
+			out[g] = e.Result.GroupDCDTAfter(g, e.Warm())
+		}
+		return out
+	}}
+}
+
+// GroupSD is the per-group steady-state interval-SD vector, the
+// regularity companion of GroupDCDT.
+func GroupSD(maxGroups int) VectorMetric {
+	return VectorMetric{Name: "group_sd_s", Len: maxGroups, Fn: func(e Env) []float64 {
+		n := len(e.Result.Groups)
+		if n > maxGroups {
+			n = maxGroups
+		}
+		out := make([]float64, n)
+		for g := 0; g < n; g++ {
+			out[g] = e.Result.GroupSDAfter(g, e.Warm())
+		}
+		return out
 	}}
 }
 

@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/patrol"
+)
+
+// partitionSpec sweeps one planner across the partition axis.
+func partitionSpec() Spec {
+	return Spec{
+		Name:       "partitioned",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{10},
+		Mules:      []int{4},
+		Horizons:   []float64{4_000},
+		Partitions: []Partition{{}, {Method: "kmeans", K: 2}, {Method: "sectors", K: 4}},
+		Metrics:    []Metric{AvgDCDT(), GroupCount(), CircuitLength()},
+		Vectors:    []VectorMetric{GroupDCDT(4), GroupSD(4)},
+		Seeds:      2,
+	}
+}
+
+func TestPartitionAxis(t *testing.T) {
+	res, err := Run(context.Background(), partitionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(res.Cells))
+	}
+	wantParts := []string{"", "kmeans:2", "sectors:4"}
+	wantGroups := []float64{1, 2, 4}
+	for i, c := range res.Cells {
+		if c.Point.Partition != wantParts[i] {
+			t.Fatalf("cell %d partition %q, want %q", i, c.Point.Partition, wantParts[i])
+		}
+		if g := c.Metric("groups").Mean; g != wantGroups[i] {
+			t.Fatalf("cell %d groups = %v, want %v", i, g, wantGroups[i])
+		}
+		if c.Metric("circuit_m").Mean <= 0 {
+			t.Fatalf("cell %d circuit length %v", i, c.Metric("circuit_m").Mean)
+		}
+		// The per-group DCDT/SD vectors fill exactly one position per
+		// group.
+		if got := len(c.Vector("group_dcdt_s").Mean); got != int(wantGroups[i]) {
+			t.Fatalf("cell %d group_dcdt_s has %d positions, want %v",
+				i, got, wantGroups[i])
+		}
+		if got := len(c.Vector("group_sd_s").Mean); got != int(wantGroups[i]) {
+			t.Fatalf("cell %d group_sd_s has %d positions, want %v",
+				i, got, wantGroups[i])
+		}
+		// B-TCTP spaces its mules equally within every group, so each
+		// group's steady-state interval SD is zero to floating-point
+		// precision.
+		for g, sd := range c.Vector("group_sd_s").Mean {
+			if sd > 1e-9 {
+				t.Fatalf("cell %d group %d SD = %v, want ~0", i, g, sd)
+			}
+		}
+	}
+}
+
+func TestPartitionAxisDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Result {
+		sp := partitionSpec()
+		sp.Workers = workers
+		res, err := Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for i := range a.Cells {
+		am, bm := a.Cells[i].Metrics, b.Cells[i].Metrics
+		for k := range am {
+			if am[k] != bm[k] {
+				t.Fatalf("cell %d metric %s differs across worker counts: %v vs %v",
+					i, am[k].Name, am[k], bm[k])
+			}
+		}
+	}
+}
+
+func TestPartitionOnlineAlgorithmFails(t *testing.T) {
+	sp := partitionSpec()
+	sp.Algorithms = []Variant{Algo("random", patrol.Online(&baseline.Random{}))}
+	_, err := Run(context.Background(), sp)
+	if err == nil || !strings.Contains(err.Error(), "no plan to partition") {
+		t.Fatalf("err = %v, want partition refusal", err)
+	}
+}
+
+func TestPartitionFingerprintSensitivity(t *testing.T) {
+	fp := func(sp Spec) string {
+		j, err := Plan(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.Fingerprint()
+	}
+	base := partitionSpec()
+	same := partitionSpec()
+	if fp(base) != fp(same) {
+		t.Fatal("equal specs produced different fingerprints")
+	}
+	other := partitionSpec()
+	other.Partitions[1].K = 3
+	if fp(base) == fp(other) {
+		t.Fatal("different partition axes share a fingerprint")
+	}
+	// A spec without the axis keeps the historic fingerprint shape:
+	// the default zero partition adds nothing to the points.
+	none := partitionSpec()
+	none.Partitions = nil
+	lone := partitionSpec()
+	lone.Partitions = []Partition{{}}
+	if fp(none) != fp(lone) {
+		t.Fatal("explicit zero partition perturbed the fingerprint")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	good := map[string]Partition{
+		"":                {},
+		"none":            {},
+		"kmeans:4":        {Method: "kmeans", K: 4},
+		"sectors:2":       {Method: "sectors", K: 2},
+		"kmeans:3:count":  {Method: "kmeans", K: 3, Alloc: "count"},
+		"kmeans:3:length": {Method: "kmeans", K: 3, Alloc: "length"},
+	}
+	for in, want := range good {
+		got, err := ParsePartition(in)
+		if err != nil {
+			t.Fatalf("ParsePartition(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParsePartition(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"kmeans", "kmeans:0", "kmeans:x", "voronoi:3", "kmeans:3:zzz", "kmeans:3:count:x"} {
+		if _, err := ParsePartition(in); err == nil {
+			t.Fatalf("ParsePartition(%q) accepted", in)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	sp := partitionSpec()
+	sp.Partitions = append(sp.Partitions, Partition{Method: "kmeans", K: 2})
+	if _, err := Plan(sp); err == nil || !strings.Contains(err.Error(), "duplicate partition") {
+		t.Fatalf("duplicate partition accepted: %v", err)
+	}
+	sp = partitionSpec()
+	sp.Partitions = []Partition{{Method: "voronoi", K: 2}}
+	if _, err := Plan(sp); err == nil {
+		t.Fatal("unknown partition method accepted")
+	}
+}

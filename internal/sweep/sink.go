@@ -24,7 +24,7 @@ type Sink interface {
 // pointHeader is the fixed axis-column schema shared by the CSV sink.
 var pointHeader = []string{
 	"algorithm", "targets", "mules", "speed", "fleet", "placement",
-	"horizon", "battery", "vips", "vip_weight", "workload",
+	"horizon", "battery", "vips", "vip_weight", "workload", "partition",
 }
 
 func pointRecord(p Point) []string {
@@ -40,6 +40,7 @@ func pointRecord(p Point) []string {
 		strconv.Itoa(p.VIPs),
 		strconv.Itoa(p.VIPWeight),
 		p.Workload,
+		p.Partition,
 	}
 }
 
@@ -172,6 +173,12 @@ func (s *textSink) Begin(spec *Spec, cells int) error {
 			return "none"
 		}
 		return p.Workload
+	})
+	add(len(spec.Partitions) > 1, "partition", func(p Point) string {
+		if p.Partition == "" {
+			return "none"
+		}
+		return p.Partition
 	})
 	if len(s.cols) == 0 {
 		add(true, "algorithm", func(p Point) string { return p.Algorithm })

@@ -36,8 +36,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"strings"
 
+	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/scenario"
@@ -67,6 +69,10 @@ type Point struct {
 	VIPWeight int             `json:"vip_weight"`
 	// Workload names the cell's data workload; empty means none.
 	Workload string `json:"workload,omitempty"`
+	// Partition names the cell's target partition on the Partitions
+	// axis (canonical "method:k[:alloc]" form); empty means the
+	// algorithm's own single-circuit planning.
+	Partition string `json:"partition,omitempty"`
 }
 
 // String renders the point compactly for skip reports and errors.
@@ -88,7 +94,99 @@ func (p Point) String() string {
 	if p.Workload != "" {
 		fmt.Fprintf(&sb, " workload=%s", p.Workload)
 	}
+	if p.Partition != "" {
+		fmt.Fprintf(&sb, " partition=%s", p.Partition)
+	}
 	return sb.String()
+}
+
+// Partition is one value of the Partitions axis: a target partition
+// the cell's planner is run under. The zero Partition (empty method)
+// means "no partitioning" — the algorithm plans its usual
+// single-circuit form — and is the axis's single default value.
+// Enabled partitions wrap the cell's planner in its partitioned
+// variant (B-TCTP → C-BTCTP, W-TCTP → C-WTCTP) via
+// patrol.Partitioned; algorithms without one fail the cell, so sweeps
+// mixing such algorithms should Skip those cells.
+type Partition struct {
+	// Method is the partitioner: "kmeans" or "sectors".
+	Method string `json:"method,omitempty"`
+	// K is the region count (independent of the fleet size, but the
+	// fleet must carry at least one mule per region).
+	K int `json:"k,omitempty"`
+	// Alloc is the mule-allocation policy: "length" (default —
+	// proportional to region tour length) or "count".
+	Alloc string `json:"alloc,omitempty"`
+}
+
+// Enabled reports whether the partition is real.
+func (p Partition) Enabled() bool { return p.Method != "" }
+
+// String renders the canonical "method:k[:alloc]" form ("none" for
+// the zero value) — the value of the Point.Partition coordinate.
+func (p Partition) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	s := p.Method + ":" + strconv.Itoa(p.K)
+	if p.Alloc != "" && p.Alloc != "length" {
+		s += ":" + p.Alloc
+	}
+	return s
+}
+
+// name is the Point coordinate: empty for the zero partition.
+func (p Partition) name() string {
+	if !p.Enabled() {
+		return ""
+	}
+	return p.String()
+}
+
+// Config translates the axis value to the planner-level
+// configuration.
+func (p Partition) Config() (core.PartitionConfig, error) {
+	var cfg core.PartitionConfig
+	m, err := core.ParsePartitionMethod(p.Method)
+	if err != nil {
+		return cfg, err
+	}
+	alloc := core.AllocByLength
+	if p.Alloc != "" {
+		if alloc, err = core.ParseAllocPolicy(p.Alloc); err != nil {
+			return cfg, err
+		}
+	}
+	if p.K < 1 {
+		return cfg, fmt.Errorf("sweep: partition %s needs k >= 1", p)
+	}
+	cfg.Method, cfg.K, cfg.Alloc = m, p.K, alloc
+	return cfg, nil
+}
+
+// ParsePartition parses "method:k[:alloc]" ("none" or "" yields the
+// zero partition).
+func ParsePartition(s string) (Partition, error) {
+	if s == "" || s == "none" {
+		return Partition{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Partition{}, fmt.Errorf("sweep: bad partition %q (want method:k[:alloc], e.g. kmeans:4)", s)
+	}
+	p := Partition{Method: parts[0]}
+	k, err := strconv.Atoi(parts[1])
+	if err != nil || k < 1 {
+		return Partition{}, fmt.Errorf("sweep: bad partition region count %q", parts[1])
+	}
+	p.K = k
+	if len(parts) == 3 {
+		p.Alloc = parts[2]
+	}
+	if _, err := p.Config(); err != nil {
+		return Partition{}, err
+	}
+	return p, nil
 }
 
 // Variant is one value of the algorithm axis: a named constructor for
@@ -218,6 +316,10 @@ type Spec struct {
 	// Workloads is the data-workload axis; the zero Workload (empty
 	// name) means "no workload" and is the single default value.
 	Workloads []scenario.Workload
+	// Partitions is the target-partition axis (partitioner × k ×
+	// allocation policy); the zero Partition means "no partitioning"
+	// and is the single default value.
+	Partitions []Partition
 
 	// Metrics and Vectors are extracted from every replication; at
 	// least one of the two must be non-empty.
@@ -279,6 +381,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = []scenario.Workload{{}}
+	}
+	if len(s.Partitions) == 0 {
+		s.Partitions = []Partition{{}}
 	}
 	if len(s.Placements) == 0 {
 		s.Placements = []field.Placement{field.Uniform}
@@ -411,6 +516,18 @@ func (s *Spec) validate() error {
 		}
 		wnames[w.Name] = true
 	}
+	pnames := map[string]bool{}
+	for _, p := range s.Partitions {
+		if pnames[p.name()] {
+			return fmt.Errorf("sweep: spec %q: duplicate partition %q on the axis", s.Name, p)
+		}
+		pnames[p.name()] = true
+		if p.Enabled() {
+			if _, err := p.Config(); err != nil {
+				return fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -445,16 +562,18 @@ func (s *Spec) fleetChoices() []fleetChoice {
 }
 
 // cellDef pairs a point with the axis values that cannot ride on the
-// (comparable) point itself: the variant, the full fleet, and the
-// workload configuration.
+// (comparable) point itself: the variant, the full fleet, the
+// workload, and the partition configuration.
 type cellDef struct {
-	point    Point
-	variant  Variant
-	fleet    scenario.Fleet
-	workload scenario.Workload
+	point     Point
+	variant   Variant
+	fleet     scenario.Fleet
+	workload  scenario.Workload
+	partition Partition
 }
 
-// cells enumerates the cartesian product in canonical order.
+// cells enumerates the cartesian product in canonical order
+// (Algorithms outermost, Partitions innermost).
 func (s *Spec) cells() []cellDef {
 	var out []cellDef
 	for _, v := range s.Algorithms {
@@ -466,24 +585,28 @@ func (s *Spec) cells() []cellDef {
 							for _, nv := range s.VIPs {
 								for _, w := range s.VIPWeights {
 									for _, wl := range s.Workloads {
-										out = append(out, cellDef{
-											point: Point{
-												Algorithm: v.Name,
-												Targets:   nt,
-												Mules:     fc.mules,
-												Speed:     fc.speed,
-												Fleet:     fc.name,
-												Placement: pl,
-												Horizon:   h,
-												Battery:   b,
-												VIPs:      nv,
-												VIPWeight: w,
-												Workload:  wl.Name,
-											},
-											variant:  v,
-											fleet:    fc.fleet,
-											workload: wl,
-										})
+										for _, pa := range s.Partitions {
+											out = append(out, cellDef{
+												point: Point{
+													Algorithm: v.Name,
+													Targets:   nt,
+													Mules:     fc.mules,
+													Speed:     fc.speed,
+													Fleet:     fc.name,
+													Placement: pl,
+													Horizon:   h,
+													Battery:   b,
+													VIPs:      nv,
+													VIPWeight: w,
+													Workload:  wl.Name,
+													Partition: pa.name(),
+												},
+												variant:   v,
+												fleet:     fc.fleet,
+												workload:  wl,
+												partition: pa,
+											})
+										}
 									}
 								}
 							}
@@ -524,6 +647,28 @@ func ScenarioSource(seed uint64) *xrand.Source {
 func AlgorithmSource(seed uint64) *xrand.Source {
 	s := xrand.New(seed)
 	s.Split() // skip the scenario stream
+	return s.Split()
+}
+
+// WorkloadSource derives the workload-randomness stream (burst
+// arrival processes) for a replication seed — stream 3 of the seed,
+// matching scenario.Scenario.Run's derivation.
+func WorkloadSource(seed uint64) *xrand.Source {
+	s := xrand.New(seed)
+	s.Split() // scenario stream
+	s.Split() // algorithm stream
+	return s.Split()
+}
+
+// PartitionSource derives the partition-randomness stream (k-means
+// seeding of the Partitions axis) for a replication seed — stream 4,
+// independent of the algorithm's own randomness so enabling a
+// partition never perturbs the variant's stream.
+func PartitionSource(seed uint64) *xrand.Source {
+	s := xrand.New(seed)
+	s.Split() // scenario stream
+	s.Split() // algorithm stream
+	s.Split() // workload stream
 	return s.Split()
 }
 

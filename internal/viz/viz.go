@@ -1,12 +1,16 @@
 // Package viz renders scenarios and routes as ASCII maps for the CLI
 // and the examples: targets, VIPs, the sink, the recharge station,
-// mule start positions, and the patrolling route's polyline.
+// mule start positions, and the patrolling walks' polylines. Plans
+// are rendered through their group model — every patrol group's walk
+// gets its own glyph, so a partitioned plan (C-TCTP, Sweep) shows its
+// per-region circuits instead of a blank map.
 package viz
 
 import (
 	"fmt"
 	"strings"
 
+	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/geom"
 	"tctp/internal/walk"
@@ -58,13 +62,17 @@ func (c *Canvas) Plot(p geom.Point, r rune) {
 
 // Line draws a straight segment with '.' marks, leaving endpoints for
 // the caller to label.
-func (c *Canvas) Line(a, b geom.Point) {
+func (c *Canvas) Line(a, b geom.Point) { c.LineGlyph(a, b, '.') }
+
+// LineGlyph draws a straight segment with the given glyph, leaving
+// endpoints for the caller to label.
+func (c *Canvas) LineGlyph(a, b geom.Point, r rune) {
 	steps := int(a.Dist(b)/c.worldStep()) + 1
 	for s := 1; s < steps; s++ {
 		t := float64(s) / float64(steps)
 		x, y, ok := c.cell(a.Lerp(b, t))
 		if ok && c.cells[y][x] == ' ' {
-			c.cells[y][x] = '.'
+			c.cells[y][x] = r
 		}
 	}
 }
@@ -93,18 +101,49 @@ func (c *Canvas) String() string {
 	return sb.String()
 }
 
-// Map renders a scenario and, optionally, a patrolling walk over it.
-// Legend: o target, V VIP, S sink, R recharge station, m mule start,
-// '.' route.
+// routeGlyphs are the per-group walk glyphs, cycling for plans with
+// more groups than glyphs. Group 0 keeps the classic '.' so
+// single-circuit maps render exactly as before.
+var routeGlyphs = []rune{'.', ',', '~', '^', '`', '"'}
+
+// Map renders a scenario and, optionally, a single patrolling walk
+// over it. Legend: o target, V VIP, S sink, R recharge station,
+// m mule start, '.' route. Prefer MapPlan for plans: it draws every
+// patrol group.
 func Map(s *field.Scenario, w *walk.Walk, width, height int) string {
+	var walks []walk.Walk
+	if w != nil {
+		walks = []walk.Walk{*w}
+	}
+	return MapWalks(s, walks, width, height)
+}
+
+// MapPlan renders a scenario with every patrol group of the plan
+// drawn in its own glyph — the group model is the source of truth, so
+// partitioned plans (C-TCTP, Sweep) show one polyline per region. A
+// nil plan renders the bare scenario.
+func MapPlan(s *field.Scenario, plan *core.FleetPlan, width, height int) string {
+	if plan == nil {
+		return MapWalks(s, nil, width, height)
+	}
+	return MapWalks(s, plan.Walks(), width, height)
+}
+
+// MapWalks renders a scenario with the given walks, one glyph per
+// walk (cycling through routeGlyphs).
+func MapWalks(s *field.Scenario, walks []walk.Walk, width, height int) string {
 	canvas := NewCanvas(width, height, s.Field)
 	pts := s.Points()
 
-	if w != nil && len(w.Seq) > 1 {
+	for wi, w := range walks {
+		if len(w.Seq) < 2 {
+			continue
+		}
+		glyph := routeGlyphs[wi%len(routeGlyphs)]
 		for i := range w.Seq {
 			a := pts[w.Seq[i]]
 			b := pts[w.Seq[(i+1)%len(w.Seq)]]
-			canvas.Line(a, b)
+			canvas.LineGlyph(a, b, glyph)
 		}
 	}
 	for _, m := range s.MuleStarts {
@@ -121,6 +160,14 @@ func Map(s *field.Scenario, w *walk.Walk, width, height int) string {
 	if s.HasRecharge {
 		canvas.Plot(s.Recharge, 'R')
 	}
-	return canvas.String() +
-		"legend: S sink, o target, V VIP, R recharge, m mule, . route\n"
+	legend := "legend: S sink, o target, V VIP, R recharge, m mule, . route\n"
+	if len(walks) > 1 {
+		glyphs := make([]string, 0, len(walks))
+		for wi := range walks {
+			glyphs = append(glyphs, string(routeGlyphs[wi%len(routeGlyphs)]))
+		}
+		legend = "legend: S sink, o target, V VIP, R recharge, m mule; group routes " +
+			strings.Join(glyphs, " ") + "\n"
+	}
+	return canvas.String() + legend
 }

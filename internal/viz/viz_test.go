@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/geom"
 	"tctp/internal/walk"
@@ -97,5 +98,50 @@ func TestMapWithoutWalk(t *testing.T) {
 	out := Map(s, nil, 40, 20)
 	if !strings.Contains(out, "S") {
 		t.Fatal("sink missing")
+	}
+}
+
+func TestMapPlanDrawsEveryGroupWithDistinctGlyphs(t *testing.T) {
+	s := testScenario()
+	// A two-group plan split down the target list.
+	var left, right []int
+	for i := 0; i < s.NumTargets(); i++ {
+		if i < s.NumTargets()/2 {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	plan := &core.FleetPlan{
+		Algorithm: "test",
+		Groups: []core.PatrolGroup{
+			{Walk: walk.New(left), Targets: left},
+			{Walk: walk.New(right), Targets: right},
+		},
+	}
+	out := MapPlan(s, plan, 70, 30)
+	// Group 0 keeps '.', group 1 gets the next glyph, and the legend
+	// lists both.
+	if !strings.Contains(out, ".") || !strings.Contains(out, ",") {
+		t.Fatalf("multi-group map misses a group glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "group routes . ,") {
+		t.Fatalf("legend misses group glyphs:\n%s", out)
+	}
+}
+
+func TestMapPlanSingleGroupMatchesClassicMap(t *testing.T) {
+	s := testScenario()
+	w := walk.New([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	plan := &core.FleetPlan{Groups: []core.PatrolGroup{{Walk: w}}}
+	if MapPlan(s, plan, 60, 30) != Map(s, &w, 60, 30) {
+		t.Fatal("single-group plan renders differently from the classic map")
+	}
+}
+
+func TestMapPlanNil(t *testing.T) {
+	s := testScenario()
+	if MapPlan(s, nil, 40, 20) != Map(s, nil, 40, 20) {
+		t.Fatal("nil plan renders differently from the bare scenario")
 	}
 }

@@ -135,6 +135,22 @@ type (
 	RWTCTP = core.RWTCTP
 	// BreakPolicy selects W-TCTP's break-edge rule.
 	BreakPolicy = core.BreakPolicy
+	// PatrolGroup is one patrol region of a plan: its own walk, start
+	// points, member targets, and assigned mules. Single-circuit plans
+	// carry exactly one; partitioned plans one per region.
+	PatrolGroup = core.PatrolGroup
+	// CBTCTP is the partitioned B-TCTP planner: k per-region circuits.
+	CBTCTP = core.CBTCTP
+	// CWTCTP is the partitioned W-TCTP planner: k per-region WPPs.
+	CWTCTP = core.CWTCTP
+	// PartitionConfig parameterizes the partitioned planner family
+	// (method, region count, mule-allocation policy).
+	PartitionConfig = core.PartitionConfig
+	// PartitionMethod selects the target partitioner (k-means or
+	// angular sectors).
+	PartitionMethod = core.PartitionMethod
+	// AllocPolicy selects how mules are shared among regions.
+	AllocPolicy = core.AllocPolicy
 	// CHB is the convex-hull baseline of Wu et al. (MDM'09).
 	CHB = baseline.CHB
 	// Sweep is the group-patrolling baseline of Cheng et al.
@@ -142,6 +158,18 @@ type (
 	Sweep = baseline.Sweep
 	// Random is the online random-destination baseline.
 	Random = baseline.Random
+)
+
+// Partition methods and allocation policies for the C-planners.
+const (
+	// KMeansMethod partitions targets with Lloyd's algorithm.
+	KMeansMethod = core.KMeansMethod
+	// SectorsMethod partitions targets into angular sectors.
+	SectorsMethod = core.SectorsMethod
+	// AllocByLength shares mules proportionally to region tour length.
+	AllocByLength = core.AllocByLength
+	// AllocByCount shares mules proportionally to region target count.
+	AllocByCount = core.AllocByCount
 )
 
 // W-TCTP break-edge policies.
@@ -167,8 +195,11 @@ type (
 	// FleetMember overrides one mule's speed and battery, enabling
 	// heterogeneous fleets via Options.Fleet.
 	FleetMember = patrol.FleetMember
-	// Result is a finished run: visit log, per-mule stats.
+	// Result is a finished run: visit log, per-mule and per-group
+	// stats.
 	Result = patrol.Result
+	// GroupStats summarizes one patrol group of a plan-based run.
+	GroupStats = patrol.GroupStats
 	// Recorder is the per-target visit log with the paper's metrics
 	// (visiting intervals, DCDT, SD).
 	Recorder = metrics.Recorder
@@ -224,14 +255,10 @@ func RunRandom(s *Scenario, opts Options, seed uint64) (*Result, error) {
 	return patrol.Run(s, patrol.Online(&baseline.Random{}), opts, xrand.New(seed))
 }
 
-// MapString renders the scenario (and the plan's master walk, when a
-// plan is given) as an ASCII map.
+// MapString renders the scenario (and, when a plan is given, every
+// patrol group's walk — one glyph per group) as an ASCII map.
 func MapString(s *Scenario, plan *FleetPlan, width, height int) string {
-	var w *Walk
-	if plan != nil && plan.Walk.Size() > 0 {
-		w = &plan.Walk
-	}
-	return viz.Map(s, w, width, height)
+	return viz.MapPlan(s, plan, width, height)
 }
 
 // Experiment protocol re-exports: the registry regenerates every
@@ -268,6 +295,9 @@ type (
 	// SweepAdaptive configures per-cell early stopping on a CI95
 	// target.
 	SweepAdaptive = sweep.Adaptive
+	// SweepPartition is one value of the target-partition axis
+	// (partitioner × k × allocation policy).
+	SweepPartition = sweep.Partition
 	// SweepJob is a planned sweep or one shard of it; Run it with
 	// SweepRunOpts, or split it with Shard for distributed execution.
 	SweepJob = sweep.Job

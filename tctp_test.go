@@ -33,7 +33,7 @@ func TestFacadeWeightedAndRecharge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wres.Plan == nil || wres.Plan.Walk.Size() == 0 {
+	if wres.Plan == nil || wres.Plan.Groups[0].Walk.Size() == 0 {
 		t.Fatal("missing plan")
 	}
 	// RW-TCTP through the facade.
