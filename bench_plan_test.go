@@ -1,0 +1,236 @@
+package tctp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"tctp/internal/cluster"
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/sweep"
+	"tctp/internal/tour"
+	"tctp/internal/xrand"
+)
+
+// --- planner hot-path benchmarks ------------------------------------------
+//
+// BenchmarkPlan* measures the spatially indexed planning substrates at
+// n ∈ {100, 1k, 10k} next to their retained brute-force twins
+// (*Brute), which are the pre-index implementations kept as oracles by
+// the equivalence tests. The indexed and brute variants produce
+// bit-identical tours/assignments, so the ratio between the two is
+// pure speedup. ConvexHullInsertionBrute stops at 1k: its cheapest-
+// insertion rescan is Θ(n³)-ish DetourCost evaluations and a single
+// 10k iteration takes minutes, which is itself the reason the cached
+// variant exists.
+
+var planSizes = []int{100, 1_000, 10_000}
+
+// skipLarge keeps the n=10k variants (seconds to minutes per op for
+// the brute baselines) out of -short runs; CI's rot check executes
+// every benchmark once under -short, while full local runs and the
+// speedup measurements use the complete size ladder.
+func skipLarge(b *testing.B, n int) {
+	if n >= 10_000 && testing.Short() {
+		b.Skipf("n=%d skipped under -short", n)
+	}
+}
+
+func BenchmarkPlanNearestNeighbor(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.NearestNeighbor(pts, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanNearestNeighborBrute(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.NearestNeighborBrute(pts, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanGreedyEdge(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.GreedyEdge(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanGreedyEdgeBrute(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.GreedyEdgeBrute(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanConvexHullInsertion(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.ConvexHullInsertion(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanConvexHullInsertionBrute(b *testing.B) {
+	for _, n := range planSizes {
+		if n > 1_000 {
+			continue // Θ(n³) DetourCost evaluations: minutes per op at 10k
+		}
+		pts := randomPoints(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tour.ConvexHullInsertionBrute(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanKMeans(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		k := n / 20
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cluster.KMeans(pts, k, xrand.New(11), 20)
+			}
+		})
+	}
+}
+
+func BenchmarkPlanKMeansBrute(b *testing.B) {
+	for _, n := range planSizes {
+		pts := randomPoints(n)
+		k := n / 20
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cluster.KMeansBrute(pts, k, xrand.New(11), 20)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanFleet measures the end-to-end B-TCTP plan construction
+// (circuit + start-point partition + location initialization + route
+// assembly), the path the allocation audit trimmed.
+func BenchmarkPlanFleet(b *testing.B) {
+	for _, n := range planSizes {
+		s := field.Generate(field.Config{NumTargets: n, NumMules: 8, Placement: field.Uniform},
+			xrand.New(13))
+		planner := &core.BTCTP{}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.Plan(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- cell-level benchmarks -------------------------------------------------
+//
+// BenchmarkCell* measures one sweep cell end to end: replication
+// execution plus the seed-ordered (or sharded) fold. The shards=K
+// variants quantify what Spec.RepShards buys on a single hot cell.
+
+func cellSpec(targets, seeds, shards, workers int) sweep.Spec {
+	return sweep.Spec{
+		Name:       "bench-cell",
+		Algorithms: []sweep.Variant{sweep.Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{targets},
+		Mules:      []int{4},
+		Horizons:   []float64{20_000},
+		Metrics:    []sweep.Metric{sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval()},
+		Seeds:      seeds,
+		RepShards:  shards,
+		Workers:    workers,
+	}
+}
+
+func BenchmarkCellReplications(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		shards  int
+		workers int
+	}{
+		{"serial", 0, 1},
+		{"workers=4", 0, 4},
+		{"workers=4/shards=4", 4, 4},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				spec := cellSpec(60, 8, cfg.shards, cfg.workers)
+				if _, err := sweep.Run(context.Background(), spec, sweep.CSV(&buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCellSimulation measures a single replication (plan + event
+// simulation + recording) at growing target counts; the recorder's
+// flat preallocation shows up in allocs/op here.
+func BenchmarkCellSimulation(b *testing.B) {
+	for _, n := range []int{100, 1_000} {
+		s := field.Generate(field.Config{NumTargets: n, NumMules: 4, Placement: field.Uniform},
+			xrand.New(17))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := patrol.Run(s, patrol.Planned(&core.BTCTP{}),
+					patrol.Options{Horizon: 20_000}, xrand.New(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalVisits() == 0 {
+					b.Fatal("no visits")
+				}
+			}
+		})
+	}
+}

@@ -33,9 +33,37 @@
 // arguments in build order) into a per-benchmark time-series table —
 // one row per build with the head mean ±CI95, the delta against the
 // previous build, and the recorded verdict. It never fails the build;
-// it exists to make drift visible between the gate's hard stops:
+// it exists to make drift visible between the gate's hard stops. CI
+// additionally accumulates the artifacts in an actions/cache
+// "bench-history" directory (restore-keys prefix match restores the
+// newest previous cache, each build appends its run-numbered copy),
+// so the table spans builds without downloading artifacts by hand:
 //
 //	benchgate -history BENCH_engine_build1.json BENCH_engine_build2.json ...
+//
+// # Gating policy
+//
+// Two gates run per pull request, split by benchmark family because a
+// single threshold cannot fit both:
+//
+//   - '^BenchmarkEngine' at -threshold 0.15: discrete-event engine
+//     microbenchmarks. Tight ops with low run-to-run variance; 15%
+//     catches real regressions without flaking.
+//   - '^BenchmarkPlan' at -threshold 0.25: whole planner constructions
+//     (tours, clusterings, fleet plans) at n=1000. Bigger working
+//     sets make them more sensitive to machine noise on shared CI
+//     runners, so their gate is variance-tolerant; the CI95-overlap
+//     significance test does the real filtering, the threshold only
+//     sets how large a confirmed move must be to fail the build.
+//
+// The BenchmarkPlan*Brute twins are deliberately ungated and excluded
+// from the replicated runs: they are frozen oracles for the
+// equivalence tests, exist to be slow, and only execute in the
+// single-iteration rot check (-short skips their n=10k rungs, which
+// take minutes by design). allocs/op is gated with zero tolerance in
+// both families — allocation counts are deterministic, so any
+// increase is a real regression, which is what keeps the zero-alloc
+// planning paths zero-alloc.
 package main
 
 import (

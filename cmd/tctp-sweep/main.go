@@ -103,6 +103,7 @@ func main() {
 		baseSeed   = flag.Uint64("base-seed", 0, "base replication seed")
 		horizon    = flag.Float64("horizon", 0, "simulated seconds (default 60000)")
 		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		repShards  = flag.Int("rep-shards", 0, "split each cell's replications into this many parallel fold shards (0/1 = classic seed-ordered fold; incompatible with -adaptive and -checkpoint)")
 		format     = flag.String("format", "csv", "output format: csv, json, table")
 		progress   = flag.Bool("progress", false, "report progress on stderr")
 		checkpoint = flag.String("checkpoint", "", "persist per-cell fold state to this JSONL file")
@@ -122,7 +123,7 @@ func main() {
 		BurstHot:         *burstHot, BurstGap: *burstGap, BurstSize: *burstSize,
 		Preset: *preset, Scenario: *scenarioF,
 		Seeds: *seeds, BaseSeed: *baseSeed, Horizon: *horizon,
-		Workers: *workers, Format: *format, Progress: *progress,
+		Workers: *workers, RepShards: *repShards, Format: *format, Progress: *progress,
 		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
 		Partition: *partition,
 		Shard:     *shard, Merge: *merge, MergeInputs: flag.Args(),
@@ -150,6 +151,7 @@ type config struct {
 	BaseSeed                                                    uint64
 	Horizon                                                     float64
 	Workers                                                     int
+	RepShards                                                   int
 	Format                                                      string
 	Progress                                                    bool
 	Checkpoint                                                  string
@@ -490,6 +492,7 @@ func buildSpec(cfg config) (sweep.Spec, error) {
 	spec.Seeds = cfg.Seeds
 	spec.BaseSeed = cfg.BaseSeed
 	spec.Workers = cfg.Workers
+	spec.RepShards = cfg.RepShards
 	if preset != nil {
 		// The preset supplies the field geometry (dimensions, cluster
 		// parameters, recharge station); the axes keep the placement.

@@ -12,8 +12,17 @@ import (
 	"sort"
 
 	"tctp/internal/geom"
+	"tctp/internal/geom/index"
 	"tctp/internal/xrand"
 )
+
+// indexThreshold is the centre count above which the Lloyd assignment
+// step queries a spatial grid over the centres instead of scanning
+// them; below it, a k-wide linear scan is faster than rebuilding a
+// grid per iteration. Both paths are bit-identical (the grid breaks
+// ties by (distance, index) exactly like the scan's strict <), so the
+// threshold is purely a performance knob.
+const indexThreshold = 32
 
 // KMeans partitions pts into k groups with Lloyd's algorithm and
 // returns the cluster index of each point. Seeding is k-means++
@@ -33,6 +42,86 @@ func KMeans(pts []geom.Point, k int, src *xrand.Source, maxIter int) []int {
 
 	centres := seedPlusPlus(pts, k, src)
 	assign := make([]int, n)
+	var g *index.Grid // grid over the centres, rebuilt each iteration
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		if k >= indexThreshold {
+			if g == nil {
+				g = index.New(centres)
+			} else {
+				g.Rebuild(centres)
+			}
+			for i, p := range pts {
+				best, _ := g.Nearest(p)
+				if assign[i] != best {
+					assign[i] = best
+					changed = true
+				}
+			}
+		} else {
+			for i, p := range pts {
+				best, bestD := 0, math.Inf(1)
+				for c, ctr := range centres {
+					if d := p.Dist2(ctr); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changed = true
+				}
+			}
+		}
+
+		// Recompute centres; re-seed empties with the globally
+		// farthest point from its assigned centre.
+		counts := make([]int, k)
+		sums := make([]geom.Vec, k)
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			sums[c] = geom.Vec{X: sums[c].X + p.X, Y: sums[c].Y + p.Y}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := p.Dist2(centres[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centres[c] = pts[far]
+				assign[far] = c
+				changed = true
+				continue
+			}
+			centres[c] = geom.Pt(sums[c].X/float64(counts[c]), sums[c].Y/float64(counts[c]))
+		}
+		if !changed {
+			break
+		}
+	}
+	repairEmpty(pts, assign, centres)
+	return assign
+}
+
+// KMeansBrute is the original KMeans implementation — full-recompute
+// k-means++ seeding and linear-scan Lloyd assignment — retained as the
+// reference the indexed path must reproduce bit-for-bit and as the
+// baseline for the BenchmarkPlan* speedup measurements. Given sources
+// seeded identically, KMeans and KMeansBrute return identical
+// assignments.
+func KMeansBrute(pts []geom.Point, k int, src *xrand.Source, maxIter int) []int {
+	n := len(pts)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("cluster: KMeans k=%d with %d points", k, n))
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centres := seedPlusPlusBrute(pts, k, src)
+	assign := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i, p := range pts {
@@ -48,8 +137,6 @@ func KMeans(pts []geom.Point, k int, src *xrand.Source, maxIter int) []int {
 			}
 		}
 
-		// Recompute centres; re-seed empties with the globally
-		// farthest point from its assigned centre.
 		counts := make([]int, k)
 		sums := make([]geom.Vec, k)
 		for i, p := range pts {
@@ -120,7 +207,63 @@ func repairEmpty(pts []geom.Point, assign []int, centres []geom.Point) {
 }
 
 // seedPlusPlus picks k initial centres with the k-means++ rule.
+//
+// The nearest-chosen-centre distances are maintained incrementally:
+// centres only ever get appended, so each point's distance to its
+// nearest centre after adding one more is min(previous, distance to
+// the new centre) — the same value the brute per-round recompute in
+// seedPlusPlusBrute produces (non-negative floats, so the mins agree
+// bit-for-bit), for O(nk) total instead of O(nk²). Both versions draw
+// from src identically, so the chosen centres match exactly.
 func seedPlusPlus(pts []geom.Point, k int, src *xrand.Source) []geom.Point {
+	centres := make([]geom.Point, 0, k)
+	centres = append(centres, pts[src.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	total := 0.0
+	for i, p := range pts {
+		d2[i] = p.Dist2(centres[0])
+		total += d2[i]
+	}
+	addCentre := func(c geom.Point) {
+		centres = append(centres, c)
+		// Recompute the running total from scratch: the brute path
+		// re-sums d2 in index order every round, and matching that
+		// summation order keeps the total (and hence the threshold
+		// comparison r <= acc) bit-identical.
+		total = 0
+		for i, p := range pts {
+			if d := p.Dist2(c); d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+	}
+	for len(centres) < k {
+		if total == 0 {
+			// All remaining points coincide with centres; duplicate
+			// arbitrary points to fill.
+			addCentre(pts[src.Intn(len(pts))])
+			continue
+		}
+		r := src.Float64() * total
+		acc := 0.0
+		chosen := len(pts) - 1
+		for i, d := range d2 {
+			acc += d
+			if r <= acc {
+				chosen = i
+				break
+			}
+		}
+		addCentre(pts[chosen])
+	}
+	return centres
+}
+
+// seedPlusPlusBrute is the original k-means++ seeding with a full
+// nearest-centre recompute every round, retained as the reference for
+// the incremental path.
+func seedPlusPlusBrute(pts []geom.Point, k int, src *xrand.Source) []geom.Point {
 	centres := make([]geom.Point, 0, k)
 	centres = append(centres, pts[src.Intn(len(pts))])
 	d2 := make([]float64, len(pts))

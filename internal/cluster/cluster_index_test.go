@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"tctp/internal/geom"
+	"tctp/internal/xrand"
+)
+
+// TestKMeansMatchesBrute pins the indexed-assignment, incremental-
+// seeding KMeans to the original brute implementation bit-for-bit,
+// including k values on both sides of the index threshold and
+// degenerate (duplicate-heavy, collinear) point sets.
+func TestKMeansMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	sets := map[string][]geom.Point{}
+
+	uniform := make([]geom.Point, 300)
+	for i := range uniform {
+		uniform[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+	}
+	sets["uniform"] = uniform
+
+	dup := make([]geom.Point, 0, 200)
+	for i := 0; i < 50; i++ {
+		p := geom.Pt(rnd.Float64()*100, rnd.Float64()*100)
+		for j := 0; j < 4; j++ {
+			dup = append(dup, p)
+		}
+	}
+	sets["duplicates"] = dup
+
+	col := make([]geom.Point, 150)
+	for i := range col {
+		col[i] = geom.Pt(float64(i)*3, 0)
+	}
+	sets["collinear"] = col
+
+	clustered := make([]geom.Point, 0, 240)
+	for c := 0; c < 6; c++ {
+		cx, cy := rnd.Float64()*800, rnd.Float64()*800
+		for i := 0; i < 40; i++ {
+			clustered = append(clustered, geom.Pt(cx+rnd.NormFloat64()*4, cy+rnd.NormFloat64()*4))
+		}
+	}
+	sets["clustered"] = clustered
+
+	for name, pts := range sets {
+		for _, k := range []int{1, 2, 5, indexThreshold - 1, indexThreshold, indexThreshold + 8, 64} {
+			if k > len(pts) {
+				continue
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				got := KMeans(pts, k, xrand.New(seed), 50)
+				want := KMeansBrute(pts, k, xrand.New(seed), 50)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s k=%d seed=%d: assignment differs at point %d: indexed %d, brute %d",
+							name, k, seed, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSeedPlusPlusMatchesBrute pins the incremental k-means++ distance
+// maintenance to the per-round full recompute.
+func TestSeedPlusPlusMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(22))
+	pts := make([]geom.Point, 250)
+	for i := range pts {
+		pts[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+	}
+	// Append duplicates so the total==0 fallback path gets visited for
+	// large k over a small distinct set.
+	small := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(1, 1)}
+	for _, tc := range []struct {
+		pts []geom.Point
+		k   int
+	}{
+		{pts, 1}, {pts, 7}, {pts, 40}, {pts, 128},
+		{small, 4}, {small, 5},
+	} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			got := seedPlusPlus(tc.pts, tc.k, xrand.New(seed))
+			want := seedPlusPlusBrute(tc.pts, tc.k, xrand.New(seed))
+			if len(got) != len(want) {
+				t.Fatalf("k=%d seed=%d: %d centres, want %d", tc.k, seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d seed=%d: centre %d is %v, want %v", tc.k, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tctp/internal/geom"
+)
+
+// TestMatchMulesToGroupsMatchesBrute pins the grid-backed matching to
+// the linear-scan reference across group counts on both sides of the
+// index threshold, including capacity-starved and duplicate-centroid
+// layouts.
+func TestMatchMulesToGroupsMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for _, k := range []int{1, 4, indexThreshold - 1, indexThreshold, 80} {
+		for trial := 0; trial < 5; trial++ {
+			centroids := make([]geom.Point, k)
+			for i := range centroids {
+				centroids[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+			}
+			if k >= 4 && trial%2 == 1 {
+				// Duplicate centroids force exact-distance ties.
+				centroids[1] = centroids[0]
+				centroids[3] = centroids[2]
+			}
+			n := k + rnd.Intn(3*k)
+			starts := make([]geom.Point, n)
+			for i := range starts {
+				starts[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+			}
+			capacity := make([]int, k)
+			for i := range capacity {
+				capacity[i] = 1
+			}
+			for extra := n - k; extra > 0; extra-- {
+				capacity[rnd.Intn(k)]++
+			}
+			got := MatchMulesToGroups(starts, centroids, capacity)
+			want := matchMulesToGroupsBrute(starts, centroids, capacity)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d trial=%d: mule %d matched to %d, brute says %d",
+						k, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// assignStartPointsBrute re-states the pre-index nearest-start-point
+// scan so the indexed path has an in-test reference.
+func assignStartPointsBrute(muleStarts, startPts []geom.Point, energies []float64) []int {
+	n := len(muleStarts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			ea, eb := 0.0, 0.0
+			if energies != nil {
+				ea, eb = energies[a], energies[b]
+			}
+			if eb < ea || (eb == ea && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	taken := make([]bool, n)
+	assign := make([]int, n)
+	for _, mi := range order {
+		best, bestD := 0, math.Inf(1)
+		for k, sp := range startPts {
+			if d := muleStarts[mi].Dist2(sp); d < bestD {
+				best, bestD = k, d
+			}
+		}
+		for taken[best] {
+			best = (best + 1) % n
+		}
+		taken[best] = true
+		assign[mi] = best
+	}
+	return assign
+}
+
+// TestAssignStartPointsMatchesBrute pins the indexed start-point
+// lookup to the linear scan across fleet sizes on both sides of the
+// index threshold, with and without energies.
+func TestAssignStartPointsMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(32))
+	for _, n := range []int{1, 5, indexThreshold - 1, indexThreshold, 100} {
+		for trial := 0; trial < 5; trial++ {
+			muleStarts := make([]geom.Point, n)
+			startPts := make([]geom.Point, n)
+			for i := 0; i < n; i++ {
+				muleStarts[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+				startPts[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+			}
+			var energies []float64
+			if trial%2 == 1 {
+				energies = make([]float64, n)
+				for i := range energies {
+					// Coarse quantization forces energy ties.
+					energies[i] = float64(rnd.Intn(3))
+				}
+			}
+			got := assignStartPoints(muleStarts, startPts, energies)
+			want := assignStartPointsBrute(muleStarts, startPts, energies)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: mule %d assigned %d, brute says %d",
+						n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"tctp/internal/energy"
 	"tctp/internal/field"
 	"tctp/internal/geom"
+	"tctp/internal/geom/index"
 	"tctp/internal/mule"
 	"tctp/internal/walk"
 )
@@ -327,14 +328,29 @@ func assignStartPoints(muleStarts, startPts []geom.Point, energies []float64) []
 		}
 	}
 
+	// Above the index threshold the initial nearest-start-point lookup
+	// is a grid query; the brute scan's strict < breaks ties by the
+	// lower index, which is the grid's tie-break, so both paths pick
+	// the same point bit-for-bit. The cyclic probe over taken points is
+	// unchanged — it depends on the start-point ring order, not on
+	// proximity.
+	var g *index.Grid
+	if n >= indexThreshold {
+		g = index.New(startPts)
+	}
 	taken := make([]bool, n)
 	assign := make([]int, n)
 	for _, mi := range order {
 		// Nearest start point, ties by lower index.
-		best, bestD := 0, math.Inf(1)
-		for k, sp := range startPts {
-			if d := muleStarts[mi].Dist2(sp); d < bestD {
-				best, bestD = k, d
+		var best int
+		if g != nil {
+			best, _ = g.Nearest(muleStarts[mi])
+		} else {
+			bestD := math.Inf(1)
+			for k, sp := range startPts {
+				if d := muleStarts[mi].Dist2(sp); d < bestD {
+					best, bestD = k, d
+				}
 			}
 		}
 		for taken[best] {
@@ -349,15 +365,16 @@ func assignStartPoints(muleStarts, startPts []geom.Point, energies []float64) []
 // loopFrom builds a mule's repeating stop list: the walk's targets in
 // visiting order starting from the first target at arc offset ≥ d
 // (wrapping). A target exactly at the start point is visited
-// immediately on arrival. The second result is the walk position of
-// the first stop (which RW-TCTP needs to locate the recharge
-// insertion point inside each mule's rotated loop); the third is the
-// number of stops strictly before arc offset d — equal to the first
-// result except when d falls on the closing edge, where the loop
-// wraps to position 0 but all len(w.Seq) stops lie before d. The
-// phase-equalizing holds need the latter count.
-func loopFrom(pts []geom.Point, w walk.Walk, d float64) ([]mule.Waypoint, int, int) {
-	offsets := w.ArcOffsets(pts)
+// immediately on arrival. offsets must be w.ArcOffsets(pts) — callers
+// placing several mules on one walk compute it once and share it. The
+// second result is the walk position of the first stop (which RW-TCTP
+// needs to locate the recharge insertion point inside each mule's
+// rotated loop); the third is the number of stops strictly before arc
+// offset d — equal to the first result except when d falls on the
+// closing edge, where the loop wraps to position 0 but all len(w.Seq)
+// stops lie before d. The phase-equalizing holds need the latter
+// count.
+func loopFrom(pts []geom.Point, w walk.Walk, offsets []float64, d float64) ([]mule.Waypoint, int, int) {
 	n := len(offsets)
 	k0 := 0 // first position with offset >= d (within tolerance)
 	stopsBefore := n
@@ -383,7 +400,7 @@ func loopFrom(pts []geom.Point, w walk.Walk, d float64) ([]mule.Waypoint, int, i
 // circuit at the nearest point, Sweep patrolling per-group circuits)
 // share this assembly with the TCTP planners.
 func RouteFromArc(pts []geom.Point, w walk.Walk, d float64) MuleRoute {
-	stops, _, _ := loopFrom(pts, w, d)
+	stops, _, _ := loopFrom(pts, w, w.ArcOffsets(pts), d)
 	entry := w.PointAt(pts, d)
 	return MuleRoute{
 		Approach: []mule.Waypoint{{Pos: entry, TargetID: mule.NoTarget}},
@@ -453,6 +470,8 @@ func assembleGroups(s *field.Scenario, groups []groupSpec, energies []float64, d
 
 		total := w.Length(pts)
 		nStops := float64(w.Size())
+		// One arc-offset table serves every mule placed on this walk.
+		offsets := w.ArcOffsets(pts)
 		holds := make([]float64, n)
 		minHold := math.Inf(1)
 		for k, mi := range g.mules {
@@ -463,7 +482,7 @@ func assembleGroups(s *field.Scenario, groups []groupSpec, energies []float64, d
 			if approachDist > plan.MaxApproach {
 				plan.MaxApproach = approachDist
 			}
-			stops, k0, stopsBefore := loopFrom(pts, w, d)
+			stops, k0, stopsBefore := loopFrom(pts, w, offsets, d)
 			anchors[mi] = k0
 			// Phase equalization: the mule at start point j has
 			// stopsBefore stops before it on the walk; holding

@@ -28,10 +28,29 @@ type Recorder struct {
 // NewRecorder returns a recorder for nTargets targets (indexed
 // 0..nTargets-1).
 func NewRecorder(nTargets int) *Recorder {
+	return NewRecorderCap(nTargets, 0)
+}
+
+// NewRecorderCap is NewRecorder with a per-target visit-count capacity
+// hint: every target's series is carved out of one flat backing array
+// with room for visitCap timestamps, so a simulation whose visit
+// counts stay within the hint performs no recording allocations at
+// all. The full-slice-expression cap means a target that outgrows its
+// slot reallocates independently instead of clobbering its
+// neighbour's slot, so the hint affects only allocation behaviour,
+// never recorded values. visitCap <= 0 means no preallocation.
+func NewRecorderCap(nTargets, visitCap int) *Recorder {
 	if nTargets <= 0 {
 		panic(fmt.Sprintf("metrics: NewRecorder(%d)", nTargets))
 	}
-	return &Recorder{visits: make([][]float64, nTargets)}
+	r := &Recorder{visits: make([][]float64, nTargets)}
+	if visitCap > 0 {
+		flat := make([]float64, nTargets*visitCap)
+		for i := range r.visits {
+			r.visits[i] = flat[i*visitCap : i*visitCap : (i+1)*visitCap]
+		}
+	}
+	return r
 }
 
 // NumTargets returns the number of tracked targets.

@@ -308,6 +308,33 @@ func (r *planRouter) Next(*mule.Mule) (mule.Waypoint, bool) {
 	return wp, true
 }
 
+// visitCapHint estimates the visits each target will receive so the
+// recorder can preallocate its series in one flat block. For a planned
+// fleet on closed walks, each target is visited about once per mule
+// per walk period (horizon · Σspeed / total walk length); online
+// algorithms get no hint. The hint is a capacity, not a bound —
+// underestimates merely fall back to slice growth — and is clamped so
+// a degenerate short walk cannot request unbounded memory.
+func visitCapHint(s *field.Scenario, plan *core.FleetPlan, opts Options) int {
+	if plan == nil {
+		return 0
+	}
+	walkLen := plan.TotalWalkLength(s.Points())
+	if walkLen <= 0 {
+		return 0
+	}
+	speedSum := 0.0
+	for i := 0; i < s.NumMules(); i++ {
+		speedSum += opts.muleSpeed(i)
+	}
+	hint := int(opts.Horizon*speedSum/walkLen) + 8
+	const maxHint = 1 << 14
+	if hint > maxHint {
+		hint = maxHint
+	}
+	return hint
+}
+
 // Run executes the algorithm on the scenario until opts.Horizon and
 // returns the collected metrics. src drives any randomness the
 // algorithm needs (it may be nil for deterministic planners).
@@ -334,7 +361,7 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 	}
 
 	eng := sim.New()
-	rec := metrics.NewRecorder(s.NumTargets())
+	rec := metrics.NewRecorderCap(s.NumTargets(), visitCapHint(s, plan, opts))
 	// The recorder is the first observer; user observers follow in
 	// registration order, all peers of one dispatch.
 	dispatch := make(multiObserver, 0, 1+len(opts.Observers))

@@ -145,12 +145,24 @@ func Hotspot() *Scenario {
 	return New("hotspot").Placement(field.Hotspot).MustBuild()
 }
 
+// Grid10k is the large-n stress deployment: 10 000 targets uniformly
+// spread over an 8 km × 8 km region (the paper's density at 100×
+// scale) with a 16-mule fleet. It exists to exercise the spatially
+// indexed planning paths at a size where the brute-force scans are
+// infeasible; pair it with a short horizon — planning, not patrolling,
+// is what it stresses.
+func Grid10k() *Scenario {
+	return New("grid10k").Field(8_000, 8_000).Targets(10_000).Fleet(16, 10).
+		Horizon(20_000).MustBuild()
+}
+
 // presets maps preset names to constructors.
 var presets = map[string]func() *Scenario{
 	"paper51":   Paper51,
 	"clustered": Clustered,
 	"corridor":  Corridor,
 	"hotspot":   Hotspot,
+	"grid10k":   Grid10k,
 }
 
 // Preset returns the named preset scenario, or an error listing the

@@ -100,7 +100,7 @@ func TestValidationErrors(t *testing.T) {
 
 func TestPresets(t *testing.T) {
 	names := PresetNames()
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Fatalf("presets = %v", names)
 	}
 	for _, name := range names {

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// shardSpec is a single-cell spec with enough replications for the
+// in-cell shard split to matter, plus a vector metric so the vector
+// merge path is covered.
+func shardSpec() Spec {
+	return Spec{
+		Name:       "shards",
+		Algorithms: []Variant{Algo("btctp", patrol.Planned(&core.BTCTP{}))},
+		Targets:    []int{6},
+		Mules:      []int{2},
+		Horizons:   []float64{6_000},
+		Metrics:    []Metric{AvgDCDT(), AvgSD(), MaxInterval()},
+		Vectors:    []VectorMetric{DCDTCurve(10)},
+		Seeds:      12,
+		RepShards:  4,
+	}
+}
+
+// TestRepShardsWorkerInvariance is the acceptance gate for in-cell
+// replication sharding: a single-cell sweep's output — sink bytes and
+// every summary moment — is byte-identical at 1, 2, and 8 workers with
+// sharding enabled, because the fold order is fixed by the shard
+// layout rather than by delivery timing.
+func TestRepShardsWorkerInvariance(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	results := make([]*Result, 0, 3)
+	for _, workers := range []int{1, 2, 8} {
+		spec := shardSpec()
+		spec.Workers = workers
+		var buf bytes.Buffer
+		res, err := Run(context.Background(), spec, CSV(&buf), JSONL(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+		results = append(results, res)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("sink bytes differ between workers=1 and variant %d:\n%s\nvs\n%s",
+				i, outputs[0], outputs[i])
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[0].Cells[0], results[i].Cells[0]
+		for m := range a.Metrics {
+			if a.Metrics[m] != b.Metrics[m] {
+				t.Fatalf("metric %s differs across worker counts: %+v vs %+v",
+					a.Metrics[m].Name, a.Metrics[m], b.Metrics[m])
+			}
+		}
+		for v := range a.Vectors {
+			av, bv := a.Vectors[v], b.Vectors[v]
+			for k := range av.Mean {
+				if av.Mean[k] != bv.Mean[k] || av.N[k] != bv.N[k] {
+					t.Fatalf("vector %s position %d differs across worker counts", av.Name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestRepShardsMatchesUnsharded pins the sharded fold against the
+// classic seed-ordered fold: the exact moments (count, min, max) are
+// identical, and mean/SD agree to floating-point merge tolerance —
+// they fold the same 12 values, just parenthesized differently.
+func TestRepShardsMatchesUnsharded(t *testing.T) {
+	flat := shardSpec()
+	flat.RepShards = 0
+	sharded := shardSpec()
+	want, err := Run(context.Background(), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runs != want.Runs {
+		t.Fatalf("runs %d, unsharded %d", got.Runs, want.Runs)
+	}
+	for m := range want.Cells[0].Metrics {
+		a, b := want.Cells[0].Metrics[m], got.Cells[0].Metrics[m]
+		if a.N != b.N || a.Min != b.Min || a.Max != b.Max {
+			t.Fatalf("metric %s exact moments differ: %+v vs %+v", a.Name, a, b)
+		}
+		if rel := math.Abs(a.Mean-b.Mean) / math.Max(math.Abs(a.Mean), 1); rel > 1e-12 {
+			t.Fatalf("metric %s mean drifted: %v vs %v", a.Name, a.Mean, b.Mean)
+		}
+		if diff := math.Abs(a.SD - b.SD); diff > 1e-9*math.Max(a.SD, 1) {
+			t.Fatalf("metric %s SD drifted: %v vs %v", a.Name, a.SD, b.SD)
+		}
+	}
+}
+
+// TestRepShardsClamp asks for far more shards than replications across
+// a multi-cell sweep; the collector clamps the shard count and the
+// output stays worker-invariant.
+func TestRepShardsClamp(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, workers := range []int{1, 8} {
+		spec := tinySpec()
+		spec.RepShards = 64 // Seeds is 3
+		spec.Workers = workers
+		var buf bytes.Buffer
+		res, err := Run(context.Background(), spec, CSV(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Runs != 4*3 {
+			t.Fatalf("%d runs", res.Runs)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("clamped shard output differs across workers:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestRepShardsValidation covers the three rejected combinations: a
+// negative shard count, sharding under adaptive replication, and
+// sharding with checkpointing.
+func TestRepShardsValidation(t *testing.T) {
+	neg := tinySpec()
+	neg.RepShards = -1
+	if _, err := Run(context.Background(), neg); err == nil {
+		t.Fatal("negative RepShards accepted")
+	}
+
+	ad := tinySpec()
+	ad.RepShards = 2
+	ad.Adaptive = &Adaptive{Metric: "avg_dcdt_s", RelCI: 0.2, MaxReps: 10}
+	if _, err := Run(context.Background(), ad); err == nil {
+		t.Fatal("RepShards with Adaptive accepted")
+	}
+
+	ck := tinySpec()
+	ck.RepShards = 2
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := RunCheckpointed(context.Background(), ck, path); err == nil {
+		t.Fatal("RepShards with checkpointing accepted")
+	}
+}
+
+// TestRepShardsError pins error determinism under sharding: the first
+// failing replication in (cell, seed) order wins at any worker count,
+// exactly as in the unsharded fold.
+func TestRepShardsError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		spec := tinySpec()
+		spec.RepShards = 3
+		spec.Workers = workers
+		spec.Seeds = 9
+		spec.Scenario = func(p Point, src *xrand.Source) *field.Scenario {
+			s := field.Generate(field.Config{NumTargets: p.Targets, NumMules: p.Mules}, src)
+			if p.Targets == 8 {
+				s.MuleStarts = nil // fails inside patrol.Run
+			}
+			return s
+		}
+		_, err := Run(context.Background(), spec)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid cell accepted", workers)
+		}
+		if !strings.Contains(err.Error(), "targets=8") || !strings.Contains(err.Error(), "alg=btctp") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+// TestRepShardsJobMerge runs a sharded spec through the distributed
+// Plan/Shard/Merge path and pins the merged output to a direct run of
+// the same spec.
+func TestRepShardsJobMerge(t *testing.T) {
+	spec := tinySpec()
+	spec.RepShards = 2
+	spec.Seeds = 6
+
+	var direct bytes.Buffer
+	want, err := Run(context.Background(), spec, CSV(&direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials := make([]*Partial, 2)
+	for i := range partials {
+		shard, serr := job.Shard(i, 2)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if partials[i], serr = shard.Run(context.Background(), RunOpts{}); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	var merged bytes.Buffer
+	got, err := Merge(spec, partials, CSV(&merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != direct.String() {
+		t.Fatalf("merged output differs from direct run:\n%s\nvs\n%s", merged.String(), direct.String())
+	}
+	for c := range want.Cells {
+		for m := range want.Cells[c].Metrics {
+			if want.Cells[c].Metrics[m] != got.Cells[c].Metrics[m] {
+				t.Fatalf("cell %d metric %s differs after merge", c, want.Cells[c].Metrics[m].Name)
+			}
+		}
+	}
+}

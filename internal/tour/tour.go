@@ -17,9 +17,17 @@ import (
 	"sort"
 
 	"tctp/internal/geom"
+	"tctp/internal/geom/index"
 	"tctp/internal/hull"
 	"tctp/internal/xrand"
 )
+
+// indexThreshold is the point count below which the constructions stay
+// on their simple quadratic paths: building a spatial index costs more
+// than it saves on tiny inputs. The indexed and brute paths are
+// bit-identical (see the *Brute equivalence tests), so the threshold
+// is purely a performance knob.
+const indexThreshold = 48
 
 // Tour is an ordering of point indices forming a Hamiltonian circuit.
 type Tour []int
@@ -117,6 +125,66 @@ func EnsureCCW(pts []geom.Point, t Tour) Tour {
 	return t
 }
 
+// hullSkeleton builds the initial convex-hull cycle shared by the
+// accelerated and brute convex-hull-insertion paths: hull vertices
+// mapped back to point indices (duplicates map to the first unused
+// match) plus the list of remaining interior indices. ok is false when
+// the hull is degenerate and the caller should fall back to index
+// order.
+func hullSkeleton(pts []geom.Point) (t Tour, remaining []int, ok bool) {
+	n := len(pts)
+	hullPts := hull.Convex(pts)
+	used := make([]bool, n)
+	t = make(Tour, 0, n)
+	if n >= indexThreshold {
+		// An exact-match index query replaces the O(hull·n) linear
+		// scan. Dist2(p, hp) == 0 exactly when p == hp (both squared
+		// terms are non-negative, so the sum is zero only at exact
+		// coordinate equality), so Within(hp, 0) yields precisely the
+		// brute scan's candidates, already in ascending index order.
+		g := index.New(pts)
+		var matches []int
+		for _, hp := range hullPts {
+			matches = g.Within(hp, 0, matches[:0])
+			for _, i := range matches {
+				if !used[i] {
+					t = append(t, i)
+					used[i] = true
+					break
+				}
+			}
+		}
+	} else {
+		for _, hp := range hullPts {
+			for i, p := range pts {
+				if !used[i] && p == hp {
+					t = append(t, i)
+					used[i] = true
+					break
+				}
+			}
+		}
+	}
+	if len(t) == 0 {
+		return nil, nil, false
+	}
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			remaining = append(remaining, i)
+		}
+	}
+	return t, remaining, true
+}
+
+// indexOrder returns the degenerate-hull fallback tour 0..n-1.
+func indexOrder(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}
+
 // ConvexHullInsertion builds a circuit with the convex-hull-and-
 // insertion heuristic attributed to Wu et al. [5]: the convex hull of
 // the targets forms the initial skeleton cycle, then each remaining
@@ -124,7 +192,105 @@ func EnsureCCW(pts []geom.Point, t Tour) Tour {
 // position that minimizes the added detour. The resulting tour is
 // oriented counterclockwise. This is the "CHB" construction used by
 // both the paper's planners and the CHB baseline.
+//
+// The selection is accelerated by caching, per remaining point, its
+// cheapest (detour, edge) pair and repairing only the caches the last
+// insertion invalidated; the result is bit-identical to
+// ConvexHullInsertionBrute (see the equivalence tests).
 func ConvexHullInsertion(pts []geom.Point) Tour {
+	n := len(pts)
+	switch n {
+	case 0:
+		return Tour{}
+	case 1:
+		return Tour{0}
+	case 2:
+		return Tour{0, 1}
+	}
+	t, remaining, ok := hullSkeleton(pts)
+	if !ok {
+		return indexOrder(n)
+	}
+
+	// Per remaining point: the smallest detour over the current tour
+	// edges and the FIRST edge index attaining it — exactly what the
+	// brute scan's strict-< loop tracks. Edge j is (t[j], t[j+1 mod]).
+	cost := make([]float64, n)
+	edge := make([]int32, n)
+	rescan := func(pi int) {
+		p := pts[pi]
+		bc, be := math.Inf(1), int32(-1)
+		for j := range t {
+			a := pts[t[j]]
+			b := pts[t[(j+1)%len(t)]]
+			if c := geom.DetourCost(a, b, p); c < bc {
+				bc, be = c, int32(j)
+			}
+		}
+		cost[pi], edge[pi] = bc, be
+	}
+	for _, pi := range remaining {
+		rescan(pi)
+	}
+
+	for len(remaining) > 0 {
+		// Global cheapest (point, edge): first point in remaining
+		// order attaining the minimum cost, matching the brute outer
+		// loop's strict-< scan.
+		bestPoint := -1
+		bestCost := math.Inf(1)
+		for ri, pi := range remaining {
+			if cost[pi] < bestCost {
+				bestCost = cost[pi]
+				bestPoint = ri
+			}
+		}
+		pi := remaining[bestPoint]
+		broken := edge[pi] // edge index destroyed by the insertion
+		bestPos := int(broken) + 1
+		remaining = append(remaining[:bestPoint], remaining[bestPoint+1:]...)
+		t = append(t, 0)
+		copy(t[bestPos+1:], t[bestPos:])
+		t[bestPos] = pi
+
+		if len(remaining) == 0 {
+			break
+		}
+		// The insertion replaced edge `broken` with two edges at
+		// indices broken (a→p) and broken+1 (p→b); edges before
+		// `broken` keep their index, later ones shift by one. A cached
+		// minimum survives unless its edge was the broken one; the two
+		// new edges are merged in by (cost, edge index) lexicographic
+		// minimum, which is what a fresh first-encounter strict-< scan
+		// would report.
+		a := pts[t[bestPos-1]]
+		p := pts[pi]
+		b := pts[t[(bestPos+1)%len(t)]]
+		for _, qi := range remaining {
+			if edge[qi] == broken {
+				rescan(qi)
+				continue
+			}
+			if edge[qi] > broken {
+				edge[qi]++
+			}
+			q := pts[qi]
+			if c := geom.DetourCost(a, p, q); c < cost[qi] || (c == cost[qi] && broken < edge[qi]) {
+				cost[qi], edge[qi] = c, broken
+			}
+			if c := geom.DetourCost(p, b, q); c < cost[qi] || (c == cost[qi] && broken+1 < edge[qi]) {
+				cost[qi], edge[qi] = c, broken+1
+			}
+		}
+	}
+	return EnsureCCW(pts, t)
+}
+
+// ConvexHullInsertionBrute is the original quadratic-scan
+// implementation of ConvexHullInsertion, retained as the reference the
+// accelerated path must reproduce bit-for-bit and as the baseline for
+// the BenchmarkPlan* speedup measurements.
+func ConvexHullInsertionBrute(pts []geom.Point) Tour {
 	n := len(pts)
 	switch n {
 	case 0:
@@ -152,10 +318,7 @@ func ConvexHullInsertion(pts []geom.Point) Tour {
 	if len(t) == 0 {
 		// All points coincide or are collinear enough for the hull to
 		// be degenerate; fall back to index order.
-		for i := 0; i < n; i++ {
-			t = append(t, i)
-		}
-		return t
+		return indexOrder(n)
 	}
 
 	var remaining []int
@@ -193,8 +356,41 @@ func ConvexHullInsertion(pts []geom.Point) Tour {
 }
 
 // NearestNeighbor builds a circuit by repeatedly travelling to the
-// closest unvisited target, starting from index start.
+// closest unvisited target, starting from index start. Above the index
+// threshold the unvisited set lives in a spatial grid and each step is
+// a Nearest query plus a Remove; the brute scan breaks ties by the
+// first (lowest) index, which is exactly the grid's (distance, index)
+// tie-break, so both paths yield the same tour bit-for-bit.
 func NearestNeighbor(pts []geom.Point, start int) Tour {
+	n := len(pts)
+	if n == 0 {
+		return Tour{}
+	}
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("tour: NearestNeighbor start %d out of range", start))
+	}
+	if n < indexThreshold {
+		return NearestNeighborBrute(pts, start)
+	}
+	g := index.New(pts)
+	t := make(Tour, 0, n)
+	cur := start
+	g.Remove(cur)
+	t = append(t, cur)
+	for len(t) < n {
+		best, _ := g.Nearest(pts[cur])
+		g.Remove(best)
+		t = append(t, best)
+		cur = best
+	}
+	return t
+}
+
+// NearestNeighborBrute is the original linear-scan implementation of
+// NearestNeighbor, retained as the reference the indexed path must
+// reproduce bit-for-bit and as the baseline for the BenchmarkPlan*
+// speedup measurements.
+func NearestNeighborBrute(pts []geom.Point, start int) Tour {
 	n := len(pts)
 	if n == 0 {
 		return Tour{}
@@ -224,11 +420,29 @@ func NearestNeighbor(pts []geom.Point, start int) Tour {
 	return t
 }
 
-// GreedyEdge builds a circuit by sorting all O(n²) candidate edges by
-// length and accepting each edge that keeps every vertex at degree ≤ 2
-// and creates no premature subcycle, finally closing the two loose
-// ends. Union-find tracks connectivity.
+// GreedyEdge builds a circuit by considering candidate edges in
+// ascending length order and accepting each edge that keeps every
+// vertex at degree ≤ 2 and creates no premature subcycle, finally
+// closing the two loose ends. Union-find tracks connectivity.
+//
+// Above the index threshold the sorted edge stream is generated lazily
+// from per-vertex k-nearest-neighbour streams merged through a heap (a
+// k-way merge of sorted runs), so only the short-edge prefix that the
+// acceptance loop actually consumes is ever materialized — the
+// accepted edges, and hence the tour, are bit-identical to
+// GreedyEdgeBrute's full O(n² log n) sort (see the equivalence tests).
 func GreedyEdge(pts []geom.Point) Tour {
+	if len(pts) < indexThreshold {
+		return GreedyEdgeBrute(pts)
+	}
+	return greedyEdgeIndexed(pts)
+}
+
+// GreedyEdgeBrute is the original sort-all-edges implementation of
+// GreedyEdge, retained as the reference the lazy k-NN-stream path must
+// reproduce bit-for-bit and as the baseline for the BenchmarkPlan*
+// speedup measurements.
+func GreedyEdgeBrute(pts []geom.Point) Tour {
 	n := len(pts)
 	if n == 0 {
 		return Tour{}
@@ -279,7 +493,12 @@ func GreedyEdge(pts []geom.Point) Tour {
 		accepted++
 	}
 
-	// Walk the Hamiltonian path from one endpoint (degree < 2).
+	return walkPath(n, degree, adj)
+}
+
+// walkPath walks the Hamiltonian path assembled by the greedy-edge
+// acceptance loop, starting from the first endpoint (degree < 2).
+func walkPath(n int, degree []int, adj [][]int) Tour {
 	start := 0
 	for i := 0; i < n; i++ {
 		if degree[i] < 2 {
@@ -305,6 +524,154 @@ func GreedyEdge(pts []geom.Point) Tour {
 		prev, cur = cur, next
 	}
 	return t
+}
+
+// geCand is one lazily generated candidate edge: the head of vertex
+// src's neighbour stream, keyed for the global merge by (d, a, b) with
+// a < b — the same ordering GreedyEdgeBrute sorts the full edge list
+// by.
+type geCand struct {
+	d    float64
+	a, b int32
+	src  int32
+}
+
+func geLess(x, y geCand) bool {
+	if x.d != y.d {
+		return x.d < y.d
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+// geStream lazily enumerates one vertex's neighbours in ascending
+// (distance, index) order by re-querying KNearest with a doubling k.
+// Re-queries return the same deterministic prefix, so pos carries
+// over.
+type geStream struct {
+	buf []int
+	pos int
+	k   int
+}
+
+// next returns the stream's next neighbour of u, or ok=false when all
+// n−1 neighbours have been emitted.
+func (s *geStream) next(g *index.Grid, pts []geom.Point, u, n int) (nb int, d float64, ok bool) {
+	for {
+		for s.pos < len(s.buf) {
+			v := s.buf[s.pos]
+			s.pos++
+			if v != u {
+				return v, pts[u].Dist2(pts[v]), true
+			}
+		}
+		if s.k >= n {
+			return 0, 0, false
+		}
+		if s.k == 0 {
+			s.k = 8
+		} else {
+			s.k *= 2
+		}
+		if s.k > n {
+			s.k = n
+		}
+		s.buf = g.KNearest(pts[u], s.k, s.buf[:0])
+	}
+}
+
+// greedyEdgeIndexed is GreedyEdge's lazy candidate-edge mode. Each
+// vertex contributes a sorted neighbour stream; a heap merges the
+// stream heads, so candidate edges pop in exactly the (d, u, v) order
+// of the brute path's full sort (a k-way merge of sorted runs). Each
+// undirected edge appears in two streams; the first pop wins and the
+// duplicate is skipped. A vertex's stream is abandoned once the vertex
+// reaches degree 2 — every remaining candidate it would produce is
+// rejected by the degree check no matter when it surfaces, because
+// degrees never decrease.
+func greedyEdgeIndexed(pts []geom.Point) Tour {
+	n := len(pts)
+	g := index.New(pts)
+	streams := make([]geStream, n)
+
+	heap := make([]geCand, 0, n)
+	push := func(c geCand) {
+		heap = append(heap, c)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !geLess(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() geCand {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && geLess(heap[l], heap[m]) {
+				m = l
+			}
+			if r < len(heap) && geLess(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	cand := func(u, v int, d float64, src int) geCand {
+		a, b := int32(u), int32(v)
+		if a > b {
+			a, b = b, a
+		}
+		return geCand{d, a, b, int32(src)}
+	}
+
+	for u := 0; u < n; u++ {
+		if v, d, ok := streams[u].next(g, pts, u, n); ok {
+			push(cand(u, v, d, u))
+		}
+	}
+
+	uf := newUnionFind(n)
+	degree := make([]int, n)
+	adj := make([][]int, n)
+	seen := make(map[uint64]struct{}, 4*n)
+	accepted := 0
+	for accepted < n-1 && len(heap) > 0 {
+		c := pop()
+		key := uint64(c.a)*uint64(n) + uint64(c.b)
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			u, v := int(c.a), int(c.b)
+			if degree[u] < 2 && degree[v] < 2 && uf.find(u) != uf.find(v) {
+				uf.union(u, v)
+				degree[u]++
+				degree[v]++
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+				accepted++
+			}
+		}
+		src := int(c.src)
+		if degree[src] < 2 {
+			if v, d, ok := streams[src].next(g, pts, src, n); ok {
+				push(cand(src, v, d, src))
+			}
+		}
+	}
+	return walkPath(n, degree, adj)
 }
 
 // Random returns a uniformly random circuit.

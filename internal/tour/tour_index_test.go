@@ -1,0 +1,145 @@
+package tour
+
+import (
+	"math/rand"
+	"testing"
+
+	"tctp/internal/geom"
+)
+
+// equivalencePointSets yields point families that stress the indexed
+// constructions: uniform random (above and below the index threshold),
+// duplicate-heavy, collinear, clustered, and near-coincident sets.
+func equivalencePointSets(rnd *rand.Rand) map[string][]geom.Point {
+	sets := map[string][]geom.Point{}
+
+	for _, n := range []int{3, 10, indexThreshold - 1, indexThreshold, 120, 400} {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rnd.Float64()*800, rnd.Float64()*800)
+		}
+		sets[nameN("uniform", n)] = pts
+	}
+
+	dup := make([]geom.Point, 0, 180)
+	for i := 0; i < 60; i++ {
+		p := geom.Pt(rnd.Float64()*200, rnd.Float64()*200)
+		for j := 0; j < 3; j++ {
+			dup = append(dup, p)
+		}
+	}
+	sets["duplicates"] = dup
+
+	col := make([]geom.Point, 90)
+	for i := range col {
+		col[i] = geom.Pt(float64(i%45)*10, 0)
+	}
+	sets["collinear"] = col
+
+	clustered := make([]geom.Point, 0, 200)
+	for c := 0; c < 5; c++ {
+		cx, cy := rnd.Float64()*800, rnd.Float64()*800
+		for i := 0; i < 40; i++ {
+			clustered = append(clustered, geom.Pt(cx+rnd.NormFloat64()*3, cy+rnd.NormFloat64()*3))
+		}
+	}
+	sets["clustered"] = clustered
+
+	tiny := make([]geom.Point, 100)
+	for i := range tiny {
+		tiny[i] = geom.Pt(400+rnd.Float64()*1e-6, 400+rnd.Float64()*1e-6)
+	}
+	sets["near-coincident"] = tiny
+
+	return sets
+}
+
+func nameN(prefix string, n int) string {
+	return prefix + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func sameTour(a, b Tour) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNearestNeighborMatchesBrute pins the indexed construction to the
+// brute scan bit-for-bit, across starts.
+func TestNearestNeighborMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for name, pts := range equivalencePointSets(rnd) {
+		starts := []int{0, len(pts) - 1, len(pts) / 2}
+		for _, s := range starts {
+			got := NearestNeighbor(pts, s)
+			want := NearestNeighborBrute(pts, s)
+			if !sameTour(got, want) {
+				t.Errorf("%s start %d: indexed tour differs from brute\n got %v\nwant %v", name, s, got, want)
+			}
+		}
+	}
+}
+
+// TestConvexHullInsertionMatchesBrute pins the cached cheapest-
+// insertion path to the quadratic rescan bit-for-bit.
+func TestConvexHullInsertionMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	for name, pts := range equivalencePointSets(rnd) {
+		got := ConvexHullInsertion(pts)
+		want := ConvexHullInsertionBrute(pts)
+		if !sameTour(got, want) {
+			t.Errorf("%s: accelerated tour differs from brute\n got %v\nwant %v", name, got, want)
+		}
+	}
+}
+
+// TestGreedyEdgeMatchesBrute pins the lazy candidate-edge mode to the
+// full-sort path bit-for-bit.
+func TestGreedyEdgeMatchesBrute(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for name, pts := range equivalencePointSets(rnd) {
+		got := GreedyEdge(pts)
+		want := GreedyEdgeBrute(pts)
+		if !sameTour(got, want) {
+			t.Errorf("%s: lazy-mode tour differs from brute\n got %v\nwant %v", name, got, want)
+		}
+	}
+}
+
+// TestGreedyEdgeIndexedForced exercises the lazy mode below the
+// dispatch threshold too, so the equivalence does not silently rest on
+// both paths taking the brute branch.
+func TestGreedyEdgeIndexedForced(t *testing.T) {
+	rnd := rand.New(rand.NewSource(14))
+	for n := 2; n <= 40; n++ {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rnd.Float64()*100, rnd.Float64()*100)
+		}
+		got := greedyEdgeIndexed(pts)
+		want := GreedyEdgeBrute(pts)
+		if !sameTour(got, want) {
+			t.Fatalf("n=%d: lazy-mode tour differs from brute\n got %v\nwant %v", n, got, want)
+		}
+	}
+}

@@ -170,7 +170,13 @@ func (w Walk) PointAt(pts []geom.Point, d float64) geom.Point {
 	if len(closed) == 0 {
 		panic("walk: PointAt on empty walk")
 	}
-	total := geom.PathLen(closed)
+	return pointAt(closed, geom.PathLen(closed), d)
+}
+
+// pointAt is PointAt over a prebuilt closed polyline and its length,
+// letting batch callers (StartPoints) pay for closedPoints and PathLen
+// once instead of per query.
+func pointAt(closed []geom.Point, total, d float64) geom.Point {
 	if total > 0 {
 		for d < 0 {
 			d += total
@@ -197,10 +203,14 @@ func (w Walk) StartPoints(pts []geom.Point, n int) []geom.Point {
 	if len(w.Seq) == 0 {
 		panic("walk: StartPoints on empty walk")
 	}
-	total := w.Length(pts)
+	// One closed polyline and one length computation serve all n
+	// queries; Length and PathLen(closedPoints) sum the same segment
+	// distances in the same order, so the offsets are unchanged.
+	closed := w.closedPoints(pts)
+	total := geom.PathLen(closed)
 	out := make([]geom.Point, n)
 	for i := 0; i < n; i++ {
-		out[i] = w.PointAt(pts, float64(i)*total/float64(n))
+		out[i] = pointAt(closed, total, float64(i)*total/float64(n))
 	}
 	return out
 }
