@@ -12,6 +12,7 @@ import (
 	"tctp/internal/patrol"
 	"tctp/internal/sweep"
 	"tctp/internal/tour"
+	"tctp/internal/walk"
 	"tctp/internal/xrand"
 )
 
@@ -162,6 +163,53 @@ func BenchmarkPlanFleet(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := planner.Plan(s); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCHBAssign measures CHB's fleet-to-circuit assignment in
+// its batched form (one NearestOffsets pass and one RoutesFromArcs
+// pass for the whole fleet) next to the retained per-mule twin below.
+// The assignments are bit-identical; the ratio is the cost of
+// rebuilding the closed polyline, the segment lengths, and the
+// arc-offset table once per mule instead of once per circuit.
+func BenchmarkPlanCHBAssign(b *testing.B) {
+	for _, n := range planSizes {
+		s := field.Generate(field.Config{NumTargets: n, NumMules: 8, Placement: field.Uniform},
+			xrand.New(19))
+		pts := s.Points()
+		w := walk.New(tour.EnsureCCW(pts, tour.ConvexHullInsertion(pts))).RotateToNorthmost(pts)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds := w.NearestOffsets(pts, s.MuleStarts)
+				if routes := core.RoutesFromArcs(pts, w, ds); len(routes) != 8 {
+					b.Fatal("short assignment")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlanCHBAssignPerMule(b *testing.B) {
+	for _, n := range planSizes {
+		s := field.Generate(field.Config{NumTargets: n, NumMules: 8, Placement: field.Uniform},
+			xrand.New(19))
+		pts := s.Points()
+		w := walk.New(tour.EnsureCCW(pts, tour.ConvexHullInsertion(pts))).RotateToNorthmost(pts)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				routes := make([]core.MuleRoute, len(s.MuleStarts))
+				for m, start := range s.MuleStarts {
+					routes[m] = core.RouteFromArc(pts, w, w.NearestOffset(pts, start))
+				}
+				if len(routes) != 8 {
+					b.Fatal("short assignment")
 				}
 			}
 		})

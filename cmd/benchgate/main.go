@@ -64,6 +64,23 @@
 // both families — allocation counts are deterministic, so any
 // increase is a real regression, which is what keeps the zero-alloc
 // planning paths zero-alloc.
+//
+// The same twin idiom extends beyond the Brute oracles. The sweep
+// service's cache benchmarks (internal/sweep/cache:
+// BenchmarkCacheHitSweep vs BenchmarkCacheHitSweepCold for the
+// warm-over-cold ratio, BenchmarkCacheDedup vs
+// BenchmarkCacheDedupNoShare for the single-flight collapse) and the
+// planner batching pair in the root package (BenchmarkPlanCHBAssign
+// vs BenchmarkPlanCHBAssignPerMule) each carry their baseline as a
+// sibling benchmark, so the claimed speedups (≥50× cache hit, ~1×
+// compute under N duplicate submissions, ~2.3× batched CHB assignment
+// at n=10k) are re-measurable from any single run's output.
+// BenchmarkPlanCHBAssign joins the '^BenchmarkPlan' gate at n=1000;
+// its PerMule twin and the cache benchmarks stay ungated — the former
+// is a frozen baseline, the latter measure wall-clock collapse ratios
+// whose absolute times are dominated by scheduler behavior on shared
+// runners, and both still execute in the rot check so they cannot
+// decay silently.
 package main
 
 import (

@@ -1,0 +1,71 @@
+// Command tctp-server runs the sweep service: a long-lived HTTP/JSON
+// daemon that executes tctp-sweep requests through a shared
+// content-addressed cell cache (internal/sweep/cache, served by
+// internal/sweep/server). Submitting the same — or an overlapping —
+// sweep twice costs one simulation; results are byte-identical to a
+// local `tctp-sweep` run of the same flags.
+//
+// Usage:
+//
+//	tctp-server -addr :8080
+//	tctp-server -addr :8080 -cache-dir /var/cache/tctp -cache-bytes 1073741824
+//	tctp-server -addr :8080 -gate 8 -max-sweeps 4
+//
+//	# then, from any client machine:
+//	tctp-sweep -alg btctp -preset paper51 -seeds 5 -server http://host:8080 > sweep.csv
+//	curl -s http://host:8080/stats
+//
+// Endpoints: POST /sweeps, GET /sweeps/{id}, GET /sweeps/{id}/events
+// (NDJSON), GET /sweeps/{id}/result.csv, GET /sweeps/{id}/result.jsonl,
+// GET /stats. See internal/sweep/server for semantics — admission
+// control (429 + Retry-After beyond -max-sweeps), the -gate compute
+// bound shared by all sweeps, and single-flight dedup of concurrent
+// identical submissions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+
+	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent cell-cache layer (empty = memory only)")
+		cacheBytes = flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory cell-cache budget in bytes")
+		gate       = flag.Int("gate", runtime.GOMAXPROCS(0), "max cell simulations running at once across all sweeps")
+		maxSweeps  = flag.Int("max-sweeps", 8, "max sweeps in flight before POST /sweeps answers 429")
+		parallel   = flag.Int("parallel", 0, "per-sweep cell-resolution concurrency (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	store, err := cache.New(cache.Options{
+		MaxBytes: *cacheBytes,
+		Dir:      *cacheDir,
+		Gate:     *gate,
+	})
+	if err != nil {
+		log.Fatalln("tctp-server:", err)
+	}
+	srv, err := server.New(server.Config{
+		Store:     store,
+		MaxSweeps: *maxSweeps,
+		Parallel:  *parallel,
+	})
+	if err != nil {
+		log.Fatalln("tctp-server:", err)
+	}
+	persistence := "memory-only cache"
+	if *cacheDir != "" {
+		persistence = fmt.Sprintf("cache dir %s", *cacheDir)
+	}
+	log.Printf("tctp-server: listening on %s (%s, %d-byte budget, gate %d, max %d sweeps)",
+		*addr, persistence, *cacheBytes, *gate, *maxSweeps)
+	log.Fatalln("tctp-server:", http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/server"
+)
+
+// startServer brings up an in-process tctp-server for client-mode
+// tests.
+func startServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Store == nil {
+		store, err := cache.New(cache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientModeByteIdentity: `-server URL` produces exactly the bytes
+// a local run of the same flags produces, for both CSV and JSONL, and
+// a repeat submission (served from cache) still matches.
+func TestClientModeByteIdentity(t *testing.T) {
+	ts := startServer(t, server.Config{})
+	for _, format := range []string{"csv", "json"} {
+		local := goldenConfig()
+		local.Format = format
+		var want, errw bytes.Buffer
+		if err := run(local, &want, &errw); err != nil {
+			t.Fatal(err)
+		}
+
+		for pass := 1; pass <= 2; pass++ {
+			remote := local
+			remote.Server = ts.URL
+			var got, rerr bytes.Buffer
+			if err := run(remote, &got, &rerr); err != nil {
+				t.Fatalf("%s pass %d: %v", format, pass, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("%s pass %d: client output diverged from local run:\n%s\nvs\n%s",
+					format, pass, got.Bytes(), want.Bytes())
+			}
+			if !strings.Contains(rerr.String(), "submitted s") {
+				t.Fatalf("%s pass %d: submit report missing:\n%s", format, pass, rerr.String())
+			}
+		}
+	}
+}
+
+// TestClientModeProgress: -progress with -server follows the event
+// stream; on a warm cache the summary reports cached cells.
+func TestClientModeProgress(t *testing.T) {
+	ts := startServer(t, server.Config{})
+	cfg := goldenConfig()
+	cfg.Server = ts.URL
+	cfg.Progress = true
+
+	var out, errw bytes.Buffer
+	if err := run(cfg, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "computed") || !strings.Contains(errw.String(), "done:") {
+		t.Fatalf("cold progress summary missing:\n%s", errw.String())
+	}
+
+	var out2, errw2 bytes.Buffer
+	if err := run(cfg, &out2, &errw2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw2.String(), "0 computed") ||
+		!strings.Contains(errw2.String(), "8 cached") {
+		t.Fatalf("warm run should report all cells cached:\n%s", errw2.String())
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatal("warm run output diverged from cold run")
+	}
+}
+
+// TestClientModeCapacity: a 429 from the server surfaces as a clear
+// retry message, not a decode error.
+func TestClientModeCapacity(t *testing.T) {
+	ts := startServer(t, server.Config{MaxSweeps: -1, RetryAfter: 5})
+	cfg := goldenConfig()
+	cfg.Server = ts.URL
+	err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "capacity") ||
+		!strings.Contains(err.Error(), "retry after 5s") {
+		t.Fatalf("err = %v, want capacity message with retry hint", err)
+	}
+}
+
+// TestClientModeFlagErrors: flags the server cannot honor are refused
+// client-side with messages naming the conflict.
+func TestClientModeFlagErrors(t *testing.T) {
+	ts := startServer(t, server.Config{})
+	for name, mutate := range map[string]func(*config){
+		"checkpoint": func(c *config) { c.Checkpoint = "ck.jsonl" },
+		"resume":     func(c *config) { c.Checkpoint = "ck.jsonl"; c.Resume = true },
+		"shard":      func(c *config) { c.Shard = "1/2" },
+		"merge":      func(c *config) { c.Merge = "-"; c.MergeInputs = []string{"x.jsonl"} },
+	} {
+		cfg := goldenConfig()
+		cfg.Server = ts.URL
+		mutate(&cfg)
+		err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-server conflicts") {
+			t.Fatalf("%s: err = %v, want -server conflict", name, err)
+		}
+	}
+	// table rendering is local-only.
+	cfg := goldenConfig()
+	cfg.Server = ts.URL
+	cfg.Format = "table"
+	err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), `format "table"`) {
+		t.Fatalf("table format: err = %v", err)
+	}
+	// A bad sweep is rejected by the server and the message travels back.
+	cfg = goldenConfig()
+	cfg.Server = ts.URL
+	cfg.Algs = "bogus"
+	err = run(cfg, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "submit rejected") {
+		t.Fatalf("bad algorithm: err = %v", err)
+	}
+}
+
+// TestRepShardsCheckpointMessage pins the guidance in the -rep-shards ×
+// -checkpoint rejection: it must name both flags and point at the
+// supported way to distribute a sweep (-shard i/n plus -merge).
+func TestRepShardsCheckpointMessage(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.RepShards = 2
+	cfg.Checkpoint = "sweep.ckpt"
+	err := run(cfg, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("-rep-shards with -checkpoint accepted")
+	}
+	for _, want := range []string{"-rep-shards", "-checkpoint", "-shard i/n", "-merge"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("rejection %q does not mention %q", err, want)
+		}
+	}
+}

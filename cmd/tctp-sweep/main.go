@@ -3,8 +3,9 @@
 // counts, fleet sizes (or named heterogeneous fleets), mule speeds,
 // placements and data workloads, every cell replicated and aggregated
 // with streaming statistics. It is a thin Spec builder — scenario
-// construction lives in internal/scenario, the grid execution,
-// parallelism, and output formats in internal/sweep.
+// construction lives in internal/scenario, the flag-to-Spec
+// translation in internal/sweep/build (shared with tctp-server), the
+// grid execution, parallelism, and output formats in internal/sweep.
 //
 // Usage:
 //
@@ -26,6 +27,10 @@
 //	tctp-sweep -alg btctp -seeds 50 -shard 3/3 -checkpoint shard3.jsonl
 //	tctp-sweep -alg btctp -seeds 50 -merge out.csv shard1.jsonl shard2.jsonl shard3.jsonl
 //
+//	# Remote: submit the same flags to a tctp-server and fetch the
+//	# (byte-identical, possibly cache-served) result.
+//	tctp-sweep -alg btctp -preset paper51 -seeds 5 -server http://localhost:8080 > sweep.csv
+//
 // Long-running sweeps can be checkpointed (-checkpoint) and continued
 // after an interruption (-resume) with byte-identical output, and
 // -adaptive metric:relci[:min[:max]] stops each cell early once the
@@ -40,6 +45,13 @@
 // from the named shard files, refusing shards whose fingerprint does
 // not match the flags, and writes the -format output (byte-identical
 // to an unsharded run) to OUT, or to stdout when OUT is "-".
+//
+// -server URL switches to client mode: the sweep flags are serialized
+// as a JSON request (a -scenario file is inlined, so the server never
+// reads local paths), submitted to a tctp-server, and the result —
+// byte-identical to a local run of the same flags — is written to
+// stdout. The server memoizes per-cell results, so repeated or
+// overlapping sweeps return mostly or entirely from cache.
 //
 // Placements are the values accepted by field.ParsePlacement: uniform
 // (the paper's §5.1 model), clusters (disconnected discs), grid
@@ -69,17 +81,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
-	"tctp/internal/baseline"
-	"tctp/internal/core"
 	"tctp/internal/field"
 	"tctp/internal/patrol"
 	"tctp/internal/scenario"
 	"tctp/internal/sweep"
-	"tctp/internal/wsn"
+	"tctp/internal/sweep/build"
+	"tctp/internal/sweep/protocol"
 )
 
 func main() {
@@ -112,6 +124,7 @@ func main() {
 		partition  = flag.String("partition", "", `comma-separated partition axis values: none or method:k[:alloc], e.g. "none,kmeans:4" (methods kmeans, sectors; alloc length, count)`)
 		shard      = flag.String("shard", "", `run one shard of the grid as "i/n" (1-based), e.g. -shard 2/3`)
 		merge      = flag.String("merge", "", `merge the shard checkpoint files given as arguments, writing the full sweep to this path ("-" = stdout)`)
+		server     = flag.String("server", "", "submit the sweep to this tctp-server base URL instead of running locally")
 	)
 	flag.Parse()
 
@@ -127,6 +140,7 @@ func main() {
 		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
 		Partition: *partition,
 		Shard:     *shard, Merge: *merge, MergeInputs: flag.Args(),
+		Server: *server,
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
@@ -161,6 +175,75 @@ type config struct {
 	Shard                                                       string
 	Merge                                                       string
 	MergeInputs                                                 []string
+	Server                                                      string
+}
+
+// request renders the sweep-defining flags as the transport-neutral
+// protocol request — the exact input internal/sweep/build translates
+// into a Spec, locally and on a server. A -scenario file is read and
+// inlined here, so the document (not a path) travels.
+func (cfg config) request() (protocol.SweepRequest, error) {
+	req := protocol.SweepRequest{
+		Algorithms: cfg.Algs, Targets: cfg.Targets, Mules: cfg.Mules,
+		Speeds: cfg.Speeds, Fleets: cfg.Fleets, Placements: cfg.Placements,
+		Workloads: cfg.Workloads, WorkloadGen: cfg.WorkloadGen,
+		WorkloadBuffer: cfg.WorkloadBuf, WorkloadDeadline: cfg.WorkloadDeadline,
+		BurstHot: cfg.BurstHot, BurstGap: cfg.BurstGap, BurstSize: cfg.BurstSize,
+		Preset: cfg.Preset,
+		Seeds:  cfg.Seeds, BaseSeed: cfg.BaseSeed, Horizon: cfg.Horizon,
+		Workers: cfg.Workers, RepShards: cfg.RepShards,
+		Adaptive: cfg.Adaptive, Partition: cfg.Partition,
+	}
+	if cfg.Scenario != "" {
+		b, err := os.ReadFile(cfg.Scenario)
+		if err != nil {
+			return req, fmt.Errorf("scenario file: %w", err)
+		}
+		req.Scenario = b
+	}
+	return req, nil
+}
+
+// buildSpec translates the CLI flags into a sweep.Spec via the shared
+// builder.
+func buildSpec(cfg config) (sweep.Spec, error) {
+	// On the wire, zero seeds means "the default"; at the CLI the flag
+	// default is 10, so an explicit -seeds 0 is a mistake to reject.
+	if cfg.Seeds < 1 {
+		return sweep.Spec{}, fmt.Errorf("seeds %d < 1", cfg.Seeds)
+	}
+	req, err := cfg.request()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	spec, err := build.Spec(req)
+	if err != nil && cfg.Scenario != "" {
+		// The builder sees only the inlined document; name the file.
+		return spec, fmt.Errorf("scenario file %s: %w", cfg.Scenario, err)
+	}
+	return spec, err
+}
+
+// Thin aliases for the shared builder, kept under their historical
+// local names.
+func algorithm(name string) (patrol.Algorithm, error) { return build.Algorithm(name) }
+
+func parseInts(s string) ([]int, error) { return build.Ints(s) }
+
+func parseFloats(s string) ([]float64, error) { return build.Floats(s) }
+
+func parsePlacements(s string) ([]field.Placement, error) { return build.Placements(s) }
+
+func parseFleets(s string) ([]scenario.Fleet, error) { return build.Fleets(s) }
+
+func parseAdaptive(s string) (*sweep.Adaptive, error) { return build.Adaptive(s) }
+
+func parseWorkloads(cfg config) ([]scenario.Workload, error) {
+	return build.Workloads(protocol.SweepRequest{
+		Workloads: cfg.Workloads, WorkloadGen: cfg.WorkloadGen,
+		WorkloadBuffer: cfg.WorkloadBuf, WorkloadDeadline: cfg.WorkloadDeadline,
+		BurstHot: cfg.BurstHot, BurstGap: cfg.BurstGap, BurstSize: cfg.BurstSize,
+	})
 }
 
 // parseShard decodes a 1-based "i/n" shard selector into the job API's
@@ -182,394 +265,6 @@ func parseShard(s string) (i, n int, err error) {
 	return i - 1, n, nil
 }
 
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad number %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parsePlacements(s string) ([]field.Placement, error) {
-	parts := strings.Split(s, ",")
-	out := make([]field.Placement, 0, len(parts))
-	for _, p := range parts {
-		v, err := field.ParsePlacement(strings.TrimSpace(p))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFleets(s string) ([]scenario.Fleet, error) {
-	parts := strings.Split(s, ";")
-	out := make([]scenario.Fleet, 0, len(parts))
-	for _, p := range parts {
-		f, err := scenario.ParseFleet(strings.TrimSpace(p))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, f)
-	}
-	return out, nil
-}
-
-// parseWorkloads maps off/on/bursts axis values to workloads; "on" is
-// the periodic packet workload parameterized by the -workload-* knobs,
-// "bursts" the event-driven Poisson-burst workload parameterized by
-// the -burst-* knobs.
-func parseWorkloads(cfg config) ([]scenario.Workload, error) {
-	var out []scenario.Workload
-	for _, p := range strings.Split(cfg.Workloads, ",") {
-		switch strings.TrimSpace(p) {
-		case "off":
-			out = append(out, scenario.Workload{})
-		case "on":
-			out = append(out, scenario.Workload{Name: "packets", Data: wsn.Config{
-				GenInterval: cfg.WorkloadGen,
-				BufferCap:   cfg.WorkloadBuf,
-				Deadline:    cfg.WorkloadDeadline,
-			}})
-		case "bursts":
-			out = append(out, scenario.Workload{
-				Name: "bursts", Kind: scenario.KindBursts,
-				Bursts: &wsn.BurstConfig{
-					Hot:       cfg.BurstHot,
-					MeanGap:   cfg.BurstGap,
-					Size:      cfg.BurstSize,
-					BufferCap: cfg.WorkloadBuf,
-					Deadline:  cfg.WorkloadDeadline,
-				},
-			})
-		default:
-			return nil, fmt.Errorf("unknown workload %q (valid: off, on, bursts)", p)
-		}
-	}
-	return out, nil
-}
-
-// parsePartitions maps the -partition axis values ("none" or
-// "method:k[:alloc]") to the engine's partition axis.
-func parsePartitions(s string) ([]sweep.Partition, error) {
-	var out []sweep.Partition
-	for _, p := range strings.Split(s, ",") {
-		part, err := sweep.ParsePartition(strings.TrimSpace(p))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, part)
-	}
-	return out, nil
-}
-
-// parseAdaptive decodes "metric:relci[:min[:max]]" into the engine's
-// adaptive-replication config.
-func parseAdaptive(s string) (*sweep.Adaptive, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
-		return nil, fmt.Errorf("bad adaptive spec %q (want metric:relci[:min[:max]])", s)
-	}
-	a := &sweep.Adaptive{Metric: parts[0]}
-	var err error
-	if a.RelCI, err = strconv.ParseFloat(parts[1], 64); err != nil {
-		return nil, fmt.Errorf("bad adaptive relative CI %q", parts[1])
-	}
-	if len(parts) > 2 {
-		if a.MinReps, err = strconv.Atoi(parts[2]); err != nil {
-			return nil, fmt.Errorf("bad adaptive min reps %q", parts[2])
-		}
-	}
-	if len(parts) > 3 {
-		if a.MaxReps, err = strconv.Atoi(parts[3]); err != nil {
-			return nil, fmt.Errorf("bad adaptive max reps %q", parts[3])
-		}
-	}
-	return a, nil
-}
-
-// loadScenario reads and validates a serialized scenario file.
-func loadScenario(path string) (*scenario.Scenario, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("scenario file: %w", err)
-	}
-	var sc scenario.Scenario
-	if err := json.Unmarshal(b, &sc); err != nil {
-		return nil, fmt.Errorf("scenario file %s: %w", path, err)
-	}
-	if err := sc.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario file %s: %w", path, err)
-	}
-	return &sc, nil
-}
-
-func algorithm(name string) (patrol.Algorithm, error) {
-	switch name {
-	case "btctp":
-		return patrol.Planned(&core.BTCTP{}), nil
-	case "wtctp":
-		return patrol.Planned(&core.WTCTP{}), nil
-	case "chb":
-		return patrol.Planned(&baseline.CHB{}), nil
-	case "sweep":
-		return patrol.Planned(&baseline.Sweep{}), nil
-	case "random":
-		return patrol.Online(&baseline.Random{}), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
-}
-
-// applyDefaults resolves empty axis flags against the built-in
-// defaults or, when -preset or -scenario is given, the named scenario's
-// values.
-func applyDefaults(cfg config) (config, *scenario.Scenario, error) {
-	var ps *scenario.Scenario
-	if cfg.Preset != "" && cfg.Scenario != "" {
-		return cfg, nil, fmt.Errorf("-preset conflicts with -scenario: both supply the base scenario")
-	}
-	if cfg.Preset != "" {
-		var err error
-		if ps, err = scenario.Preset(cfg.Preset); err != nil {
-			return cfg, nil, err
-		}
-	}
-	if cfg.Scenario != "" {
-		var err error
-		if ps, err = loadScenario(cfg.Scenario); err != nil {
-			return cfg, nil, err
-		}
-	}
-	if cfg.Targets == "" {
-		cfg.Targets = "10,20,30,40,50"
-		if ps != nil {
-			cfg.Targets = strconv.Itoa(ps.Targets.Count)
-		}
-	}
-	if cfg.Mules == "" && cfg.Fleets == "" {
-		switch {
-		case ps == nil:
-			cfg.Mules = "2,4,6,8"
-		case ps.Fleet.CommonSpeed() > 0:
-			cfg.Mules = strconv.Itoa(ps.Fleet.Size())
-		default:
-			// A mixed-speed preset fleet cannot collapse to a size;
-			// buildSpec routes the whole fleet onto the Fleets axis.
-		}
-	}
-	if cfg.Speeds == "" && cfg.Fleets == "" {
-		cfg.Speeds = "2"
-		if ps != nil {
-			if sp := ps.Fleet.CommonSpeed(); sp > 0 {
-				cfg.Speeds = strconv.FormatFloat(sp, 'g', -1, 64)
-			}
-		}
-	}
-	if cfg.Placements == "" {
-		cfg.Placements = "uniform"
-		if ps != nil {
-			cfg.Placements = ps.Field.Placement.String()
-		}
-	}
-	if cfg.Workloads == "" {
-		cfg.Workloads = "off"
-	}
-	if cfg.Horizon == 0 {
-		cfg.Horizon = 60_000
-		if ps != nil {
-			cfg.Horizon = ps.Horizon
-		}
-	}
-	return cfg, ps, nil
-}
-
-// buildSpec translates the CLI flags into a sweep.Spec.
-func buildSpec(cfg config) (sweep.Spec, error) {
-	var spec sweep.Spec
-	cfg, preset, err := applyDefaults(cfg)
-	if err != nil {
-		return spec, err
-	}
-	for _, name := range strings.Split(cfg.Algs, ",") {
-		name = strings.TrimSpace(name)
-		alg, err := algorithm(name)
-		if err != nil {
-			return spec, err
-		}
-		spec.Algorithms = append(spec.Algorithms, sweep.Algo(name, alg))
-	}
-	if spec.Targets, err = parseInts(cfg.Targets); err != nil {
-		return spec, err
-	}
-	switch {
-	case cfg.Fleets != "":
-		if cfg.Mules != "" || cfg.Speeds != "" {
-			return spec, fmt.Errorf("-fleets conflicts with -mules/-speeds: the fleet axis already fixes sizes and speeds")
-		}
-		if spec.Fleets, err = parseFleets(cfg.Fleets); err != nil {
-			return spec, err
-		}
-	case cfg.Mules == "" && preset != nil:
-		// Mixed-speed preset fleet: sweep it as a named fleet.
-		fleet := preset.Fleet
-		if fleet.Name == "" {
-			fleet.Name = preset.Name
-		}
-		if fleet.Name == "" {
-			fleet.Name = "scenario" // unnamed -scenario file
-		}
-		spec.Fleets = []scenario.Fleet{fleet}
-	default:
-		if spec.Mules, err = parseInts(cfg.Mules); err != nil {
-			return spec, err
-		}
-		if spec.Speeds, err = parseFloats(cfg.Speeds); err != nil {
-			return spec, err
-		}
-	}
-	if spec.Placements, err = parsePlacements(cfg.Placements); err != nil {
-		return spec, err
-	}
-	if spec.Workloads, err = parseWorkloads(cfg); err != nil {
-		return spec, err
-	}
-	if cfg.Partition != "" {
-		if spec.Partitions, err = parsePartitions(cfg.Partition); err != nil {
-			return spec, err
-		}
-	}
-	for _, nt := range spec.Targets {
-		if nt < 1 {
-			return spec, fmt.Errorf("target count %d < 1", nt)
-		}
-	}
-	for _, nm := range spec.Mules {
-		if nm < 1 {
-			return spec, fmt.Errorf("fleet size %d < 1", nm)
-		}
-	}
-	for _, sp := range spec.Speeds {
-		if sp <= 0 {
-			return spec, fmt.Errorf("speed %g must be positive", sp)
-		}
-	}
-	if cfg.Seeds < 1 {
-		return spec, fmt.Errorf("seeds %d < 1", cfg.Seeds)
-	}
-	if cfg.Horizon <= 0 {
-		return spec, fmt.Errorf("horizon %g must be positive", cfg.Horizon)
-	}
-	if cfg.Adaptive != "" {
-		if spec.Adaptive, err = parseAdaptive(cfg.Adaptive); err != nil {
-			return spec, err
-		}
-	}
-	if cfg.Resume && cfg.Checkpoint == "" {
-		return spec, fmt.Errorf("-resume needs -checkpoint to name the file to continue from")
-	}
-	spec.Name = "tctp-sweep"
-	spec.Horizons = []float64{cfg.Horizon}
-	spec.Seeds = cfg.Seeds
-	spec.BaseSeed = cfg.BaseSeed
-	spec.Workers = cfg.Workers
-	spec.RepShards = cfg.RepShards
-	if preset != nil {
-		// The preset supplies the field geometry (dimensions, cluster
-		// parameters, recharge station); the axes keep the placement.
-		presetField := preset.Field
-		spec.Configure = func(p sweep.Point, sc *scenario.Scenario) {
-			placement := sc.Field.Placement
-			sc.Field = presetField
-			sc.Field.Placement = placement
-		}
-		// The Configure closure is invisible to the checkpoint
-		// fingerprint; serialize the geometry it applies so resuming
-		// under an edited preset/scenario file is refused.
-		digest, err := json.Marshal(presetField)
-		if err != nil {
-			return spec, err
-		}
-		spec.ConfigDigest = string(digest)
-	}
-	spec.Metrics = []sweep.Metric{
-		sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval(), sweep.JoulesPerVisit(),
-	}
-	for _, w := range spec.Workloads {
-		if w.Enabled() {
-			spec.Metrics = append(spec.Metrics,
-				sweep.Delivered(), sweep.OnTimePct(), sweep.MeanLatency())
-			break
-		}
-	}
-	// With an enabled partition on the axis, report the group count and
-	// the per-group DCDT/SD columns (group_dcdt_s_1..k,
-	// group_sd_s_1..k); single-circuit cells fill only position 1.
-	partitionK := map[string]int{}
-	var probeCfg core.PartitionConfig
-	maxK := 0
-	for _, pa := range spec.Partitions {
-		if !pa.Enabled() {
-			continue
-		}
-		partitionK[pa.String()] = pa.K
-		if pa.K > maxK {
-			maxK = pa.K
-			probeCfg, _ = pa.Config() // parsePartitions already validated
-		}
-	}
-	// Partitioned cells of algorithms without a partitioned variant are
-	// skipped, not failed, so mixed-algorithm grids stay usable. The
-	// capability is probed from the algorithm itself (core.Partitionable
-	// via patrol.Partitioned), not a name list, so planners gaining a
-	// partitioned form are picked up automatically.
-	partitionable := map[string]bool{}
-	if maxK > 0 {
-		spec.Metrics = append(spec.Metrics, sweep.GroupCount())
-		spec.Vectors = append(spec.Vectors, sweep.GroupDCDT(maxK), sweep.GroupSD(maxK))
-		for _, v := range spec.Algorithms {
-			_, perr := patrol.Partitioned(v.Make(nil), probeCfg, nil)
-			partitionable[v.Name] = perr == nil
-		}
-	}
-	spec.Skip = func(p sweep.Point) string {
-		if p.Mules > p.Targets+1 {
-			return "sweep needs at least one target per mule"
-		}
-		if p.Partition != "" {
-			if !partitionable[p.Algorithm] {
-				return "algorithm has no partitioned variant"
-			}
-			if k := partitionK[p.Partition]; p.Mules < k {
-				return fmt.Sprintf("partition %s needs at least %d mules", p.Partition, k)
-			} else if k > p.Targets+1 {
-				return fmt.Sprintf("partition %s exceeds the %d targets", p.Partition, p.Targets+1)
-			}
-		}
-		return ""
-	}
-	return spec, nil
-}
-
 func sink(format string, w io.Writer) (sweep.Sink, error) {
 	switch format {
 	case "csv":
@@ -584,6 +279,19 @@ func sink(format string, w io.Writer) (sweep.Sink, error) {
 }
 
 func run(cfg config, out, errw io.Writer) error {
+	if cfg.RepShards > 1 && cfg.Checkpoint != "" {
+		// Pre-empt the engine's rejection with flag-level guidance.
+		return fmt.Errorf("-rep-shards is incompatible with -checkpoint: a sharded in-cell fold has no single seed-ordered frontier to checkpoint; to distribute a sweep, split the grid with -shard i/n (each shard keeps its own -checkpoint) and combine the files with -merge")
+	}
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the file to continue from")
+	}
+	if cfg.Server != "" {
+		if cfg.Checkpoint != "" || cfg.Resume || cfg.Shard != "" || cfg.Merge != "" {
+			return fmt.Errorf("-server conflicts with -checkpoint/-resume/-shard/-merge: the server owns execution")
+		}
+		return runClient(cfg, out, errw)
+	}
 	spec, err := buildSpec(cfg)
 	if err != nil {
 		return err
@@ -644,6 +352,118 @@ func run(cfg config, out, errw io.Writer) error {
 		return err
 	}
 	report(partial.Result(), errw)
+	return nil
+}
+
+// runClient submits the sweep to a tctp-server and copies the result —
+// byte-identical to a local run of the same flags — to out.
+func runClient(cfg config, out, errw io.Writer) error {
+	var resultPath string
+	switch cfg.Format {
+	case "csv":
+		resultPath = "result.csv"
+	case "json":
+		resultPath = "result.jsonl"
+	default:
+		return fmt.Errorf("format %q is not available with -server (valid: csv, json)", cfg.Format)
+	}
+	req, err := cfg.request()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(cfg.Server, "/")
+
+	resp, err := http.Post(base+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", cfg.Server, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("server is at capacity (retry after %ss): %s",
+				resp.Header.Get("Retry-After"), strings.TrimSpace(string(msg)))
+		}
+		return fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var sub protocol.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("bad submit response: %w", err)
+	}
+	fmt.Fprintf(errw, "tctp-sweep: submitted %s: %d cells, plan %s\n",
+		sub.ID, sub.Cells, sub.Fingerprint)
+
+	if cfg.Progress {
+		if err := streamEvents(base, sub.ID, errw); err != nil {
+			return err
+		}
+	}
+
+	res, err := http.Get(base + "/sweeps/" + sub.ID + "/" + resultPath)
+	if err != nil {
+		return fmt.Errorf("fetch result: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 4<<10))
+		return fmt.Errorf("sweep failed (%s): %s", res.Status, strings.TrimSpace(string(msg)))
+	}
+	_, err = io.Copy(out, res.Body)
+	return err
+}
+
+// streamEvents follows the sweep's NDJSON event stream, rendering the
+// same in-place progress line a local -progress run prints, plus each
+// cell's cache source tally at the end.
+func streamEvents(base, id string, errw io.Writer) error {
+	resp, err := http.Get(base + "/sweeps/" + id + "/events")
+	if err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("event stream (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	cells := 0
+	source := map[protocol.Source]int{}
+	progressed := false
+	for {
+		var ev protocol.Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("event stream: %w", err)
+		}
+		switch ev.Type {
+		case "cell":
+			cells++
+			source[ev.Source]++
+			progressed = true
+			fmt.Fprintf(errw, "\rcells %d", cells)
+		case "done":
+			if progressed {
+				fmt.Fprintln(errw)
+			}
+			fmt.Fprintf(errw, "tctp-sweep: %s done: %d cells (%d runs), %d computed, %d cached, %d joined\n",
+				id, ev.Cells, ev.Runs, source[protocol.SourceComputed],
+				source[protocol.SourceHit], source[protocol.SourceJoined])
+			return nil
+		case "error":
+			if progressed {
+				fmt.Fprintln(errw)
+			}
+			return fmt.Errorf("sweep %s failed: %s", id, ev.Error)
+		}
+	}
 	return nil
 }
 

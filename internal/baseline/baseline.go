@@ -61,13 +61,13 @@ func (c *CHB) Plan(s *field.Scenario) (*core.FleetPlan, error) {
 		StartPoints: make([]geom.Point, n),
 		Assignment:  make([]int, n),
 	}
-	plan := &core.FleetPlan{
-		Algorithm: c.Name(),
-		Routes:    make([]core.MuleRoute, n),
-	}
+	plan := &core.FleetPlan{Algorithm: c.Name()}
+	// The whole fleet shares one circuit, so the entry offsets and the
+	// routes are computed in one polyline pass each rather than per
+	// mule.
+	ds := w.NearestOffsets(pts, s.MuleStarts)
+	plan.Routes = core.RoutesFromArcs(pts, w, ds)
 	for i, start := range s.MuleStarts {
-		d := w.NearestOffset(pts, start)
-		plan.Routes[i] = core.RouteFromArc(pts, w, d)
 		entry := plan.Routes[i].Approach[0].Pos
 		group.StartPoints[i] = entry
 		group.Assignment[i] = i

@@ -74,6 +74,37 @@ func TestCHBEntersAtNearestPoint(t *testing.T) {
 	}
 }
 
+// TestCHBBatchedAssignMatchesPerMule pins the batched start-point
+// assignment (one NearestOffsets/RoutesFromArcs pass for the fleet) to
+// the per-mule primitives it replaced: every route must be identical
+// to calling NearestOffset + RouteFromArc for that mule alone.
+func TestCHBBatchedAssignMatchesPerMule(t *testing.T) {
+	s := scenario(7, 25, 6)
+	p, err := (&CHB{}).Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Points()
+	w := p.Groups[0].Walk
+	for i, start := range s.MuleStarts {
+		want := core.RouteFromArc(pts, w, w.NearestOffset(pts, start))
+		got := p.Routes[i]
+		if got.Approach[0].Pos != want.Approach[0].Pos {
+			t.Fatalf("mule %d entry %v, per-mule reference %v",
+				i, got.Approach[0].Pos, want.Approach[0].Pos)
+		}
+		gs, ws := got.Cycle[0].Stops, want.Cycle[0].Stops
+		if len(gs) != len(ws) {
+			t.Fatalf("mule %d has %d stops, reference %d", i, len(gs), len(ws))
+		}
+		for k := range gs {
+			if gs[k] != ws[k] {
+				t.Fatalf("mule %d stop %d = %+v, reference %+v", i, k, gs[k], ws[k])
+			}
+		}
+	}
+}
+
 func TestCHBNoLocationInit(t *testing.T) {
 	// CHB must NOT equalize spacing: its start points are the mules'
 	// nearest entry points, not an equal partition. With clumped mule

@@ -400,12 +400,26 @@ func loopFrom(pts []geom.Point, w walk.Walk, offsets []float64, d float64) ([]mu
 // circuit at the nearest point, Sweep patrolling per-group circuits)
 // share this assembly with the TCTP planners.
 func RouteFromArc(pts []geom.Point, w walk.Walk, d float64) MuleRoute {
-	stops, _, _ := loopFrom(pts, w, w.ArcOffsets(pts), d)
-	entry := w.PointAt(pts, d)
-	return MuleRoute{
-		Approach: []mule.Waypoint{{Pos: entry, TargetID: mule.NoTarget}},
-		Cycle:    []Phase{{Stops: stops, Repeat: 1}},
+	return RoutesFromArcs(pts, w, []float64{d})[0]
+}
+
+// RoutesFromArcs is RouteFromArc for a batch of arc offsets on one
+// walk: the arc-offset table and the entry-point polyline are built
+// once and shared by every route, instead of once per mule. The routes
+// are bit-identical to calling RouteFromArc per offset; CHB assigns a
+// whole fleet to its circuit through this path.
+func RoutesFromArcs(pts []geom.Point, w walk.Walk, ds []float64) []MuleRoute {
+	offsets := w.ArcOffsets(pts)
+	entries := w.PointsAt(pts, ds)
+	out := make([]MuleRoute, len(ds))
+	for i, d := range ds {
+		stops, _, _ := loopFrom(pts, w, offsets, d)
+		out[i] = MuleRoute{
+			Approach: []mule.Waypoint{{Pos: entries[i], TargetID: mule.NoTarget}},
+			Cycle:    []Phase{{Stops: stops, Repeat: 1}},
+		}
 	}
+	return out
 }
 
 // groupSpec is the planner-side description of one patrol group before

@@ -1,0 +1,446 @@
+// Package build translates a transport-neutral sweep request
+// (protocol.SweepRequest) into an executable sweep.Spec. It is the
+// single Spec builder shared by the tctp-sweep CLI (whose flags the
+// request mirrors one-for-one) and the tctp-server daemon, so a sweep
+// submitted over HTTP plans exactly the grid the same flags would
+// plan locally — same axes, same defaults, same spec name, same
+// fingerprint, and therefore byte-identical sink output.
+//
+// Zero-valued request fields mean "the default", matching the CLI's
+// flag defaults: algorithms default to btctp, the workload knobs to
+// the periodic-packet/burst defaults, seeds to 10, the horizon to the
+// scenario's (or 60000 s). A request may name a built-in preset or
+// carry an inline scenario document; paths are deliberately absent —
+// a server never reads scenario files off its own disk.
+package build
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/scenario"
+	"tctp/internal/sweep"
+	"tctp/internal/sweep/protocol"
+	"tctp/internal/wsn"
+)
+
+// Algorithm resolves an algorithm axis name.
+func Algorithm(name string) (patrol.Algorithm, error) {
+	switch name {
+	case "btctp":
+		return patrol.Planned(&core.BTCTP{}), nil
+	case "wtctp":
+		return patrol.Planned(&core.WTCTP{}), nil
+	case "chb":
+		return patrol.Planned(&baseline.CHB{}), nil
+	case "sweep":
+		return patrol.Planned(&baseline.Sweep{}), nil
+	case "random":
+		return patrol.Online(&baseline.Random{}), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// Ints parses a comma-separated integer axis.
+func Ints(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Floats parses a comma-separated float axis.
+func Floats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Placements parses a comma-separated placement axis.
+func Placements(s string) ([]field.Placement, error) {
+	parts := strings.Split(s, ",")
+	out := make([]field.Placement, 0, len(parts))
+	for _, p := range parts {
+		v, err := field.ParsePlacement(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Fleets parses a semicolon-separated fleet axis ("4x2;2x1+2x3").
+func Fleets(s string) ([]scenario.Fleet, error) {
+	parts := strings.Split(s, ";")
+	out := make([]scenario.Fleet, 0, len(parts))
+	for _, p := range parts {
+		f, err := scenario.ParseFleet(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Workloads maps the request's off/on/bursts axis values to workloads;
+// "on" is the periodic packet workload parameterized by the workload
+// knobs, "bursts" the event-driven Poisson-burst workload
+// parameterized by the burst knobs. The request must already carry
+// its defaults (see withDefaults).
+func Workloads(req protocol.SweepRequest) ([]scenario.Workload, error) {
+	var out []scenario.Workload
+	for _, p := range strings.Split(req.Workloads, ",") {
+		switch strings.TrimSpace(p) {
+		case "off":
+			out = append(out, scenario.Workload{})
+		case "on":
+			out = append(out, scenario.Workload{Name: "packets", Data: wsn.Config{
+				GenInterval: req.WorkloadGen,
+				BufferCap:   req.WorkloadBuffer,
+				Deadline:    req.WorkloadDeadline,
+			}})
+		case "bursts":
+			out = append(out, scenario.Workload{
+				Name: "bursts", Kind: scenario.KindBursts,
+				Bursts: &wsn.BurstConfig{
+					Hot:       req.BurstHot,
+					MeanGap:   req.BurstGap,
+					Size:      req.BurstSize,
+					BufferCap: req.WorkloadBuffer,
+					Deadline:  req.WorkloadDeadline,
+				},
+			})
+		default:
+			return nil, fmt.Errorf("unknown workload %q (valid: off, on, bursts)", p)
+		}
+	}
+	return out, nil
+}
+
+// parsePartitions maps the partition axis values ("none" or
+// "method:k[:alloc]") to the engine's partition axis.
+func parsePartitions(s string) ([]sweep.Partition, error) {
+	var out []sweep.Partition
+	for _, p := range strings.Split(s, ",") {
+		part, err := sweep.ParsePartition(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// Adaptive decodes "metric:relci[:min[:max]]" into the engine's
+// adaptive-replication config.
+func Adaptive(s string) (*sweep.Adaptive, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+		return nil, fmt.Errorf("bad adaptive spec %q (want metric:relci[:min[:max]])", s)
+	}
+	a := &sweep.Adaptive{Metric: parts[0]}
+	var err error
+	if a.RelCI, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return nil, fmt.Errorf("bad adaptive relative CI %q", parts[1])
+	}
+	if len(parts) > 2 {
+		if a.MinReps, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, fmt.Errorf("bad adaptive min reps %q", parts[2])
+		}
+	}
+	if len(parts) > 3 {
+		if a.MaxReps, err = strconv.Atoi(parts[3]); err != nil {
+			return nil, fmt.Errorf("bad adaptive max reps %q", parts[3])
+		}
+	}
+	return a, nil
+}
+
+// withDefaults fills zero-valued request fields with the CLI's flag
+// defaults, so a sparse JSON request and a bare `tctp-sweep` invocation
+// mean the same sweep.
+func withDefaults(req protocol.SweepRequest) protocol.SweepRequest {
+	if req.Algorithms == "" {
+		req.Algorithms = "btctp"
+	}
+	if req.WorkloadGen == 0 {
+		req.WorkloadGen = 60
+	}
+	if req.WorkloadBuffer == 0 {
+		req.WorkloadBuffer = 50
+	}
+	if req.WorkloadDeadline == 0 {
+		req.WorkloadDeadline = 3600
+	}
+	if req.BurstGap == 0 {
+		req.BurstGap = 1800
+	}
+	if req.BurstSize == 0 {
+		req.BurstSize = 10
+	}
+	if req.Seeds == 0 {
+		req.Seeds = 10
+	}
+	return req
+}
+
+// baseScenario resolves the request's preset or inline scenario
+// document (at most one may be set) to a validated scenario, or nil
+// when neither is given.
+func baseScenario(req protocol.SweepRequest) (*scenario.Scenario, error) {
+	if req.Preset != "" && len(req.Scenario) != 0 {
+		return nil, fmt.Errorf("preset conflicts with an inline scenario: both supply the base scenario")
+	}
+	if req.Preset != "" {
+		return scenario.Preset(req.Preset)
+	}
+	if len(req.Scenario) == 0 {
+		return nil, nil
+	}
+	var sc scenario.Scenario
+	if err := json.Unmarshal(req.Scenario, &sc); err != nil {
+		return nil, fmt.Errorf("scenario document: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario document: %w", err)
+	}
+	return &sc, nil
+}
+
+// applyDefaults resolves empty axis fields against the built-in
+// defaults or, when a preset/scenario is given, the scenario's values.
+func applyDefaults(req protocol.SweepRequest) (protocol.SweepRequest, *scenario.Scenario, error) {
+	ps, err := baseScenario(req)
+	if err != nil {
+		return req, nil, err
+	}
+	if req.Targets == "" {
+		req.Targets = "10,20,30,40,50"
+		if ps != nil {
+			req.Targets = strconv.Itoa(ps.Targets.Count)
+		}
+	}
+	if req.Mules == "" && req.Fleets == "" {
+		switch {
+		case ps == nil:
+			req.Mules = "2,4,6,8"
+		case ps.Fleet.CommonSpeed() > 0:
+			req.Mules = strconv.Itoa(ps.Fleet.Size())
+		default:
+			// A mixed-speed scenario fleet cannot collapse to a size;
+			// Spec routes the whole fleet onto the Fleets axis.
+		}
+	}
+	if req.Speeds == "" && req.Fleets == "" {
+		req.Speeds = "2"
+		if ps != nil {
+			if sp := ps.Fleet.CommonSpeed(); sp > 0 {
+				req.Speeds = strconv.FormatFloat(sp, 'g', -1, 64)
+			}
+		}
+	}
+	if req.Placements == "" {
+		req.Placements = "uniform"
+		if ps != nil {
+			req.Placements = ps.Field.Placement.String()
+		}
+	}
+	if req.Workloads == "" {
+		req.Workloads = "off"
+	}
+	if req.Horizon == 0 {
+		req.Horizon = 60_000
+		if ps != nil {
+			req.Horizon = ps.Horizon
+		}
+	}
+	return req, ps, nil
+}
+
+// Spec translates a request into an executable sweep.Spec. The spec's
+// name is fixed ("tctp-sweep") so requests and local CLI runs agree on
+// sink output byte-for-byte.
+func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
+	var spec sweep.Spec
+	req, preset, err := applyDefaults(withDefaults(req))
+	if err != nil {
+		return spec, err
+	}
+	for _, name := range strings.Split(req.Algorithms, ",") {
+		name = strings.TrimSpace(name)
+		alg, err := Algorithm(name)
+		if err != nil {
+			return spec, err
+		}
+		spec.Algorithms = append(spec.Algorithms, sweep.Algo(name, alg))
+	}
+	if spec.Targets, err = Ints(req.Targets); err != nil {
+		return spec, err
+	}
+	switch {
+	case req.Fleets != "":
+		if req.Mules != "" || req.Speeds != "" {
+			return spec, fmt.Errorf("fleets conflicts with mules/speeds: the fleet axis already fixes sizes and speeds")
+		}
+		if spec.Fleets, err = Fleets(req.Fleets); err != nil {
+			return spec, err
+		}
+	case req.Mules == "" && preset != nil:
+		// Mixed-speed scenario fleet: sweep it as a named fleet.
+		fleet := preset.Fleet
+		if fleet.Name == "" {
+			fleet.Name = preset.Name
+		}
+		if fleet.Name == "" {
+			fleet.Name = "scenario" // unnamed inline scenario
+		}
+		spec.Fleets = []scenario.Fleet{fleet}
+	default:
+		if spec.Mules, err = Ints(req.Mules); err != nil {
+			return spec, err
+		}
+		if spec.Speeds, err = Floats(req.Speeds); err != nil {
+			return spec, err
+		}
+	}
+	if spec.Placements, err = Placements(req.Placements); err != nil {
+		return spec, err
+	}
+	if spec.Workloads, err = Workloads(req); err != nil {
+		return spec, err
+	}
+	if req.Partition != "" {
+		if spec.Partitions, err = parsePartitions(req.Partition); err != nil {
+			return spec, err
+		}
+	}
+	for _, nt := range spec.Targets {
+		if nt < 1 {
+			return spec, fmt.Errorf("target count %d < 1", nt)
+		}
+	}
+	for _, nm := range spec.Mules {
+		if nm < 1 {
+			return spec, fmt.Errorf("fleet size %d < 1", nm)
+		}
+	}
+	for _, sp := range spec.Speeds {
+		if sp <= 0 {
+			return spec, fmt.Errorf("speed %g must be positive", sp)
+		}
+	}
+	if req.Seeds < 1 {
+		return spec, fmt.Errorf("seeds %d < 1", req.Seeds)
+	}
+	if req.Horizon <= 0 {
+		return spec, fmt.Errorf("horizon %g must be positive", req.Horizon)
+	}
+	if req.Adaptive != "" {
+		if spec.Adaptive, err = Adaptive(req.Adaptive); err != nil {
+			return spec, err
+		}
+	}
+	spec.Name = "tctp-sweep"
+	spec.Horizons = []float64{req.Horizon}
+	spec.Seeds = req.Seeds
+	spec.BaseSeed = req.BaseSeed
+	spec.Workers = req.Workers
+	spec.RepShards = req.RepShards
+	if preset != nil {
+		// The scenario supplies the field geometry (dimensions, cluster
+		// parameters, recharge station); the axes keep the placement.
+		presetField := preset.Field
+		spec.Configure = func(p sweep.Point, sc *scenario.Scenario) {
+			placement := sc.Field.Placement
+			sc.Field = presetField
+			sc.Field.Placement = placement
+		}
+		// The Configure closure is invisible to the checkpoint
+		// fingerprint; serialize the geometry it applies so resuming
+		// (or cache-keying) under an edited scenario is refused.
+		digest, err := json.Marshal(presetField)
+		if err != nil {
+			return spec, err
+		}
+		spec.ConfigDigest = string(digest)
+	}
+	spec.Metrics = []sweep.Metric{
+		sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval(), sweep.JoulesPerVisit(),
+	}
+	for _, w := range spec.Workloads {
+		if w.Enabled() {
+			spec.Metrics = append(spec.Metrics,
+				sweep.Delivered(), sweep.OnTimePct(), sweep.MeanLatency())
+			break
+		}
+	}
+	// With an enabled partition on the axis, report the group count and
+	// the per-group DCDT/SD columns (group_dcdt_s_1..k,
+	// group_sd_s_1..k); single-circuit cells fill only position 1.
+	partitionK := map[string]int{}
+	var probeCfg core.PartitionConfig
+	maxK := 0
+	for _, pa := range spec.Partitions {
+		if !pa.Enabled() {
+			continue
+		}
+		partitionK[pa.String()] = pa.K
+		if pa.K > maxK {
+			maxK = pa.K
+			probeCfg, _ = pa.Config() // parsePartitions already validated
+		}
+	}
+	// Partitioned cells of algorithms without a partitioned variant are
+	// skipped, not failed, so mixed-algorithm grids stay usable. The
+	// capability is probed from the algorithm itself (core.Partitionable
+	// via patrol.Partitioned), not a name list, so planners gaining a
+	// partitioned form are picked up automatically.
+	partitionable := map[string]bool{}
+	if maxK > 0 {
+		spec.Metrics = append(spec.Metrics, sweep.GroupCount())
+		spec.Vectors = append(spec.Vectors, sweep.GroupDCDT(maxK), sweep.GroupSD(maxK))
+		for _, v := range spec.Algorithms {
+			_, perr := patrol.Partitioned(v.Make(nil), probeCfg, nil)
+			partitionable[v.Name] = perr == nil
+		}
+	}
+	spec.Skip = func(p sweep.Point) string {
+		if p.Mules > p.Targets+1 {
+			return "sweep needs at least one target per mule"
+		}
+		if p.Partition != "" {
+			if !partitionable[p.Algorithm] {
+				return "algorithm has no partitioned variant"
+			}
+			if k := partitionK[p.Partition]; p.Mules < k {
+				return fmt.Sprintf("partition %s needs at least %d mules", p.Partition, k)
+			} else if k > p.Targets+1 {
+				return fmt.Sprintf("partition %s exceeds the %d targets", p.Partition, p.Targets+1)
+			}
+		}
+		return ""
+	}
+	return spec, nil
+}

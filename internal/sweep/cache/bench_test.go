@@ -1,0 +1,110 @@
+package cache_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tctp/internal/sweep"
+	"tctp/internal/sweep/cache"
+)
+
+// benchSpec is testSpec with realistic per-cell work (longer horizon,
+// more replications). The warm path's cost is independent of both, so
+// this is where the cache's leverage shows.
+func benchSpec() sweep.Spec {
+	s := testSpec()
+	s.Horizons = []float64{40_000}
+	s.Seeds = 5
+	return s
+}
+
+// runCachedOnce executes one cached run of the spec against the store,
+// discarding output.
+func runCachedOnce(b *testing.B, spec sweep.Spec, store *cache.Store) {
+	b.Helper()
+	j, err := sweep.Plan(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := j.RunCached(context.Background(), sweep.CacheRunOpts{Store: store}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCacheHitSweep measures a fully warm sweep: every cell
+// served from the memory layer, no simulation at all — just key
+// derivation, state restore, and aggregation. Compare against
+// BenchmarkCacheHitSweepCold (the identical sweep computed from
+// scratch) for the cache's speedup; the warm path is expected to be
+// ≥50× faster.
+func BenchmarkCacheHitSweep(b *testing.B) {
+	spec := benchSpec()
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runCachedOnce(b, spec, store) // warm every cell
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCachedOnce(b, spec, store)
+	}
+}
+
+// BenchmarkCacheHitSweepCold is the baseline twin: the same sweep
+// against an empty store each iteration, so every cell simulates.
+func BenchmarkCacheHitSweepCold(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store, err := cache.New(cache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runCachedOnce(b, spec, store)
+	}
+}
+
+// BenchmarkCacheDedup measures single-flight collapse: 8 identical
+// sweeps submitted concurrently against one empty store. Each cell is
+// computed once and joined 7 times, so the iteration costs ~1× the
+// compute of BenchmarkCacheDedupNoShare, which runs the same 8 sweeps
+// without a shared store.
+func BenchmarkCacheDedup(b *testing.B) {
+	const submitters = 8
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store, err := cache.New(cache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runCachedOnce(b, spec, store)
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkCacheDedupNoShare is the baseline twin: the same 8 sweeps,
+// each against its own empty store — 8× the computation.
+func BenchmarkCacheDedupNoShare(b *testing.B) {
+	const submitters = 8
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < submitters; g++ {
+			store, err := cache.New(cache.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runCachedOnce(b, spec, store)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package cache is a content-addressed store for sweep cell fold
+// states: the piece that turns the sweep engine's per-cell keys
+// (sweep.Job.CellKey) into reuse across runs, across overlapping
+// sweeps, and across concurrent submissions.
+//
+// Store layers three mechanisms behind the one-method
+// sweep.CellStore contract:
+//
+//   - An in-memory LRU bounded by a byte budget, so a long-lived
+//     process (tctp-server) keeps its hottest cells resident without
+//     growing without bound.
+//
+//   - An optional disk layer: every computed state is also written
+//     under its key in a directory, atomically (temp file + rename),
+//     and read back on a memory miss — warm results survive restarts.
+//     A disk entry whose payload does not round-trip, or whose
+//     embedded key does not match its file name, is refused and the
+//     cell recomputed: a corrupt cache may cost time, never
+//     correctness.
+//
+//   - Single-flight deduplication: concurrent Folds of the same key
+//     elect one leader to run the compute; the others wait and share
+//     its result (or its error). N identical sweeps submitted at once
+//     cost one computation, not N.
+//
+// Because the stored value is the cell's bit-exact fold state — the
+// same record the checkpoint layer persists — a sweep served from
+// this cache emits output byte-identical to a cold run; that
+// guarantee is pinned by this package's tests.
+package cache
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"tctp/internal/sweep/protocol"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes bounds the in-memory layer (approximately: the summed
+	// JSON size of the resident states). 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Dir, when non-empty, enables the disk layer in that directory
+	// (created if absent).
+	Dir string
+	// Gate, when > 0, bounds how many computes run at once across all
+	// Folds of this store. Hits, disk hits, and single-flight joins
+	// are never gated — only the leaders actually simulating. This is
+	// the server's backpressure point: many concurrent sweeps share
+	// one compute pool instead of oversubscribing the machine.
+	Gate int
+}
+
+// DefaultMaxBytes is the in-memory budget when Options.MaxBytes is 0.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Hits served from memory; DiskHits served from the disk layer
+	// (and promoted to memory).
+	Hits     int64 `json:"hits"`
+	DiskHits int64 `json:"disk_hits"`
+	// Misses counts Folds that ran the compute.
+	Misses int64 `json:"misses"`
+	// Joins counts Folds that waited on another caller's in-flight
+	// compute of the same key.
+	Joins int64 `json:"joins"`
+	// Evictions counts entries dropped to keep memory under budget.
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts disk entries refused (unreadable, malformed, or
+	// key-mismatched); each refusal forces a recompute.
+	Corrupt int64 `json:"corrupt"`
+	// DiskErrors counts failed disk writes (non-fatal: the state is
+	// still served and kept in memory).
+	DiskErrors int64 `json:"disk_errors"`
+	// InFlight is the number of computes running right now; Entries
+	// and Bytes describe the current memory layer.
+	InFlight int   `json:"in_flight"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+type entry struct {
+	key   string
+	state protocol.FoldState
+	size  int64
+	elem  *list.Element
+}
+
+type flight struct {
+	done  chan struct{}
+	state protocol.FoldState
+	err   error
+}
+
+// Store is a concurrency-safe, content-addressed cell cache
+// implementing sweep.CellStore. Callers must treat returned states as
+// immutable — they are shared across every Fold of the same key.
+type Store struct {
+	dir  string
+	gate chan struct{}
+
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *entry
+	entries  map[string]*entry
+	inflight map[string]*flight
+	stats    Stats
+}
+
+// New opens a store. The disk directory, when configured, is created
+// if needed.
+func New(opts Options) (*Store, error) {
+	if opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("cache: negative MaxBytes %d", opts.MaxBytes)
+	}
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	s := &Store{
+		dir:      opts.Dir,
+		maxBytes: opts.MaxBytes,
+		lru:      list.New(),
+		entries:  make(map[string]*entry),
+		inflight: make(map[string]*flight),
+	}
+	if opts.Gate > 0 {
+		s.gate = make(chan struct{}, opts.Gate)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	st.MaxBytes = s.maxBytes
+	return st
+}
+
+// Fold implements sweep.CellStore: return the state stored under key,
+// computing (and storing) it on a miss. Concurrent Folds of one key
+// run compute once; the waiters share the leader's state or error.
+// Errors are never cached — the next Fold of the key retries.
+func (s *Store) Fold(key string, compute func() (protocol.FoldState, error)) (protocol.FoldState, protocol.Source, error) {
+	if !protocol.ValidKey(key) {
+		return protocol.FoldState{}, "", fmt.Errorf("cache: malformed cell key %q", key)
+	}
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.stats.Hits++
+		st := e.state
+		s.mu.Unlock()
+		return st, protocol.SourceHit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.stats.Joins++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return protocol.FoldState{}, protocol.SourceJoined, f.err
+		}
+		return f.state, protocol.SourceJoined, nil
+	}
+	// This caller leads. Register the flight before unlocking so every
+	// later caller joins instead of recomputing.
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	st, src, err := s.lead(key, compute)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	f.state, f.err = st, err
+	s.mu.Unlock()
+	close(f.done)
+	return st, src, err
+}
+
+// lead resolves a key on behalf of all its current callers: disk
+// first, then the gated compute.
+func (s *Store) lead(key string, compute func() (protocol.FoldState, error)) (protocol.FoldState, protocol.Source, error) {
+	if st, ok := s.readDisk(key); ok {
+		s.insert(key, st)
+		s.mu.Lock()
+		s.stats.DiskHits++
+		s.mu.Unlock()
+		return st, protocol.SourceHit, nil
+	}
+
+	if s.gate != nil {
+		s.gate <- struct{}{}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.stats.InFlight++
+	s.mu.Unlock()
+	st, err := compute()
+	s.mu.Lock()
+	s.stats.InFlight--
+	s.mu.Unlock()
+	if s.gate != nil {
+		<-s.gate
+	}
+	if err != nil {
+		return protocol.FoldState{}, protocol.SourceComputed, err
+	}
+	s.insert(key, st)
+	s.writeDisk(key, st)
+	return st, protocol.SourceComputed, nil
+}
+
+// insert adds a state to the memory layer and evicts from the cold end
+// until the budget holds again. The newest entry itself is never
+// evicted, so a single state larger than the whole budget still
+// caches (alone).
+func (s *Store) insert(key string, st protocol.FoldState) {
+	size := stateSize(st)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return
+	}
+	e := &entry{key: key, state: st, size: size}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.bytes += size
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.size
+		s.stats.Evictions++
+	}
+}
+
+// stateSize approximates a state's memory footprint by its JSON
+// encoding — the same bytes the disk layer stores.
+func stateSize(st protocol.FoldState) int64 {
+	b, err := json.Marshal(st)
+	if err != nil {
+		// Cannot happen for a FoldState; be conservative if it does.
+		return 1 << 10
+	}
+	return int64(len(b))
+}
+
+// diskEntry is one cached cell on disk. The key is embedded so a
+// renamed, truncated, or cross-copied file cannot impersonate another
+// cell.
+type diskEntry struct {
+	Key   string             `json:"key"`
+	State protocol.FoldState `json:"state"`
+}
+
+// diskPath maps a key to its file. Keys are validated hex, so the
+// trimmed key is a safe file name.
+func (s *Store) diskPath(key string) string {
+	return filepath.Join(s.dir, strings.TrimPrefix(key, "sha256:")+".json")
+}
+
+// readDisk loads a key from the disk layer. Any defect — unreadable
+// file, malformed JSON, embedded key not matching — refuses the entry
+// (counting it corrupt) rather than serving it.
+func (s *Store) readDisk(key string) (protocol.FoldState, bool) {
+	if s.dir == "" {
+		return protocol.FoldState{}, false
+	}
+	b, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.mu.Lock()
+			s.stats.Corrupt++
+			s.mu.Unlock()
+		}
+		return protocol.FoldState{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(b, &de); err != nil || de.Key != key {
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
+		return protocol.FoldState{}, false
+	}
+	return de.State, true
+}
+
+// writeDisk persists a computed state, atomically: a unique temp file
+// in the same directory, then rename. Failures are counted and
+// swallowed — the disk layer accelerates, it does not gate.
+func (s *Store) writeDisk(key string, st protocol.FoldState) {
+	if s.dir == "" {
+		return
+	}
+	err := func() error {
+		b, err := json.Marshal(diskEntry{Key: key, State: st})
+		if err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if _, err := tmp.Write(b); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), s.diskPath(key))
+	}()
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+	}
+}

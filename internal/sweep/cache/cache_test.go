@@ -1,0 +1,400 @@
+package cache_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tctp/internal/baseline"
+	"tctp/internal/core"
+	"tctp/internal/patrol"
+	"tctp/internal/stats"
+	"tctp/internal/sweep"
+	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/protocol"
+)
+
+// testSpec mirrors the sweep package's tiny fixture: two algorithms ×
+// two target counts against the real simulator.
+func testSpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "cache-test",
+		Algorithms: []sweep.Variant{
+			sweep.Algo("btctp", patrol.Planned(&core.BTCTP{})),
+			sweep.Algo("random", patrol.Online(&baseline.Random{})),
+		},
+		Targets:  []int{6, 8},
+		Mules:    []int{2},
+		Horizons: []float64{4_000},
+		Metrics:  []sweep.Metric{sweep.AvgDCDT(), sweep.AvgSD(), sweep.MaxInterval()},
+		Seeds:    3,
+	}
+}
+
+func runCachedBytes(t *testing.T, spec sweep.Spec, store *cache.Store) (csv, jsonl []byte) {
+	t.Helper()
+	j, err := sweep.Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb, jb bytes.Buffer
+	if _, err := j.RunCached(context.Background(), sweep.CacheRunOpts{
+		Store: store,
+		Sinks: []sweep.Sink{sweep.CSV(&cb), sweep.JSONL(&jb)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestGoldenByteIdentity is the package's headline guarantee: a sweep
+// served from the cache — whether cold, warm from memory, or warm from
+// a disk layer in a fresh process — emits CSV and JSONL byte-identical
+// to an uncached run.
+func TestGoldenByteIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*sweep.Spec)
+	}{
+		{"plain", nil},
+		// Adaptive early stopping freezes some cells below the ceiling;
+		// their stopped states must survive the cache like any other.
+		{"adaptive", func(s *sweep.Spec) {
+			s.Seeds = 6
+			s.Adaptive = &sweep.Adaptive{Metric: "avg_dcdt_s", MinReps: 2, RelCI: 0.9}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testSpec()
+			if tc.mutate != nil {
+				tc.mutate(&spec)
+			}
+
+			var wantCSV, wantJSONL bytes.Buffer
+			if _, err := sweep.Run(context.Background(), spec,
+				sweep.CSV(&wantCSV), sweep.JSONL(&wantJSONL)); err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			store, err := cache.New(cache.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(phase string, csv, jsonl []byte) {
+				t.Helper()
+				if !bytes.Equal(wantCSV.Bytes(), csv) {
+					t.Fatalf("%s: CSV differs from uncached run", phase)
+				}
+				if !bytes.Equal(wantJSONL.Bytes(), jsonl) {
+					t.Fatalf("%s: JSONL differs from uncached run", phase)
+				}
+			}
+
+			csv, jsonl := runCachedBytes(t, spec, store)
+			check("cold", csv, jsonl)
+			if st := store.Stats(); st.Misses != 4 || st.Hits != 0 {
+				t.Fatalf("cold stats: %+v", st)
+			}
+
+			csv, jsonl = runCachedBytes(t, spec, store)
+			check("warm memory", csv, jsonl)
+			if st := store.Stats(); st.Hits != 4 {
+				t.Fatalf("warm stats: %+v", st)
+			}
+
+			// A fresh store over the same directory simulates a restart:
+			// everything comes back from disk, nothing recomputes.
+			fresh, err := cache.New(cache.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			csv, jsonl = runCachedBytes(t, spec, fresh)
+			check("warm disk", csv, jsonl)
+			if st := fresh.Stats(); st.DiskHits != 4 || st.Misses != 0 {
+				t.Fatalf("disk stats: %+v", st)
+			}
+		})
+	}
+}
+
+// fakeKey fabricates a syntactically valid cell key from an integer.
+func fakeKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("fake-%d", i)))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// fakeState fabricates a distinguishable fold state of roughly sz
+// JSON bytes.
+func fakeState(i, sz int) protocol.FoldState {
+	st := protocol.FoldState{Next: i}
+	for len(st.Scalars) < sz/60+1 {
+		st.Scalars = append(st.Scalars, stats.AccumulatorState{N: i, Mean: uint64(i)})
+	}
+	return st
+}
+
+// TestSingleFlight hammers one store from many goroutines under -race:
+// every key must be computed exactly once, and every caller — leader,
+// joiner, or late arrival — must observe the identical state.
+func TestSingleFlight(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, goroutines = 8, 16
+
+	var computes [keys]atomic.Int64
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	errs := make(chan error, keys*goroutines)
+	for g := 0; g < goroutines; g++ {
+		for k := 0; k < keys; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				start.Wait()
+				st, src, err := store.Fold(fakeKey(k), func() (protocol.FoldState, error) {
+					computes[k].Add(1)
+					return fakeState(k, 100), nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if st.Next != k || st.Scalars[0].N != k {
+					errs <- fmt.Errorf("key %d: wrong state %+v via %s", k, st, src)
+				}
+			}(k)
+		}
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", k, n)
+		}
+	}
+	st := store.Stats()
+	if st.Misses != keys {
+		t.Errorf("misses %d, want %d", st.Misses, keys)
+	}
+	if st.Hits+st.Joins != keys*(goroutines-1) {
+		t.Errorf("hits %d + joins %d, want %d non-leaders", st.Hits, st.Joins, keys*(goroutines-1))
+	}
+}
+
+// TestSingleFlightSharesError: a failed compute reaches its joiners
+// too, and is not cached — the next Fold retries.
+func TestSingleFlightSharesError(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey(0)
+	boom := fmt.Errorf("simulated failure")
+
+	release := make(chan struct{})
+	proceed := make(chan struct{})
+	go func() {
+		store.Fold(key, func() (protocol.FoldState, error) {
+			close(release) // leader is inside compute
+			<-proceed      // block until the joiner has attached
+			return protocol.FoldState{}, boom
+		})
+	}()
+	<-release
+	// The joiner registers while the leader blocks in compute.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := store.Fold(key, func() (protocol.FoldState, error) {
+			return protocol.FoldState{}, fmt.Errorf("joiner must not compute")
+		})
+		done <- err
+	}()
+	// Wait for the joiner to attach, then let the leader fail.
+	for store.Stats().Joins == 0 {
+		runtime.Gosched()
+	}
+	close(proceed)
+	if err := <-done; err == nil || err.Error() != boom.Error() {
+		t.Fatalf("joiner got %v, want the leader's error", err)
+	}
+
+	// The failure was not cached: a retry recomputes and can succeed.
+	st, src, err := store.Fold(key, func() (protocol.FoldState, error) {
+		return fakeState(0, 50), nil
+	})
+	if err != nil || src != protocol.SourceComputed || st.Next != 0 {
+		t.Fatalf("retry after error: %v %s %+v", err, src, st)
+	}
+}
+
+// TestEvictionUnderBudget: the memory layer stays within its byte
+// budget by evicting cold entries, and an evicted key recomputes.
+func TestEvictionUnderBudget(t *testing.T) {
+	const budget = 2 << 10
+	store, err := cache.New(cache.Options{MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, _, err := store.Fold(fakeKey(i), func() (protocol.FoldState, error) {
+			return fakeState(i, 200), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 || st.Entries >= n {
+		t.Fatalf("no eviction happened: %+v", st)
+	}
+
+	// The first key is long evicted; folding it again recomputes.
+	recomputed := false
+	if _, _, err := store.Fold(fakeKey(0), func() (protocol.FoldState, error) {
+		recomputed = true
+		return fakeState(0, 200), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("evicted key served from memory")
+	}
+
+	// The most recent key is still resident.
+	if _, src, err := store.Fold(fakeKey(n-1), func() (protocol.FoldState, error) {
+		t.Fatal("hot key recomputed")
+		return protocol.FoldState{}, nil
+	}); err != nil || src != protocol.SourceHit {
+		t.Fatalf("hot key: %v %s", err, src)
+	}
+}
+
+// TestDiskCorruptionRefusal: a disk entry that is garbage, or that
+// carries another cell's key, is refused and recomputed — never
+// served.
+func TestDiskCorruptionRefusal(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := store.Fold(fakeKey(i), func() (protocol.FoldState, error) {
+			return fakeState(i, 80), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := func(i int) string {
+		return filepath.Join(dir, fakeKey(i)[len("sha256:"):]+".json")
+	}
+
+	// Garbage in key 0's file; impersonation at key 2 — its path holds
+	// key 1's well-formed document, caught only by the embedded key.
+	if err := os.WriteFile(path(0), []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path(2), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{0, 2} {
+		recomputed := false
+		st, _, err := fresh.Fold(fakeKey(target), func() (protocol.FoldState, error) {
+			recomputed = true
+			return fakeState(target, 80), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recomputed {
+			t.Fatalf("corrupt disk entry for key %d was served", target)
+		}
+		if st.Next != target {
+			t.Fatalf("key %d resolved to state %+v", target, st)
+		}
+	}
+	if st := fresh.Stats(); st.Corrupt != 2 {
+		t.Fatalf("corrupt count %d, want 2 (stats %+v)", st.Corrupt, st)
+	}
+}
+
+// TestComputeGate: with Gate g, at most g computes run concurrently,
+// regardless of how many Folds are outstanding.
+func TestComputeGate(t *testing.T) {
+	const gate = 2
+	store, err := cache.New(cache.Options{Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			store.Fold(fakeKey(i), func() (protocol.FoldState, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				for j := 0; j < 1000; j++ { // widen the overlap window
+					_ = j
+				}
+				cur.Add(-1)
+				return fakeState(i, 50), nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > gate {
+		t.Fatalf("%d computes ran concurrently, gate is %d", p, gate)
+	}
+}
+
+// TestMalformedKeyRefused: Fold refuses a key that is not a
+// well-formed sha256 cell key before it can become a file name.
+func TestMalformedKeyRefused(t *testing.T) {
+	store, err := cache.New(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "sha256:zz", "md5:abc", "../../etc/passwd"} {
+		if _, _, err := store.Fold(key, func() (protocol.FoldState, error) {
+			t.Fatalf("compute ran for malformed key %q", key)
+			return protocol.FoldState{}, nil
+		}); err == nil {
+			t.Errorf("malformed key %q accepted", key)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package sweep
+
+// The cache-backed execution path. RunCached is Job.Run with a
+// content-addressed memo in front of every cell: each cell's fold is
+// obtained by folding through a CellStore keyed by Job.CellKey — a
+// store hit restores the cell's bit-exact fold state instead of
+// simulating its replications, a miss computes the cell as a
+// single-cell job (exactly the replications, seeds, and fold order an
+// uncached run would use) and publishes the resulting state, and a
+// concurrent computation of the same cell elsewhere is joined rather
+// than repeated (single-flight, when the store provides it). Because
+// the stored state is the same bit-exact record the checkpoint layer
+// persists, and emission goes through the same path Merge uses, a run
+// served entirely from the cache produces sink output byte-identical
+// to a cold run.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tctp/internal/sweep/protocol"
+)
+
+// CellStore is the cache contract RunCached folds through. Fold
+// returns the fold state stored under key, computing and storing it
+// via compute on a miss. Implementations are expected to be safe for
+// concurrent use and SHOULD single-flight concurrent Folds of the same
+// key — internal/sweep/cache.Store does both; a trivial
+// non-deduplicating map also satisfies the interface.
+//
+// The returned Source says how the state was obtained (computed,
+// cache hit, or joined onto another caller's in-flight computation).
+// When compute fails, Fold must return its error and must not store
+// anything under the key.
+type CellStore interface {
+	Fold(key string, compute func() (protocol.FoldState, error)) (protocol.FoldState, protocol.Source, error)
+}
+
+// CellUpdate is the progress record handed to CacheRunOpts.OnCell
+// after each cell of a cached run resolves.
+type CellUpdate struct {
+	// Index is the plan-global cell index; Key the cell's
+	// content-addressed cache key.
+	Index  int
+	Key    string
+	Source protocol.Source
+	// Result is the cell's finalized aggregate.
+	Result *CellResult
+}
+
+// CacheRunOpts configures one Job.RunCached.
+type CacheRunOpts struct {
+	// Store is the cell cache (required).
+	Store CellStore
+	// Parallel bounds how many cells are resolved concurrently
+	// (default GOMAXPROCS). Cells that miss additionally parallelize
+	// their replications over Spec.Workers inside the compute, so the
+	// effective concurrency of an all-miss run is up to
+	// Parallel × Workers; callers scheduling many jobs onto shared
+	// hardware should gate the computes instead (see
+	// cache.Store's compute gate).
+	Parallel int
+	// Sinks receive the job's cells in enumeration order once every
+	// cell has resolved.
+	Sinks []Sink
+	// OnCell, when non-nil, is called once per cell as it resolves,
+	// in completion order (not enumeration order), possibly from
+	// several goroutines at once.
+	OnCell func(CellUpdate)
+}
+
+// computeCell runs the job's i-th cell as a single-cell job — the
+// same seeds, seed-ordered fold, and adaptive stop decisions the cell
+// would see inside any larger run of the same spec (the shard-
+// equivalence guarantee of the job API, narrowed to one cell) — and
+// returns its final fold state.
+func (j *Job) computeCell(ctx context.Context, i int) (protocol.FoldState, error) {
+	sub := *j
+	sub.defs = j.defs[i : i+1]
+	sub.offset = j.offset + i
+	p, err := sub.run(ctx, RunOpts{}, true)
+	if err != nil {
+		return protocol.FoldState{}, err
+	}
+	rec, ok := p.records[0]
+	if !ok {
+		return protocol.FoldState{}, fmt.Errorf("sweep: cell %v produced no fold record", j.defs[i].point)
+	}
+	return rec.FoldState, nil
+}
+
+// checkFinalState guards a fold state arriving from outside the
+// process (a cache layer, a wire partial) before it is folded into
+// output: the accumulator shapes must match the spec and the state
+// must be a finished cell. The content-addressed key already pins all
+// of this, so a violation means the store returned foreign or
+// corrupted state — refusing it beats poisoning every downstream
+// aggregate.
+func (sp *Spec) checkFinalState(st *protocol.FoldState) error {
+	if err := validateFoldState(st, sp); err != nil {
+		return err
+	}
+	if st.Stopped && sp.Adaptive == nil {
+		return fmt.Errorf("is adaptively stopped, spec has no adaptive rule")
+	}
+	if !st.Stopped && st.Next != sp.maxReps() {
+		return fmt.Errorf("is incomplete: %d of %d replications folded", st.Next, sp.maxReps())
+	}
+	for i, s := range st.Scalars {
+		if s.N != st.Next {
+			return fmt.Errorf("scalar %d folded %d samples, counter says %d", i, s.N, st.Next)
+		}
+	}
+	return nil
+}
+
+// RunCached executes the job with every cell folded through the
+// store, then streams the cells to the sinks in enumeration order.
+// The output is byte-identical to Job.Run of the same job at any mix
+// of hits, misses, and joins — including a fully cold store (every
+// cell computed) and a fully warm one (no simulation at all). Cells
+// resolve concurrently (bounded by Parallel); on error the
+// lowest-indexed failing cell wins, matching the engine's
+// deterministic error selection.
+func (j *Job) RunCached(ctx context.Context, opts CacheRunOpts) (*Result, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("sweep: RunCached needs a Store")
+	}
+	keys, err := j.CellKeys()
+	if err != nil {
+		return nil, err
+	}
+	sp := &j.spec
+	n := len(j.defs)
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+
+	states := make([]protocol.FoldState, n)
+	var (
+		mu       sync.Mutex
+		runErr   error
+		errIndex int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if runErr == nil || i < errIndex {
+			runErr, errIndex = err, i
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return runErr != nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed() {
+					continue
+				}
+				st, src, err := opts.Store.Fold(keys[i], func() (protocol.FoldState, error) {
+					return j.computeCell(ctx, i)
+				})
+				if err == nil {
+					if verr := sp.checkFinalState(&st); verr != nil {
+						err = fmt.Errorf("sweep: cached state %s %v", keys[i], verr)
+					}
+				}
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				states[i] = st
+				if opts.OnCell != nil {
+					c := sp.newCollector()
+					c.restore(checkpointRecord{Cell: i, FoldState: st})
+					opts.OnCell(CellUpdate{
+						Index:  j.offset + i,
+						Key:    keys[i],
+						Source: src,
+						Result: finalizeCell(sp, j.offset+i, j.defs[i].point, c),
+					})
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return j.emitRecords(func(i int) checkpointRecord {
+		return checkpointRecord{Cell: i, FoldState: states[i]}
+	}, opts.Sinks)
+}

@@ -1,0 +1,323 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"tctp/internal/scenario"
+	"tctp/internal/sweep/protocol"
+	"tctp/internal/wsn"
+)
+
+// mapStore is the simplest possible CellStore: a locked map, no
+// single-flight, no eviction. It exists to test RunCached's contract
+// independently of the real cache package.
+type mapStore struct {
+	mu sync.Mutex
+	m  map[string]protocol.FoldState
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string]protocol.FoldState)} }
+
+func (s *mapStore) Fold(key string, compute func() (protocol.FoldState, error)) (protocol.FoldState, protocol.Source, error) {
+	s.mu.Lock()
+	st, ok := s.m[key]
+	s.mu.Unlock()
+	if ok {
+		return st, protocol.SourceHit, nil
+	}
+	st, err := compute()
+	if err != nil {
+		return protocol.FoldState{}, protocol.SourceComputed, err
+	}
+	s.mu.Lock()
+	s.m[key] = st
+	s.mu.Unlock()
+	return st, protocol.SourceComputed, nil
+}
+
+func sinkBytes(t *testing.T, run func(sinks ...Sink) error) (csv, jsonl []byte) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	if err := run(CSV(&cb), JSONL(&jb)); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestRunCachedByteIdentity is the core cache guarantee: a cold cached
+// run, a fully warm cached run, and a plain uncached Run all produce
+// byte-identical CSV and JSONL.
+func TestRunCachedByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	spec := tinySpec()
+
+	plainCSV, plainJSONL := sinkBytes(t, func(sinks ...Sink) error {
+		_, err := Run(ctx, spec, sinks...)
+		return err
+	})
+
+	store := newMapStore()
+	cached := func(wantSource protocol.Source) (csv, jsonl []byte) {
+		j, err := Plan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		sources := map[protocol.Source]int{}
+		csv, jsonl = sinkBytes(t, func(sinks ...Sink) error {
+			_, err := j.RunCached(ctx, CacheRunOpts{
+				Store: store,
+				Sinks: sinks,
+				OnCell: func(u CellUpdate) {
+					mu.Lock()
+					sources[u.Source]++
+					mu.Unlock()
+					if u.Result == nil || !protocol.ValidKey(u.Key) {
+						t.Errorf("cell %d: bad update %+v", u.Index, u)
+					}
+				},
+			})
+			return err
+		})
+		if sources[wantSource] != j.Cells() || len(sources) != 1 {
+			t.Fatalf("want %d cells all %q, got %v", j.Cells(), wantSource, sources)
+		}
+		return csv, jsonl
+	}
+
+	coldCSV, coldJSONL := cached(protocol.SourceComputed)
+	warmCSV, warmJSONL := cached(protocol.SourceHit)
+
+	if !bytes.Equal(plainCSV, coldCSV) || !bytes.Equal(plainJSONL, coldJSONL) {
+		t.Fatal("cold cached run differs from plain Run")
+	}
+	if !bytes.Equal(plainCSV, warmCSV) || !bytes.Equal(plainJSONL, warmJSONL) {
+		t.Fatal("warm cached run differs from plain Run")
+	}
+}
+
+// TestRunCachedCrossSweepSharing: a different grid that crosses through
+// some of the same cells hits the cache for exactly those cells —
+// cell identity is independent of the enumerating sweep.
+func TestRunCachedCrossSweepSharing(t *testing.T) {
+	ctx := context.Background()
+	store := newMapStore()
+
+	first := tinySpec() // targets {6, 8} × 2 algorithms
+	j1, err := Plan(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.RunCached(ctx, CacheRunOpts{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	second := tinySpec()
+	second.Name = "other-sweep" // must not affect cell identity
+	second.Targets = []int{8, 10}
+	j2, err := Plan(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	sources := map[protocol.Source]int{}
+	if _, err := j2.RunCached(ctx, CacheRunOpts{
+		Store: store,
+		OnCell: func(u CellUpdate) {
+			mu.Lock()
+			sources[u.Source]++
+			mu.Unlock()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// targets=8 under each of the two algorithms overlaps; targets=10
+	// is new.
+	if sources[protocol.SourceHit] != 2 || sources[protocol.SourceComputed] != 2 {
+		t.Fatalf("want 2 hits + 2 computed, got %v", sources)
+	}
+}
+
+// TestCellKeySensitivity pins what is — and is not — part of a cell's
+// content-addressed identity.
+func TestCellKeySensitivity(t *testing.T) {
+	key := func(mutate func(*Spec)) string {
+		spec := tinySpec()
+		if mutate != nil {
+			mutate(&spec)
+		}
+		j, err := Plan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := j.CellKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !protocol.ValidKey(k) {
+			t.Fatalf("malformed key %q", k)
+		}
+		return k
+	}
+
+	base := key(nil)
+	if key(nil) != base {
+		t.Fatal("cell key is not deterministic")
+	}
+
+	// Identity must ignore the grid around the cell and the sweep's
+	// name/worker knobs...
+	same := map[string]func(*Spec){
+		"sweep name":    func(s *Spec) { s.Name = "renamed" },
+		"extra cells":   func(s *Spec) { s.Targets = []int{6, 8, 10, 12} },
+		"worker count":  func(s *Spec) { s.Workers = 3 },
+		"progress hook": func(s *Spec) { s.Progress = func(Progress) {} },
+	}
+	for what, mutate := range same {
+		if key(mutate) != base {
+			t.Errorf("%s changed the cell key; it must not", what)
+		}
+	}
+
+	// ...and react to everything that changes the cell's numbers.
+	differ := map[string]func(*Spec){
+		"point":       func(s *Spec) { s.Targets = []int{7, 8} },
+		"seeds":       func(s *Spec) { s.Seeds = 4 },
+		"base seed":   func(s *Spec) { s.BaseSeed = 99 },
+		"rep shards":  func(s *Spec) { s.RepShards = 2 },
+		"metric set":  func(s *Spec) { s.Metrics = s.Metrics[:2] },
+		"adaptive":    func(s *Spec) { s.Adaptive = &Adaptive{Metric: "avg_dcdt_s", MinReps: 2, RelCI: 0.5} },
+		"cfg digest":  func(s *Spec) { s.ConfigDigest = "deadbeef" },
+		"workload on": func(s *Spec) { s.Workloads = []scenario.Workload{scenario.Packets()} },
+	}
+	for what, mutate := range differ {
+		if key(mutate) == base {
+			t.Errorf("%s did not change the cell key; it must", what)
+		}
+	}
+
+	// Two workloads sharing a name but differing in configuration must
+	// hash apart — the name alone is not the identity.
+	wl := func(gen float64) func(*Spec) {
+		return func(s *Spec) {
+			s.Workloads = []scenario.Workload{{Name: "w", Data: wsn.Config{
+				GenInterval: gen, BufferCap: 50, Deadline: 3600,
+			}}}
+		}
+	}
+	if key(wl(60)) == key(wl(30)) {
+		t.Error("workload config change behind an unchanged name did not change the cell key")
+	}
+}
+
+// TestRunCachedRejectsForeignState: a store returning state whose shape
+// does not match the spec (wrong accumulator count, short fold) is
+// refused with an error naming the key, not folded into output.
+func TestRunCachedRejectsForeignState(t *testing.T) {
+	ctx := context.Background()
+	spec := tinySpec()
+
+	// Warm a store, then replay it against a spec with fewer metrics:
+	// every key differs, so nothing matches — but force a collision by
+	// rewriting the second job's state under its own keys with the
+	// first job's (3-metric) states.
+	store := newMapStore()
+	j1, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.RunCached(ctx, CacheRunOpts{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	narrow := tinySpec()
+	narrow.Metrics = narrow.Metrics[:1]
+	j2, err := Plan(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2, err := j2.CellKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys1, err := j1.CellKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	for i := range keys2 {
+		store.m[keys2[i]] = store.m[keys1[i]] // corrupt: foreign shape under the right key
+	}
+	store.mu.Unlock()
+
+	_, err = j2.RunCached(ctx, CacheRunOpts{Store: store, Parallel: 1})
+	if err == nil {
+		t.Fatal("foreign cached state was accepted")
+	}
+	if !strings.Contains(err.Error(), keys2[0]) || !strings.Contains(err.Error(), "scalar") {
+		t.Fatalf("error should name the key and the shape problem, got: %v", err)
+	}
+}
+
+// TestPartialWireRoundTrip: shard partials survive the protocol wire
+// form losslessly — merging round-tripped partials is byte-identical
+// to merging the originals.
+func TestPartialWireRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	spec := tinySpec()
+	j, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var direct, wired []*Partial
+	for i := 0; i < 2; i++ {
+		sh, err := j.Shard(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := sh.Run(ctx, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, p)
+
+		w := p.Wire()
+		if w.Shard != i || w.Shards != 2 || w.Fingerprint != j.Fingerprint() {
+			t.Fatalf("wire header %+v", w)
+		}
+		for k := 1; k < len(w.Records); k++ {
+			if w.Records[k-1].Cell >= w.Records[k].Cell {
+				t.Fatal("wire records not in ascending cell order")
+			}
+		}
+		rt, err := PartialFromWire(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wired = append(wired, rt)
+	}
+
+	a, aj := sinkBytes(t, func(sinks ...Sink) error {
+		_, err := Merge(spec, direct, sinks...)
+		return err
+	})
+	b, bj := sinkBytes(t, func(sinks ...Sink) error {
+		_, err := Merge(spec, wired, sinks...)
+		return err
+	})
+	if !bytes.Equal(a, b) || !bytes.Equal(aj, bj) {
+		t.Fatal("merge of wire round-tripped partials differs from merge of originals")
+	}
+
+	// A wire document repeating a cell is structural corruption.
+	w := direct[0].Wire()
+	w.Records = append(w.Records, w.Records[0])
+	if _, err := PartialFromWire(w); err == nil || !strings.Contains(err.Error(), "repeats cell") {
+		t.Fatalf("duplicate wire cell accepted: %v", err)
+	}
+}

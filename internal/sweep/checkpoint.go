@@ -26,6 +26,7 @@ import (
 
 	"tctp/internal/scenario"
 	"tctp/internal/stats"
+	"tctp/internal/sweep/protocol"
 )
 
 const checkpointVersion = 1
@@ -49,13 +50,13 @@ type checkpointHeader struct {
 
 // checkpointRecord is one cell's fold state after an in-order fold
 // advance. Later records for the same cell supersede earlier ones.
+// The state body is the transport-neutral protocol.FoldState — the
+// embedding keeps the JSONL encoding identical to the pre-protocol
+// format (cell, next, stopped, reason, scalars, vectors) while letting
+// the cache and the wire share the exact same record type.
 type checkpointRecord struct {
-	Cell    int                        `json:"cell"`
-	Next    int                        `json:"next"`
-	Stopped bool                       `json:"stopped,omitempty"`
-	Reason  string                     `json:"reason,omitempty"`
-	Scalars []stats.AccumulatorState   `json:"scalars"`
-	Vectors [][]stats.AccumulatorState `json:"vectors,omitempty"`
+	Cell int `json:"cell"`
+	protocol.FoldState
 }
 
 // fingerprint hashes the spec's structural identity: everything
@@ -156,11 +157,13 @@ func appendCheckpoint(path string, validLen int64) (*checkpointWriter, error) {
 // the engine lock; the copy is what write encodes outside it.
 func snapshotRecord(cell int, c *collector) *checkpointRecord {
 	rec := &checkpointRecord{
-		Cell:    cell,
-		Next:    c.next,
-		Stopped: c.stopReason != "",
-		Reason:  c.stopReason,
-		Scalars: make([]stats.AccumulatorState, len(c.scalars)),
+		Cell: cell,
+		FoldState: protocol.FoldState{
+			Next:    c.next,
+			Stopped: c.stopReason != "",
+			Reason:  c.stopReason,
+			Scalars: make([]stats.AccumulatorState, len(c.scalars)),
+		},
 	}
 	for i := range c.scalars {
 		rec.Scalars[i] = c.scalars[i].State()
@@ -325,24 +328,36 @@ func loadCheckpoint(path string, j *Job) (map[int]checkpointRecord, int64, error
 // spec's metrics; range and counter invariants are already enforced by
 // checkRecordShape at parse time.
 func validateRecord(rec *checkpointRecord, sp *Spec) error {
-	if len(rec.Scalars) != len(sp.Metrics) {
-		return fmt.Errorf("cell %d carries %d scalar accumulators, spec has %d metrics",
-			rec.Cell, len(rec.Scalars), len(sp.Metrics))
+	if err := validateFoldState(&rec.FoldState, sp); err != nil {
+		return fmt.Errorf("cell %d %w", rec.Cell, err)
+	}
+	return nil
+}
+
+// validateFoldState checks a bare fold state's accumulator shapes
+// against the spec's metrics. It is the guard shared by checkpoint
+// records (which add a cell index) and cache entries (which are keyed
+// by content instead): a state of the wrong shape would corrupt every
+// aggregate folded downstream of it.
+func validateFoldState(st *protocol.FoldState, sp *Spec) error {
+	if len(st.Scalars) != len(sp.Metrics) {
+		return fmt.Errorf("carries %d scalar accumulators, spec has %d metrics",
+			len(st.Scalars), len(sp.Metrics))
 	}
 	if len(sp.Vectors) == 0 {
-		if len(rec.Vectors) != 0 {
-			return fmt.Errorf("cell %d carries vector state, spec has no vector metrics", rec.Cell)
+		if len(st.Vectors) != 0 {
+			return fmt.Errorf("carries vector state, spec has no vector metrics")
 		}
 		return nil
 	}
-	if len(rec.Vectors) != len(sp.Vectors) {
-		return fmt.Errorf("cell %d carries %d vector accumulators, spec has %d",
-			rec.Cell, len(rec.Vectors), len(sp.Vectors))
+	if len(st.Vectors) != len(sp.Vectors) {
+		return fmt.Errorf("carries %d vector accumulators, spec has %d",
+			len(st.Vectors), len(sp.Vectors))
 	}
-	for i, accs := range rec.Vectors {
+	for i, accs := range st.Vectors {
 		if len(accs) != sp.Vectors[i].Len {
-			return fmt.Errorf("cell %d vector %d has %d positions, spec declares %d",
-				rec.Cell, i, len(accs), sp.Vectors[i].Len)
+			return fmt.Errorf("vector %d has %d positions, spec declares %d",
+				i, len(accs), sp.Vectors[i].Len)
 		}
 	}
 	return nil

@@ -22,6 +22,9 @@ package sweep
 
 import (
 	"fmt"
+	"sort"
+
+	"tctp/internal/sweep/protocol"
 )
 
 // Job is a planned sweep, or one shard of it: the defaults-applied
@@ -156,6 +159,49 @@ func LoadPartial(path string) (*Partial, error) {
 	}, nil
 }
 
+// Wire renders the partial as its transport-neutral protocol form:
+// the shard coordinates plus every finished cell's fold state, in
+// ascending cell order. The wire form round-trips losslessly through
+// JSON — PartialFromWire(p.Wire()) merges identically to p.
+func (p *Partial) Wire() protocol.Partial {
+	w := protocol.Partial{
+		Sweep:       p.sweep,
+		Fingerprint: p.fp,
+		Shard:       p.shard,
+		Shards:      p.shards,
+		Offset:      p.offset,
+		Cells:       p.cells,
+		TotalCells:  p.total,
+		MaxReps:     p.maxReps,
+		Records:     make([]protocol.CellRecord, 0, len(p.records)),
+	}
+	for local, rec := range p.records {
+		w.Records = append(w.Records, protocol.CellRecord{Cell: local, FoldState: rec.FoldState})
+	}
+	sort.Slice(w.Records, func(i, k int) bool { return w.Records[i].Cell < w.Records[k].Cell })
+	return w
+}
+
+// PartialFromWire rebuilds a mergeable Partial from its wire form.
+// Like LoadPartial, only structural integrity matters here; spec
+// conformance and completeness are Merge's job.
+func PartialFromWire(w protocol.Partial) (*Partial, error) {
+	p := &Partial{
+		sweep: w.Sweep, fp: w.Fingerprint,
+		shard: w.Shard, shards: w.Shards,
+		offset: w.Offset, cells: w.Cells,
+		total: w.TotalCells, maxReps: w.MaxReps,
+		records: make(map[int]checkpointRecord, len(w.Records)),
+	}
+	for _, r := range w.Records {
+		if _, dup := p.records[r.Cell]; dup {
+			return nil, fmt.Errorf("sweep: wire partial repeats cell %d", r.Cell)
+		}
+		p.records[r.Cell] = checkpointRecord{Cell: r.Cell, FoldState: r.FoldState}
+	}
+	return p, nil
+}
+
 // Merge fuses shard partials into the full sweep result, streaming the
 // cells to the sinks in plan enumeration order. The partials must all
 // carry the spec's plan fingerprint (a mismatch is refused — merging
@@ -221,7 +267,18 @@ func Merge(spec Spec, partials []*Partial, sinks ...Sink) (*Result, error) {
 				i, j.defs[i].point, rec.Next, maxReps)
 		}
 	}
+	return j.emitRecords(func(i int) checkpointRecord { return global[i] }, sinks)
+}
 
+// emitRecords rebuilds every cell of the job from its final fold
+// record and streams the results to the sinks in plan enumeration
+// order. Because each record is the bit-exact state of the cell's
+// seed-ordered fold, the sink output is byte-identical to a live run
+// of the same job — this is the single emission path shared by Merge
+// and RunCached, so "restored from shards" and "restored from the
+// cache" cannot drift from each other.
+func (j *Job) emitRecords(record func(i int) checkpointRecord, sinks []Sink) (*Result, error) {
+	sp := &j.spec
 	result := &Result{Skipped: j.skipped}
 	for _, s := range sinks {
 		if err := s.Begin(sp, len(j.defs)); err != nil {
@@ -229,10 +286,10 @@ func Merge(spec Spec, partials []*Partial, sinks ...Sink) (*Result, error) {
 		}
 	}
 	for i := range j.defs {
-		rec := global[i]
+		rec := record(i)
 		c := sp.newCollector()
 		c.restore(rec)
-		cr := finalizeCell(sp, i, j.defs[i].point, c)
+		cr := finalizeCell(sp, j.offset+i, j.defs[i].point, c)
 		for _, s := range sinks {
 			if err := s.Cell(cr); err != nil {
 				return nil, fmt.Errorf("sweep: sink cell %d: %w", i, err)

@@ -1,0 +1,391 @@
+// Package server implements the sweep service: an HTTP/JSON front end
+// that accepts transport-neutral sweep requests (protocol.SweepRequest),
+// plans them with the same builder the CLI uses, and executes them
+// through a shared content-addressed cell cache. Overlapping sweeps
+// share cells, repeated sweeps cost no simulation at all, and N
+// concurrent submissions of the same sweep collapse to one computation
+// (single-flight) — while every result stays byte-identical to a local
+// `tctp-sweep` run of the same flags.
+//
+// Endpoints:
+//
+//	POST /sweeps                 submit a SweepRequest; 202 + SubmitResponse,
+//	                             or 429 + Retry-After when at capacity
+//	GET  /sweeps/{id}            SweepStatus
+//	GET  /sweeps/{id}/events     NDJSON event stream: one "cell" event per
+//	                             resolved cell (with its source: computed /
+//	                             hit / joined), then "done" or "error"
+//	GET  /sweeps/{id}/result.csv    the sweep's CSV, blocking until done
+//	GET  /sweeps/{id}/result.jsonl  the sweep's JSONL, blocking until done
+//	GET  /stats                  cache and admission counters
+//
+// Backpressure is two-layered: admission (at most MaxSweeps sweeps in
+// flight; beyond that POST /sweeps returns 429 with Retry-After) and
+// the cache's compute gate (cache.Options.Gate), which bounds how many
+// cell simulations run at once across all admitted sweeps — cache
+// hits and single-flight joins bypass the gate entirely, so a warm
+// server stays responsive even at its compute limit.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tctp/internal/sweep"
+	"tctp/internal/sweep/build"
+	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/protocol"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the shared cell cache (required). Its Gate option is
+	// the server's compute-concurrency bound.
+	Store *cache.Store
+	// MaxSweeps bounds concurrently executing sweeps; submissions
+	// beyond it receive 429 + Retry-After. Default 8. Negative means
+	// zero (every submission rejected — useful only in tests).
+	MaxSweeps int
+	// Parallel is each sweep's cell-resolution concurrency
+	// (sweep.CacheRunOpts.Parallel); 0 = GOMAXPROCS. Cells that miss
+	// are additionally gated by the store, so this mostly bounds how
+	// many cache lookups and joins a single sweep keeps in flight.
+	Parallel int
+	// RetryAfter is the Retry-After hint (seconds) on 429 responses;
+	// default 2.
+	RetryAfter int
+}
+
+// Stats is the GET /stats document: the shared cache's counters plus
+// the admission counters.
+type Stats struct {
+	Cache cache.Stats `json:"cache"`
+	// Submitted counts accepted sweeps, Rejected 429s, Active the
+	// sweeps executing right now, Done and Failed the finished ones.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Active    int   `json:"active"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+}
+
+// sweepRun is the server-side state of one submitted sweep.
+type sweepRun struct {
+	id string
+	fp string
+
+	mu       sync.Mutex
+	state    string // "running", "done", "failed"
+	events   []protocol.Event
+	notify   chan struct{} // closed and replaced on every append
+	cells    int
+	done     int
+	hits     int
+	computed int
+	joined   int
+	csv      []byte
+	jsonl    []byte
+	errMsg   string
+	finished chan struct{}
+}
+
+// Server is the sweep service. It implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	sweeps    map[string]*sweepRun
+	nextID    int
+	active    int
+	submitted int64
+	rejected  int64
+	doneN     int
+	failedN   int
+}
+
+// New builds a Server around a shared cell cache.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if cfg.MaxSweeps == 0 {
+		cfg.MaxSweeps = 8
+	}
+	if cfg.MaxSweeps < 0 {
+		cfg.MaxSweeps = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		sweeps: make(map[string]*sweepRun),
+	}
+	s.mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /sweeps/{id}/result.csv", s.handleResult)
+	s.mux.HandleFunc("GET /sweeps/{id}/result.jsonl", s.handleResult)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit admits, plans, and launches a sweep.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req protocol.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	// Execution-side knobs are the server's to choose, not the
+	// client's: a request cannot oversubscribe the shared machine.
+	req.Workers = 0
+	spec, err := build.Spec(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	job, err := sweep.Plan(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.active >= s.cfg.MaxSweeps {
+		s.rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		httpError(w, http.StatusTooManyRequests,
+			"sweep capacity reached (%d in flight); retry after %ds",
+			s.cfg.MaxSweeps, s.cfg.RetryAfter)
+		return
+	}
+	s.active++
+	s.submitted++
+	s.nextID++
+	sr := &sweepRun{
+		id:       fmt.Sprintf("s%d", s.nextID),
+		fp:       job.Fingerprint(),
+		state:    "running",
+		cells:    job.Cells(),
+		notify:   make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	s.sweeps[sr.id] = sr
+	s.mu.Unlock()
+
+	skipped := job.TotalCells() - job.Cells()
+	go s.execute(sr, job)
+
+	writeJSON(w, http.StatusAccepted, protocol.SubmitResponse{
+		ID: sr.id, Fingerprint: sr.fp, Cells: sr.cells, Skipped: skipped,
+	})
+}
+
+// execute runs the sweep through the shared cache and records its
+// events and final artifacts.
+func (s *Server) execute(sr *sweepRun, job *sweep.Job) {
+	var csvBuf, jsonlBuf bytes.Buffer
+	_, err := job.RunCached(context.Background(), sweep.CacheRunOpts{
+		Store:    s.cfg.Store,
+		Parallel: s.cfg.Parallel,
+		Sinks:    []sweep.Sink{sweep.CSV(&csvBuf), sweep.JSONL(&jsonlBuf)},
+		OnCell:   sr.cell,
+	})
+
+	sr.mu.Lock()
+	if err != nil {
+		sr.state = "failed"
+		sr.errMsg = err.Error()
+		sr.append(protocol.Event{Type: "error", Error: sr.errMsg})
+	} else {
+		sr.state = "done"
+		sr.csv = csvBuf.Bytes()
+		sr.jsonl = jsonlBuf.Bytes()
+		sr.append(protocol.Event{Type: "done", Cells: sr.done, Runs: runsOf(sr)})
+	}
+	sr.mu.Unlock()
+	close(sr.finished)
+
+	s.mu.Lock()
+	s.active--
+	if err != nil {
+		s.failedN++
+	} else {
+		s.doneN++
+	}
+	s.mu.Unlock()
+}
+
+// runsOf sums folded replications over the recorded cell events.
+// Caller holds sr.mu.
+func runsOf(sr *sweepRun) int {
+	runs := 0
+	for _, ev := range sr.events {
+		if ev.Type != "cell" || ev.Result == nil {
+			continue
+		}
+		var c struct {
+			Reps int `json:"reps"`
+		}
+		if json.Unmarshal(ev.Result, &c) == nil {
+			runs += c.Reps
+		}
+	}
+	return runs
+}
+
+// cell records one resolved cell as an event (called concurrently by
+// the cached run).
+func (sr *sweepRun) cell(u sweep.CellUpdate) {
+	res, _ := json.Marshal(u.Result)
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.done++
+	switch u.Source {
+	case protocol.SourceHit:
+		sr.hits++
+	case protocol.SourceJoined:
+		sr.joined++
+	default:
+		sr.computed++
+	}
+	sr.append(protocol.Event{
+		Type: "cell", Cell: u.Index, Key: u.Key, Source: u.Source, Result: res,
+	})
+}
+
+// append records an event and wakes the streamers. Caller holds sr.mu.
+func (sr *sweepRun) append(ev protocol.Event) {
+	sr.events = append(sr.events, ev)
+	close(sr.notify)
+	sr.notify = make(chan struct{})
+}
+
+func (sr *sweepRun) status() protocol.SweepStatus {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return protocol.SweepStatus{
+		ID: sr.id, State: sr.state, Fingerprint: sr.fp,
+		Cells: sr.cells, CellsDone: sr.done,
+		Hits: sr.hits, Computed: sr.computed, Joined: sr.joined,
+		Error: sr.errMsg,
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweepRun {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sr := s.sweeps[id]
+	s.mu.Unlock()
+	if sr == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
+	}
+	return sr
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sr := s.lookup(w, r); sr != nil {
+		writeJSON(w, http.StatusOK, sr.status())
+	}
+}
+
+// handleEvents streams the sweep's events as NDJSON: everything
+// recorded so far, then live until the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookup(w, r)
+	if sr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		sr.mu.Lock()
+		batch := sr.events[next:]
+		next = len(sr.events)
+		terminal := sr.state != "running"
+		notify := sr.notify
+		sr.mu.Unlock()
+		for _, ev := range batch {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResult serves the finished sweep's CSV or JSONL, blocking
+// until the sweep completes. A failed sweep answers 409 with its
+// error.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookup(w, r)
+	if sr == nil {
+		return
+	}
+	select {
+	case <-sr.finished:
+	case <-r.Context().Done():
+		return
+	}
+	sr.mu.Lock()
+	failed, errMsg := sr.state == "failed", sr.errMsg
+	body := sr.csv
+	ctype := "text/csv"
+	if strings.HasSuffix(r.URL.Path, ".jsonl") {
+		body = sr.jsonl
+		ctype = "application/x-ndjson"
+	}
+	sr.mu.Unlock()
+	if failed {
+		httpError(w, http.StatusConflict, "sweep %s failed: %s", sr.id, errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := Stats{
+		Submitted: s.submitted, Rejected: s.rejected,
+		Active: s.active, Done: s.doneN, Failed: s.failedN,
+	}
+	s.mu.Unlock()
+	st.Cache = s.cfg.Store.Stats()
+	writeJSON(w, http.StatusOK, st)
+}

@@ -173,6 +173,23 @@ func (w Walk) PointAt(pts []geom.Point, d float64) geom.Point {
 	return pointAt(closed, geom.PathLen(closed), d)
 }
 
+// PointsAt is PointAt for a batch of arc lengths: the closed polyline
+// and its total length are built once and shared by every query. The
+// result is bit-identical to calling PointAt per offset. It panics on
+// an empty walk.
+func (w Walk) PointsAt(pts []geom.Point, ds []float64) []geom.Point {
+	closed := w.closedPoints(pts)
+	if len(closed) == 0 {
+		panic("walk: PointsAt on empty walk")
+	}
+	total := geom.PathLen(closed)
+	out := make([]geom.Point, len(ds))
+	for i, d := range ds {
+		out[i] = pointAt(closed, total, d)
+	}
+	return out
+}
+
 // pointAt is PointAt over a prebuilt closed polyline and its length,
 // letting batch callers (StartPoints) pay for closedPoints and PathLen
 // once instead of per query.
@@ -235,38 +252,59 @@ func (w Walk) ArcOffsets(pts []geom.Point) []float64 {
 // closest point instead of performing location initialization. It
 // panics on an empty walk.
 func (w Walk) NearestOffset(pts []geom.Point, p geom.Point) float64 {
+	return w.NearestOffsets(pts, []geom.Point{p})[0]
+}
+
+// NearestOffsets is NearestOffset for a batch of query points in one
+// polyline pass: the closed polyline, each segment's length, and the
+// running arc offset are computed once and shared by every query,
+// instead of once per query as a per-mule NearestOffset loop would.
+// The result is bit-identical to calling NearestOffset per point —
+// each query still scans segments in walk order and keeps the first
+// strictly nearer projection (ties resolve to the earlier segment). It
+// panics on an empty walk.
+func (w Walk) NearestOffsets(pts []geom.Point, ps []geom.Point) []float64 {
 	closed := w.closedPoints(pts)
 	if len(closed) == 0 {
-		panic("walk: NearestOffset on empty walk")
+		panic("walk: NearestOffsets on empty walk")
 	}
-	bestOff, bestDist := 0.0, math.Inf(1)
+	bestOff := make([]float64, len(ps))
+	bestDist := make([]float64, len(ps))
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+	}
 	acc := 0.0
 	for i := 1; i < len(closed); i++ {
 		a, b := closed[i-1], closed[i]
 		seg := geom.Segment{A: a, B: b}
 		segLen := seg.Len()
-		// Project p onto the segment to find the closest point and
-		// its arc position.
-		t := 0.0
-		if segLen > 0 {
-			t = p.Sub(a).Dot(b.Sub(a)) / (segLen * segLen)
-			if t < 0 {
-				t = 0
+		ab := b.Sub(a)
+		for j, p := range ps {
+			// Project p onto the segment to find the closest point
+			// and its arc position.
+			t := 0.0
+			if segLen > 0 {
+				t = p.Sub(a).Dot(ab) / (segLen * segLen)
+				if t < 0 {
+					t = 0
+				}
+				if t > 1 {
+					t = 1
+				}
 			}
-			if t > 1 {
-				t = 1
+			q := a.Lerp(b, t)
+			if d := p.Dist(q); d < bestDist[j] {
+				bestDist[j] = d
+				bestOff[j] = acc + t*segLen
 			}
-		}
-		q := a.Lerp(b, t)
-		if d := p.Dist(q); d < bestDist {
-			bestDist = d
-			bestOff = acc + t*segLen
 		}
 		acc += segLen
 	}
 	total := acc
-	if total > 0 && bestOff >= total {
-		bestOff -= total
+	for j, off := range bestOff {
+		if total > 0 && off >= total {
+			bestOff[j] = off - total
+		}
 	}
 	return bestOff
 }

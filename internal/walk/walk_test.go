@@ -418,6 +418,98 @@ func TestNearestOffsetPanicsEmpty(t *testing.T) {
 	New(nil).NearestOffset(unitSquare(), geom.Pt(0, 0))
 }
 
+// referenceNearestOffset is the retained per-query implementation the
+// batched NearestOffsets replaced: scan segments in walk order, keep
+// the first strictly nearer projection. The equivalence test below
+// holds NearestOffsets (and so NearestOffset) to it bit for bit.
+func referenceNearestOffset(w Walk, pts []geom.Point, p geom.Point) float64 {
+	closed := w.closedPoints(pts)
+	bestOff, bestDist := 0.0, math.Inf(1)
+	acc := 0.0
+	for i := 1; i < len(closed); i++ {
+		a, b := closed[i-1], closed[i]
+		segLen := geom.Segment{A: a, B: b}.Len()
+		t := 0.0
+		if segLen > 0 {
+			t = p.Sub(a).Dot(b.Sub(a)) / (segLen * segLen)
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+		}
+		q := a.Lerp(b, t)
+		if d := p.Dist(q); d < bestDist {
+			bestDist = d
+			bestOff = acc + t*segLen
+		}
+		acc += segLen
+	}
+	if acc > 0 && bestOff >= acc {
+		bestOff -= acc
+	}
+	return bestOff
+}
+
+// TestNearestOffsetsMatchesReference: the one-pass batch is bit-equal
+// to the per-query scan on random walks — including tie cases, where
+// the strict < comparison must keep the earliest equidistant segment.
+func TestNearestOffsetsMatchesReference(t *testing.T) {
+	src := xrand.New(29)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + src.Intn(12)
+		pts := make([]geom.Point, n)
+		seq := make([]int, n)
+		for i := range pts {
+			pts[i] = geom.Pt(src.Range(0, 500), src.Range(0, 500))
+			seq[i] = i
+		}
+		w := New(seq)
+		qs := make([]geom.Point, 6)
+		for i := range qs {
+			qs[i] = geom.Pt(src.Range(-100, 600), src.Range(-100, 600))
+		}
+		// Walk vertices are equidistant from two adjacent segments:
+		// guaranteed ties.
+		qs = append(qs, pts[0], pts[n/2])
+		got := w.NearestOffsets(pts, qs)
+		for i, q := range qs {
+			if want := referenceNearestOffset(w, pts, q); got[i] != want {
+				t.Fatalf("trial %d query %d: NearestOffsets = %v, reference = %v",
+					trial, i, got[i], want)
+			}
+			if one := w.NearestOffset(pts, q); one != got[i] {
+				t.Fatalf("trial %d query %d: NearestOffset = %v, batch = %v",
+					trial, i, one, got[i])
+			}
+		}
+	}
+	// The exact tie: the square's center is equidistant from all four
+	// edges; the first segment must win.
+	sq := unitSquare()
+	w := New([]int{0, 1, 2, 3})
+	center := geom.Pt(50, 50)
+	if got, want := w.NearestOffsets(sq, []geom.Point{center})[0],
+		referenceNearestOffset(w, sq, center); got != want || got != 50 {
+		t.Fatalf("center tie: batch %v, reference %v, want 50", got, want)
+	}
+}
+
+// TestPointsAtMatchesPointAt: the shared-polyline batch is bit-equal to
+// per-offset PointAt, including negative and wrapping offsets.
+func TestPointsAtMatchesPointAt(t *testing.T) {
+	pts := unitSquare()
+	w := New([]int{0, 1, 2, 3})
+	ds := []float64{0, 30, 100, 399.5, 400, 650, -50, -400}
+	got := w.PointsAt(pts, ds)
+	for i, d := range ds {
+		if want := w.PointAt(pts, d); got[i] != want {
+			t.Fatalf("PointsAt[%d] (d=%v) = %v, PointAt = %v", i, d, got[i], want)
+		}
+	}
+}
+
 // Property: the point at the returned offset is never farther from the
 // query than any sampled point of the walk.
 func TestNearestOffsetProperty(t *testing.T) {
