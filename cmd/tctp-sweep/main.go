@@ -122,6 +122,8 @@ func main() {
 		resumeF    = flag.Bool("resume", false, "continue from the -checkpoint file instead of starting over")
 		adaptive   = flag.String("adaptive", "", "adaptive replication as metric:relci[:min[:max]], e.g. avg_dcdt_s:0.05:5:50")
 		partition  = flag.String("partition", "", `comma-separated partition axis values: none or method:k[:alloc], e.g. "none,kmeans:4" (methods kmeans, sectors; alloc length, count)`)
+		failures   = flag.String("failures", "", `comma-separated failure-injection axis values: none or rate[:handoff], e.g. "none,0.5:absorb" (handoffs `+patrol.HandoffNames+`)`)
+		handoff    = flag.String("handoff", "", "default handoff policy for -failures values without their own: "+patrol.HandoffNames)
 		shard      = flag.String("shard", "", `run one shard of the grid as "i/n" (1-based), e.g. -shard 2/3`)
 		merge      = flag.String("merge", "", `merge the shard checkpoint files given as arguments, writing the full sweep to this path ("-" = stdout)`)
 		server     = flag.String("server", "", "submit the sweep to this tctp-server base URL instead of running locally")
@@ -139,7 +141,8 @@ func main() {
 		Workers: *workers, RepShards: *repShards, Format: *format, Progress: *progress,
 		Checkpoint: *checkpoint, Resume: *resumeF, Adaptive: *adaptive,
 		Partition: *partition,
-		Shard:     *shard, Merge: *merge, MergeInputs: flag.Args(),
+		Failures:  *failures, Handoff: *handoff,
+		Shard: *shard, Merge: *merge, MergeInputs: flag.Args(),
 		Server: *server,
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
@@ -172,6 +175,8 @@ type config struct {
 	Resume                                                      bool
 	Adaptive                                                    string
 	Partition                                                   string
+	Failures                                                    string
+	Handoff                                                     string
 	Shard                                                       string
 	Merge                                                       string
 	MergeInputs                                                 []string
@@ -193,6 +198,7 @@ func (cfg config) request() (protocol.SweepRequest, error) {
 		Seeds:  cfg.Seeds, BaseSeed: cfg.BaseSeed, Horizon: cfg.Horizon,
 		Workers: cfg.Workers, RepShards: cfg.RepShards,
 		Adaptive: cfg.Adaptive, Partition: cfg.Partition,
+		Failures: cfg.Failures, Handoff: cfg.Handoff,
 	}
 	if cfg.Scenario != "" {
 		b, err := os.ReadFile(cfg.Scenario)

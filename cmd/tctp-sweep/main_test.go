@@ -224,7 +224,7 @@ func TestScenarioAxesSweep(t *testing.T) {
 	for i, line := range lines[1:] {
 		rec := strings.Split(line, ",")
 		workload := rec[10]
-		delivered := rec[21] // point columns + reps + 4 metric pairs
+		delivered := rec[22] // point columns + reps + 4 metric pairs
 		if workload == "packets" && delivered == "0.000" {
 			t.Fatalf("row %d: workload-on cell delivered nothing: %s", i, line)
 		}
@@ -416,9 +416,9 @@ func TestAdaptiveSweepCLI(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
 	rec := strings.Split(lines[1], ",")
-	reps, err := strconv.Atoi(rec[12]) // the reps column follows the 12 point columns
+	reps, err := strconv.Atoi(rec[13]) // the reps column follows the 13 point columns
 	if err != nil {
-		t.Fatalf("reps column %q: %v", rec[12], err)
+		t.Fatalf("reps column %q: %v", rec[13], err)
 	}
 	if reps < 3 || reps >= 30 {
 		t.Fatalf("adaptive cell ran %d reps, want early stop in [3,30)", reps)

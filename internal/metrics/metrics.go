@@ -311,3 +311,92 @@ func (r *Recorder) EventDCDTSeries(maxK int) []float64 {
 	}
 	return out
 }
+
+// FirstVisitAfter returns the time of the target's first visit at or
+// after t0, or -1 when the target is never visited again. Visit logs
+// are time-ordered (simulation time is monotone), so the lookup is a
+// binary search.
+func (r *Recorder) FirstVisitAfter(target int, t0 float64) float64 {
+	ts := r.visits[target]
+	i := sort.SearchFloat64s(ts, t0)
+	if i == len(ts) {
+		return -1
+	}
+	return ts[i]
+}
+
+// TimeToRecoverOver returns how long after t0 the patrol needs until
+// every member target (nil = all) has been visited again: the maximum
+// over targets of (first visit ≥ t0) − t0. A target never visited
+// again in [t0, end] is censored at the window end, contributing
+// end − t0 — the degraded-mode time-to-recover after a fleet failure.
+func (r *Recorder) TimeToRecoverOver(targets []int, t0, end float64) float64 {
+	worst := 0.0
+	r.eachTarget(targets, func(t int) {
+		d := end - t0
+		if v := r.FirstVisitAfter(t, t0); v >= 0 && v <= end {
+			d = v - t0
+		}
+		if d > worst {
+			worst = d
+		}
+	})
+	if worst < 0 {
+		worst = 0
+	}
+	return worst
+}
+
+// maxGap returns the target's longest visit-free stretch within the
+// window [from, to], counting the boundary stretches from→first visit
+// and last visit→to; a target unvisited in the window contributes the
+// whole window length.
+func (r *Recorder) maxGap(target int, from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	ts := r.visits[target]
+	prev := from
+	gap := 0.0
+	for _, v := range ts[sort.SearchFloat64s(ts, from):] {
+		if v > to {
+			break
+		}
+		if g := v - prev; g > gap {
+			gap = g
+		}
+		prev = v
+	}
+	if g := to - prev; g > gap {
+		gap = g
+	}
+	return gap
+}
+
+// MaxGapOver returns the longest visit-free stretch any member target
+// (nil = all) suffers within [from, to] — the worst-case coverage gap
+// of a degraded fleet.
+func (r *Recorder) MaxGapOver(targets []int, from, to float64) float64 {
+	m := 0.0
+	r.eachTarget(targets, func(t int) {
+		if g := r.maxGap(t, from, to); g > m {
+			m = g
+		}
+	})
+	return m
+}
+
+// AvgMaxGapOver averages the per-target longest visit-free stretch
+// within [from, to] over the subset (nil = all targets) — the
+// coverage-gap duration metric of degraded-mode sweeps.
+func (r *Recorder) AvgMaxGapOver(targets []int, from, to float64) float64 {
+	sum, n := 0.0, 0
+	r.eachTarget(targets, func(t int) {
+		sum += r.maxGap(t, from, to)
+		n++
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -345,3 +345,59 @@ func TestOverSubsetMetrics(t *testing.T) {
 		t.Fatalf("AvgDCDTAfterOver({0,1}, 15) = %v, want 40", got)
 	}
 }
+
+// Degraded-mode windows: FirstVisitAfter, TimeToRecoverOver, and the
+// coverage-gap family, including the censored (never revisited) and
+// empty-window edges.
+func TestDegradedModeWindows(t *testing.T) {
+	r := NewRecorder(3)
+	// target 0: visits at 10, 20, 80; target 1: visit at 5 only;
+	// target 2: never visited.
+	r.OnVisit(0, 0, 10)
+	r.OnVisit(0, 0, 20)
+	r.OnVisit(0, 0, 80)
+	r.OnVisit(0, 1, 5)
+
+	if got := r.FirstVisitAfter(0, 15); got != 20 {
+		t.Fatalf("FirstVisitAfter(0,15) = %v, want 20", got)
+	}
+	if got := r.FirstVisitAfter(0, 20); got != 20 {
+		t.Fatalf("FirstVisitAfter(0,20) = %v, want 20 (at-or-after)", got)
+	}
+	if got := r.FirstVisitAfter(1, 10); got != -1 {
+		t.Fatalf("FirstVisitAfter(1,10) = %v, want -1", got)
+	}
+	if got := r.FirstVisitAfter(2, 0); got != -1 {
+		t.Fatalf("FirstVisitAfter(2,0) = %v, want -1", got)
+	}
+
+	// Recovery from t0=30 to horizon 100: target 0 recovers at 80
+	// (50 s), targets 1 and 2 never — censored at 70 s.
+	if got := r.TimeToRecoverOver(nil, 30, 100); got != 70 {
+		t.Fatalf("TimeToRecoverOver(nil,30,100) = %v, want 70 (censored)", got)
+	}
+	if got := r.TimeToRecoverOver([]int{0}, 30, 100); got != 50 {
+		t.Fatalf("TimeToRecoverOver({0},30,100) = %v, want 50", got)
+	}
+
+	// Max gap in [30, 100]: target 0's is 80→100 = 30 (30→80 = 50,
+	// window edges count); unvisited target 2 spans the whole window.
+	if got := r.MaxGapOver([]int{0}, 30, 100); got != 50 {
+		t.Fatalf("MaxGapOver({0},30,100) = %v, want 50", got)
+	}
+	if got := r.MaxGapOver([]int{2}, 30, 100); got != 70 {
+		t.Fatalf("MaxGapOver({2},30,100) = %v, want 70", got)
+	}
+	if got := r.MaxGapOver(nil, 30, 100); got != 70 {
+		t.Fatalf("MaxGapOver(nil,30,100) = %v, want 70", got)
+	}
+	// AvgMaxGapOver is the per-target mean: (50 + 70 + 70) / 3.
+	want := (50.0 + 70 + 70) / 3
+	if got := r.AvgMaxGapOver(nil, 30, 100); got != want {
+		t.Fatalf("AvgMaxGapOver(nil,30,100) = %v, want %v", got, want)
+	}
+	// Degenerate window.
+	if got := r.MaxGapOver(nil, 100, 100); got != 0 {
+		t.Fatalf("MaxGapOver(nil,100,100) = %v, want 0", got)
+	}
+}

@@ -85,6 +85,19 @@ type Mule struct {
 	dead   bool
 	parked bool
 
+	// pending is the mule's single outstanding engine event (there is
+	// never more than one); Kill and Reroute cancel it to preempt the
+	// mule mid-leg or mid-dwell.
+	pending sim.Cancel
+	// Leg tracking for mid-leg preemption: while inFlight, the mule is
+	// somewhere on the segment legFrom→legTo, having departed at
+	// legDepart; its true position is time-interpolated.
+	inFlight  bool
+	legFrom   geom.Point
+	legTo     geom.Point
+	legDepart float64
+	legDist   float64
+
 	distance  float64
 	visits    int
 	energyUse float64
@@ -106,7 +119,7 @@ func New(eng *sim.Engine, cfg Config) *Mule {
 // Launch schedules the mule's first movement at the current simulation
 // time.
 func (m *Mule) Launch() {
-	m.eng.After(0, m.advance)
+	m.pending = m.eng.After(0, m.advance)
 }
 
 // ID returns the mule's identifier.
@@ -164,7 +177,9 @@ func (m *Mule) advance() {
 		if dist > 0 {
 			deathPos = m.pos.Lerp(wp.Pos, affordable/dist)
 		}
-		m.eng.After(affordable/m.cfg.Speed, func() {
+		m.startLeg(deathPos, affordable)
+		m.pending = m.eng.After(affordable/m.cfg.Speed, func() {
+			m.inFlight = false
 			m.energyUse += b.Level()
 			b.Drain(b.Level() + 1) // force dead
 			m.distance += affordable
@@ -177,12 +192,104 @@ func (m *Mule) advance() {
 		return
 	}
 
-	m.eng.After(dist/m.cfg.Speed, func() { m.arrive(wp, dist, moveEnergy) })
+	m.startLeg(wp.Pos, dist)
+	m.pending = m.eng.After(dist/m.cfg.Speed, func() { m.arrive(wp, dist, moveEnergy) })
+}
+
+// startLeg records the in-flight segment so Kill/Reroute/PosNow can
+// interpolate the mule's position between departure and arrival events.
+func (m *Mule) startLeg(to geom.Point, dist float64) {
+	m.inFlight = true
+	m.legFrom = m.pos
+	m.legTo = to
+	m.legDepart = m.eng.Now()
+	m.legDist = dist
+}
+
+// settleLeg finalizes a preempted leg: the mule is moved to its
+// time-interpolated position and the distance/energy actually spent on
+// the partial leg is booked, exactly as arrive would have booked the
+// whole leg.
+func (m *Mule) settleLeg() {
+	if !m.inFlight {
+		return
+	}
+	m.inFlight = false
+	covered := (m.eng.Now() - m.legDepart) * m.cfg.Speed
+	if covered > m.legDist {
+		covered = m.legDist
+	}
+	if covered < 0 {
+		covered = 0
+	}
+	if m.legDist > 0 {
+		m.pos = m.legFrom.Lerp(m.legTo, covered/m.legDist)
+	} else {
+		m.pos = m.legTo
+	}
+	m.distance += covered
+	e := m.cfg.Energy.MoveEnergy(covered)
+	m.energyUse += e
+	if b := m.cfg.Battery; b != nil {
+		b.Drain(e)
+	}
+}
+
+// PosNow returns the mule's position at the current simulation time,
+// interpolating along the in-flight leg when the mule is between
+// waypoint events.
+func (m *Mule) PosNow() geom.Point {
+	if !m.inFlight || m.legDist <= 0 {
+		return m.pos
+	}
+	frac := (m.eng.Now() - m.legDepart) * m.cfg.Speed / m.legDist
+	if frac <= 0 {
+		return m.legFrom
+	}
+	if frac >= 1 {
+		return m.legTo
+	}
+	return m.legFrom.Lerp(m.legTo, frac)
+}
+
+// Kill stops the mule where it stands at the current simulation time —
+// the injected-failure analogue of a battery death. The in-flight leg
+// (if any) is settled at the interpolated position, the pending event
+// is cancelled, and OnDeath fires. Killing a dead mule is a no-op.
+func (m *Mule) Kill() {
+	if m.dead {
+		return
+	}
+	m.pending.Cancel()
+	m.settleLeg()
+	m.dead = true
+	if m.cfg.OnDeath != nil {
+		m.cfg.OnDeath(m.cfg.ID, m.eng.Now(), m.pos)
+	}
+}
+
+// Reroute swaps the mule's router mid-simulation: the in-flight leg is
+// settled at the interpolated position, any pending dwell or hold is
+// abandoned, and the mule immediately asks the new router for its next
+// waypoint. Rerouting a dead mule only records the router.
+func (m *Mule) Reroute(r Router) {
+	m.cfg.Router = r
+	if m.dead {
+		return
+	}
+	m.pending.Cancel()
+	m.settleLeg()
+	m.parked = false
+	m.pending = m.eng.After(0, m.advance)
 }
 
 // arrive finalizes a leg: position/energy bookkeeping, recharge,
 // collection dwell, then the next leg.
 func (m *Mule) arrive(wp Waypoint, dist, moveEnergy float64) {
+	if m.dead {
+		return
+	}
+	m.inFlight = false
 	m.pos = wp.Pos
 	m.distance += dist
 	m.energyUse += moveEnergy
@@ -201,7 +308,7 @@ func (m *Mule) arrive(wp Waypoint, dist, moveEnergy float64) {
 	}
 
 	if wp.TargetID == NoTarget {
-		m.eng.After(m.holdDelay(wp, 0), m.advance)
+		m.pending = m.eng.After(m.holdDelay(wp, 0), m.advance)
 		return
 	}
 
@@ -224,7 +331,7 @@ func (m *Mule) arrive(wp Waypoint, dist, moveEnergy float64) {
 		b.Drain(visitEnergy)
 	}
 	m.energyUse += visitEnergy
-	m.eng.After(m.holdDelay(wp, m.cfg.Energy.Dwell), m.advance)
+	m.pending = m.eng.After(m.holdDelay(wp, m.cfg.Energy.Dwell), m.advance)
 }
 
 // holdDelay returns the time to stay at the waypoint: at least the

@@ -412,3 +412,72 @@ func TestNotBeforeCombinesWithDwell(t *testing.T) {
 		t.Fatalf("visit times = %v, want [10 60]", times)
 	}
 }
+
+func TestKillMidLegInterpolates(t *testing.T) {
+	eng := sim.New()
+	var deathT float64
+	var deathPos geom.Point
+	m := New(eng, Config{
+		Start:  geom.Pt(0, 0),
+		Speed:  2,
+		Energy: zeroDwell(),
+		Router: &finiteRouter{wps: []Waypoint{{Pos: geom.Pt(100, 0), TargetID: 1}}},
+		OnDeath: func(_ int, tm float64, p geom.Point) {
+			deathT, deathPos = tm, p
+		},
+	})
+	m.Launch()
+	eng.Schedule(25, m.Kill) // halfway along the 50 s leg
+	eng.RunUntil(100)
+	if !m.Dead() {
+		t.Fatal("mule not dead after Kill")
+	}
+	if deathT != 25 {
+		t.Fatalf("death at t=%v, want 25", deathT)
+	}
+	want := geom.Pt(50, 0)
+	if math.Abs(deathPos.X-want.X) > 1e-9 || math.Abs(deathPos.Y-want.Y) > 1e-9 {
+		t.Fatalf("death position %v, want %v (interpolated mid-leg)", deathPos, want)
+	}
+	if math.Abs(m.Distance()-50) > 1e-9 {
+		t.Fatalf("distance %v, want the 50 m covered before the kill", m.Distance())
+	}
+	if m.Visits() != 0 {
+		t.Fatalf("%d visits counted on an unfinished leg", m.Visits())
+	}
+	m.Kill() // idempotent
+	if deathT != 25 {
+		t.Fatal("second Kill re-fired OnDeath")
+	}
+}
+
+func TestRerouteMidLegContinuesFromInterpolatedPos(t *testing.T) {
+	eng := sim.New()
+	var visits []float64
+	m := New(eng, Config{
+		Start:   geom.Pt(0, 0),
+		Speed:   2,
+		Energy:  zeroDwell(),
+		Router:  &finiteRouter{wps: []Waypoint{{Pos: geom.Pt(100, 0), TargetID: 1}}},
+		OnVisit: func(_, _ int, tm float64) { visits = append(visits, tm) },
+	})
+	m.Launch()
+	eng.Schedule(25, func() {
+		if got := m.PosNow(); math.Abs(got.X-50) > 1e-9 || math.Abs(got.Y) > 1e-9 {
+			t.Fatalf("PosNow mid-leg = %v, want (50,0)", got)
+		}
+		// Turn around: back to the origin, 50 m from here.
+		m.Reroute(&finiteRouter{wps: []Waypoint{{Pos: geom.Pt(0, 0), TargetID: 2}}})
+	})
+	eng.RunUntil(200)
+	// Old leg abandoned: exactly one visit, at t = 25 + 50/2 = 50.
+	if len(visits) != 1 || math.Abs(visits[0]-50) > 1e-9 {
+		t.Fatalf("visits %v, want exactly one at t=50", visits)
+	}
+	if math.Abs(m.Distance()-100) > 1e-9 {
+		t.Fatalf("distance %v, want 50 out + 50 back", m.Distance())
+	}
+	if !m.Parked() {
+		t.Fatal("mule not parked after the rerouted finite route")
+	}
+}

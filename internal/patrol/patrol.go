@@ -11,6 +11,7 @@ import (
 	"tctp/internal/core"
 	"tctp/internal/energy"
 	"tctp/internal/field"
+	"tctp/internal/geom"
 	"tctp/internal/metrics"
 	"tctp/internal/mule"
 	"tctp/internal/sim"
@@ -57,6 +58,18 @@ type Options struct {
 	// energy.Audit, or a trace.Tracer. They are invoked after the
 	// built-in bookkeeping for the same event, in slice order.
 	Observers []Observer
+	// Events is the dynamic-world schedule: mid-horizon mule failures
+	// and target spawns, applied in one batch per distinct time. Empty
+	// means the static world of the paper. Targets named by spawn
+	// events start dormant — excluded from the initial plan and from
+	// routing until their event time — which requires a plan-based
+	// algorithm.
+	Events []Event
+	// Handoff selects the fleet's response to events for plan-based
+	// algorithms: HandoffNone (default) leaves surviving routes
+	// untouched, HandoffAbsorb swaps in a replanned FleetPlan at each
+	// event boundary.
+	Handoff Handoff
 }
 
 func (o Options) withDefaults() Options {
@@ -141,8 +154,27 @@ type Result struct {
 	Plan *core.FleetPlan
 	// Groups holds per-group statistics for plan-based runs, in the
 	// plan's group order; nil for online algorithms. Single-circuit
-	// plans carry exactly one entry covering the whole scenario.
+	// plans carry exactly one entry covering the whole scenario. After
+	// a replan the entries still describe the INITIAL plan's groups —
+	// the stable frame degraded-mode metrics are reported in.
 	Groups []GroupStats
+	// Failures lists the injected mule failures that took effect, in
+	// time order (emergent battery deaths are not included; see
+	// MuleStats.Dead).
+	Failures []FailureRecord
+	// Replans records each successful mid-run plan swap performed by
+	// the absorb handoff policy, in time order.
+	Replans []ReplanRecord
+}
+
+// FirstFailureTime returns the time of the first injected failure and
+// whether one occurred — the reference point of the degraded-mode
+// metrics.
+func (r *Result) FirstFailureTime() (float64, bool) {
+	if len(r.Failures) == 0 {
+		return 0, false
+	}
+	return r.Failures[0].Time, true
 }
 
 // GroupDCDTAfter returns group g's steady-state average visiting
@@ -222,19 +254,25 @@ func (a plannedAlg) prepare(s *field.Scenario, opts Options, _ *xrand.Source) ([
 	if err := plan.Validate(s); err != nil {
 		return nil, nil, err
 	}
+	return planRouters(plan, opts, s.NumMules()), plan, nil
+}
+
+// planRouters builds one router per route, holding every mule at its
+// start point until the synchronized patrol start.
+func planRouters(plan *core.FleetPlan, opts Options, n int) []mule.Router {
 	hold := 0.0
 	if !opts.NoSynchronizedStart {
 		// The slowest mule travelling the longest approach bounds every
 		// arrival, so holding until then starts the fleet together even
 		// when speeds differ. For a homogeneous fleet this is exactly
 		// MaxApproach / Speed.
-		hold = plan.MaxApproach / opts.slowestSpeed(s.NumMules())
+		hold = plan.MaxApproach / opts.slowestSpeed(n)
 	}
 	routers := make([]mule.Router, len(plan.Routes))
 	for i := range plan.Routes {
 		routers[i] = &planRouter{route: plan.Routes[i], holdUntil: hold}
 	}
-	return routers, plan, nil
+	return routers
 }
 
 // Partitioned derives the per-region variant of a plan-based
@@ -350,10 +388,40 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 	if src == nil {
 		src = xrand.New(0)
 	}
-
-	routers, plan, err := alg.prepare(s, opts, src)
+	events, active, err := normalizeEvents(s, opts)
 	if err != nil {
 		return nil, err
+	}
+
+	var routers []mule.Router
+	var plan *core.FleetPlan
+	if active != nil {
+		// Some targets start dormant: plan on the reduced view (active
+		// targets only, renumbered) and remap back to global ids. The
+		// plan was validated in view space; the global form deliberately
+		// omits the dormant targets, so it is not re-validated against s.
+		pa, ok := alg.(plannedAlg)
+		if !ok {
+			return nil, fmt.Errorf("patrol: %s cannot patrol dormant targets (target spawns need a plan)", alg.Name())
+		}
+		view, tids, _, verr := core.ActiveView(s, active, nil, nil)
+		if verr != nil {
+			return nil, verr
+		}
+		local, lerr := pa.p.Plan(view)
+		if lerr != nil {
+			return nil, lerr
+		}
+		if verr := local.Validate(view); verr != nil {
+			return nil, verr
+		}
+		plan = core.RemapPlan(local, tids)
+		routers = planRouters(plan, opts, s.NumMules())
+	} else {
+		routers, plan, err = alg.prepare(s, opts, src)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(routers) != s.NumMules() {
 		return nil, fmt.Errorf("patrol: %s produced %d routers for %d mules",
@@ -367,6 +435,26 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 	dispatch := make(multiObserver, 0, 1+len(opts.Observers))
 	dispatch = append(dispatch, rec)
 	dispatch = append(dispatch, opts.Observers...)
+	onDeath := dispatch.OnDeath
+	var rp *replanner
+	if len(events) > 0 {
+		alive := make([]bool, s.NumMules())
+		for i := range alive {
+			alive[i] = true
+		}
+		var groups []core.PatrolGroup
+		if plan != nil {
+			groups = append(groups, plan.Groups...)
+		}
+		rp = &replanner{s: s, opts: opts, eng: eng, alive: alive, active: active, groups: groups}
+		// Every death — injected or emergent battery exhaustion —
+		// updates the alive mask, so later replans never route a
+		// battery-dead mule.
+		onDeath = func(id int, t float64, pos geom.Point) {
+			rp.alive[id] = false
+			dispatch.OnDeath(id, t, pos)
+		}
+	}
 	mules := make([]*mule.Mule, s.NumMules())
 	for i := range mules {
 		var battery *energy.Battery
@@ -384,10 +472,14 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 			Battery:    battery,
 			Router:     routers[i],
 			OnVisit:    dispatch.OnVisit,
-			OnDeath:    dispatch.OnDeath,
+			OnDeath:    onDeath,
 			OnRecharge: dispatch.OnRecharge,
 		})
 		mules[i].Launch()
+	}
+	if rp != nil {
+		rp.mules = mules
+		rp.schedule(events)
 	}
 
 	// Drive the simulation to the horizon, bounded by the MaxEvents
@@ -400,6 +492,9 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 		}
 		eng.Step()
 		executed++
+		if rp != nil && rp.err != nil {
+			return nil, rp.err
+		}
 	}
 	if executed < opts.MaxEvents {
 		eng.RunUntil(opts.Horizon) // no events remain ≤ horizon; set the clock
@@ -410,6 +505,10 @@ func Run(s *field.Scenario, alg Algorithm, opts Options, src *xrand.Source) (*Re
 		Recorder:  rec,
 		Mules:     make([]MuleStats, len(mules)),
 		Plan:      plan,
+	}
+	if rp != nil {
+		res.Failures = rp.failures
+		res.Replans = rp.replans
 	}
 	if plan != nil && !opts.NoSynchronizedStart {
 		res.PatrolStart = plan.MaxApproach / opts.slowestSpeed(s.NumMules())

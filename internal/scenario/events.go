@@ -1,0 +1,167 @@
+// Dynamic-world events, declarative form: a JSON-round-trippable
+// schedule of mid-horizon changes — mule battery deaths, seeded
+// attrition, target spawns — plus the handoff policy the fleet
+// answers them with. Resolve turns the schedule into the runtime
+// patrol.Event form, drawing any attrition picks from the dedicated
+// failure stream (stream 5 of the seed-derivation contract), so the
+// same (scenario, seed) pair always yields the same world.
+
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tctp/internal/field"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// Event kinds of the declarative schedule.
+const (
+	// EventMuleDeath kills one named mule at the event time.
+	EventMuleDeath = "mule_death"
+	// EventAttrition kills Count seeded-random living mules at the
+	// event time (the "lose k mules at t" resilience probe).
+	EventAttrition = "attrition"
+	// EventTargetSpawn activates a target at the event time; the
+	// target is dormant — unplanned and unvisited — before it.
+	EventTargetSpawn = "target_spawn"
+)
+
+// EventKinds lists the accepted kind names.
+const EventKinds = EventMuleDeath + ", " + EventAttrition + ", " + EventTargetSpawn
+
+// Event is one declarative dynamic-world event.
+type Event struct {
+	// Time is the absolute simulation time in seconds.
+	Time float64 `json:"time"`
+	// Kind selects the event type (EventMuleDeath, EventAttrition,
+	// EventTargetSpawn).
+	Kind string `json:"kind"`
+	// Mule is the fleet index killed by a mule_death event.
+	Mule int `json:"mule,omitempty"`
+	// Count is how many living mules an attrition event kills
+	// (0 means 1).
+	Count int `json:"count,omitempty"`
+	// Target is the materialized target id activated by a
+	// target_spawn event. Target 0 is the sink and cannot spawn;
+	// patrolled targets are 1..Targets.Count.
+	Target int `json:"target,omitempty"`
+}
+
+// Events is the dynamic-world block of a scenario: the schedule plus
+// the handoff policy.
+type Events struct {
+	// Schedule lists the events; Resolve applies them in time order
+	// (ties in declaration order).
+	Schedule []Event `json:"schedule"`
+	// Handoff names the fleet's replan policy: "" or "none" keeps the
+	// surviving routes untouched, "absorb" swaps in a replanned fleet
+	// plan at each event boundary (patrol.HandoffAbsorb).
+	Handoff string `json:"handoff,omitempty"`
+}
+
+// Enabled reports whether there is anything to resolve.
+func (e *Events) Enabled() bool { return e != nil && len(e.Schedule) > 0 }
+
+// Policy parses the handoff policy name.
+func (e *Events) Policy() (patrol.Handoff, error) {
+	if e == nil {
+		return patrol.HandoffNone, nil
+	}
+	return patrol.ParseHandoff(e.Handoff)
+}
+
+// validate checks the schedule against the declarative population
+// sizes: mules is the fleet size, targets the patrolled-target count
+// (ids 1..targets; 0 is the sink).
+func (e *Events) validate(mules, targets int) error {
+	if e == nil {
+		return nil
+	}
+	if _, err := e.Policy(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	spawned := map[int]bool{}
+	for i, ev := range e.Schedule {
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+			return fmt.Errorf("scenario: event %d has time %v", i, ev.Time)
+		}
+		switch ev.Kind {
+		case EventMuleDeath:
+			if ev.Mule < 0 || ev.Mule >= mules {
+				return fmt.Errorf("scenario: event %d kills mule %d of a %d-mule fleet", i, ev.Mule, mules)
+			}
+		case EventAttrition:
+			if ev.Count < 0 {
+				return fmt.Errorf("scenario: event %d has attrition count %d", i, ev.Count)
+			}
+		case EventTargetSpawn:
+			if ev.Target < 1 || ev.Target > targets {
+				return fmt.Errorf("scenario: event %d spawns target %d (valid: 1..%d; 0 is the sink)",
+					i, ev.Target, targets)
+			}
+			if spawned[ev.Target] {
+				return fmt.Errorf("scenario: target %d spawns twice", ev.Target)
+			}
+			spawned[ev.Target] = true
+		default:
+			return fmt.Errorf("scenario: event %d has unknown kind %q (valid: %s)", i, ev.Kind, EventKinds)
+		}
+	}
+	return nil
+}
+
+// Resolve turns the declarative schedule into runtime events for a
+// materialized scenario. Events apply in time order (declaration order
+// at equal times); attrition events draw their victims uniformly from
+// the mules still scheduled alive at that point, one src.Intn draw per
+// kill, so the resolution is a pure function of (schedule, source
+// state). A mule_death aimed at an already-killed mule and attrition
+// beyond the remaining fleet resolve to fewer kills, not errors.
+func (e *Events) Resolve(scn *field.Scenario, src *xrand.Source) ([]patrol.Event, error) {
+	if !e.Enabled() {
+		return nil, nil
+	}
+	if err := e.validate(scn.NumMules(), scn.NumTargets()-1); err != nil {
+		return nil, err
+	}
+	sorted := append([]Event(nil), e.Schedule...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Time < sorted[b].Time })
+
+	alive := make([]int, scn.NumMules())
+	for i := range alive {
+		alive[i] = i
+	}
+	kill := func(idx int) int {
+		m := alive[idx]
+		alive = append(alive[:idx], alive[idx+1:]...)
+		return m
+	}
+	var out []patrol.Event
+	for _, ev := range sorted {
+		switch ev.Kind {
+		case EventMuleDeath:
+			for idx, m := range alive {
+				if m == ev.Mule {
+					out = append(out, patrol.Event{Time: ev.Time, Kind: patrol.KillMule, Mule: kill(idx)})
+					break
+				}
+			}
+		case EventAttrition:
+			count := ev.Count
+			if count == 0 {
+				count = 1
+			}
+			for k := 0; k < count && len(alive) > 0; k++ {
+				m := kill(src.Intn(len(alive)))
+				out = append(out, patrol.Event{Time: ev.Time, Kind: patrol.KillMule, Mule: m})
+			}
+		case EventTargetSpawn:
+			out = append(out, patrol.Event{Time: ev.Time, Kind: patrol.SpawnTarget, Target: ev.Target})
+		}
+	}
+	return out, nil
+}

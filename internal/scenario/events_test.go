@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tctp/internal/core"
+	"tctp/internal/patrol"
+	"tctp/internal/xrand"
+)
+
+// TestEventsJSONRoundTrip: the declarative schedule survives a
+// marshal/unmarshal cycle untouched, and an event-free scenario's JSON
+// carries no "events" key at all — the dynamic-world block is strictly
+// additive to the document format.
+func TestEventsJSONRoundTrip(t *testing.T) {
+	orig := New("dyn").Targets(10).Fleet(3, 2).Horizon(20_000).MustBuild()
+	orig.Events = &Events{
+		Handoff: "absorb",
+		Schedule: []Event{
+			{Time: 4_000, Kind: EventMuleDeath, Mule: 1},
+			{Time: 6_000, Kind: EventAttrition, Count: 2},
+			{Time: 9_000, Kind: EventTargetSpawn, Target: 7},
+		},
+	}
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Scenario
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Fatalf("round trip changed the scenario:\norig: %+v\ngot:  %+v", orig, &got)
+	}
+	if !got.Events.Enabled() {
+		t.Fatal("decoded events not enabled")
+	}
+
+	static := New("static").Targets(5).Fleet(2, 2).MustBuild()
+	sb, err := json.Marshal(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(sb), "events") {
+		t.Fatalf("event-free scenario JSON mentions events: %s", sb)
+	}
+}
+
+// TestEventsValidation: the schedule is checked against the
+// declarative population sizes at scenario validation time.
+func TestEventsValidation(t *testing.T) {
+	base := func() *Scenario {
+		s := New("v").Targets(6).Fleet(2, 2).MustBuild()
+		s.Events = &Events{}
+		return s
+	}
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"bad kind", Event{Time: 1, Kind: "meteor"}, "unknown kind"},
+		{"bad mule", Event{Time: 1, Kind: EventMuleDeath, Mule: 2}, "2-mule fleet"},
+		{"negative time", Event{Time: -1, Kind: EventMuleDeath}, "time"},
+		{"sink spawn", Event{Time: 1, Kind: EventTargetSpawn, Target: 0}, "sink"},
+		{"spawn range", Event{Time: 1, Kind: EventTargetSpawn, Target: 7}, "spawns target 7"},
+		{"negative count", Event{Time: 1, Kind: EventAttrition, Count: -1}, "attrition count"},
+	}
+	for _, tc := range cases {
+		s := base()
+		s.Events.Schedule = []Event{tc.ev}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// Duplicate spawn of the same target.
+	s := base()
+	s.Events.Schedule = []Event{
+		{Time: 1, Kind: EventTargetSpawn, Target: 3},
+		{Time: 2, Kind: EventTargetSpawn, Target: 3},
+	}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate spawn: err = %v", err)
+	}
+	// Unknown handoff policy.
+	s = base()
+	s.Events.Schedule = []Event{{Time: 1, Kind: EventMuleDeath}}
+	s.Events.Handoff = "teleport"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "handoff") {
+		t.Errorf("bad handoff: err = %v", err)
+	}
+}
+
+// TestEventsResolveDeterministic: resolution — including the seeded
+// attrition draws — is a pure function of (schedule, source state).
+func TestEventsResolveDeterministic(t *testing.T) {
+	s := New("r").Targets(12).Fleet(6, 2).Horizon(30_000).MustBuild()
+	s.Events = &Events{Schedule: []Event{
+		{Time: 2_000, Kind: EventAttrition, Count: 2},
+		{Time: 5_000, Kind: EventMuleDeath, Mule: 0},
+		{Time: 8_000, Kind: EventAttrition, Count: 1},
+	}}
+	scn, err := s.Materialize(xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Events.Resolve(scn, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Events.Resolve(scn, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same source, different resolutions:\n%v\nvs\n%v", a, b)
+	}
+	// 3 attrition/death picks plus the aimed death — one fewer when the
+	// attrition draws already took mule 0 (the aimed death then
+	// resolves to nothing rather than double-killing).
+	if len(a) < 3 || len(a) > 4 {
+		t.Fatalf("%d resolved events, want 3 or 4: %v", len(a), a)
+	}
+	// All kills hit distinct mules — attrition never double-kills and
+	// the aimed death skips mules attrition already took.
+	seen := map[int]bool{}
+	for _, ev := range a {
+		if ev.Kind != patrol.KillMule {
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+		if seen[ev.Mule] {
+			t.Fatalf("mule %d killed twice: %v", ev.Mule, a)
+		}
+		seen[ev.Mule] = true
+	}
+}
+
+// TestEventsResolveOverkill: attrition beyond the remaining fleet and
+// a death aimed at an already-dead mule resolve to fewer kills, not
+// errors.
+func TestEventsResolveOverkill(t *testing.T) {
+	s := New("o").Targets(8).Fleet(2, 2).Horizon(10_000).MustBuild()
+	s.Events = &Events{Schedule: []Event{
+		{Time: 1_000, Kind: EventAttrition, Count: 5},
+		{Time: 2_000, Kind: EventMuleDeath, Mule: 0},
+	}}
+	scn, err := s.Materialize(xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := s.Events.Resolve(scn, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d kills of a 2-mule fleet: %v", len(evs), evs)
+	}
+}
+
+// TestScenarioRunWithEvents: the full declarative path — Scenario.Run
+// resolves the schedule off the failure stream and the patrol layer
+// reports the failures and the replan.
+func TestScenarioRunWithEvents(t *testing.T) {
+	s := New("e2e").Targets(10).Fleet(4, 2).Horizon(25_000).MustBuild()
+	s.Events = &Events{
+		Handoff:  "absorb",
+		Schedule: []Event{{Time: 6_000, Kind: EventAttrition, Count: 1}},
+	}
+	res, err := s.Run(patrol.Planned(&core.BTCTP{}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Time != 6_000 {
+		t.Fatalf("failures = %v, want one at t=6000", res.Failures)
+	}
+	if len(res.Replans) != 1 {
+		t.Fatalf("replans = %v, want one", res.Replans)
+	}
+	// Determinism end to end: an identical run agrees on the drawn
+	// victim.
+	res2, err := s.Run(patrol.Planned(&core.BTCTP{}), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Failures, res2.Failures) {
+		t.Fatalf("failure draws differ across identical runs: %v vs %v", res.Failures, res2.Failures)
+	}
+}

@@ -213,6 +213,10 @@ type Scenario struct {
 	Horizon float64 `json:"horizon,omitempty"`
 	// Workloads are the data workloads attached to every run.
 	Workloads []Workload `json:"workloads,omitempty"`
+	// Events is the dynamic-world schedule (mule deaths, attrition,
+	// target spawns) with its handoff policy; nil means the static
+	// world of the paper.
+	Events *Events `json:"events,omitempty"`
 }
 
 // Validate checks the declarative invariants. It does not touch
@@ -282,7 +286,7 @@ func (s *Scenario) Validate() error {
 				w.Name, w.Kind, KindPackets, KindBursts)
 		}
 	}
-	return nil
+	return s.Events.validate(s.Fleet.Size(), s.Targets.Count)
 }
 
 // Materialize generates the concrete field.Scenario deterministically
@@ -344,18 +348,31 @@ type Result struct {
 // contract (see sweep.ScenarioSource): stream 1 of the seed feeds
 // scenario generation, stream 2 the algorithm's randomness, stream 3
 // the workloads' (each workload splits its own sub-stream in
-// declaration order).
+// declaration order), stream 4 is reserved for the partition layer,
+// and stream 5 drives failure injection (attrition picks).
 func (s *Scenario) Run(alg patrol.Algorithm, seed uint64, obs ...patrol.Observer) (*Result, error) {
 	root := xrand.New(seed)
 	scnSrc := root.Split()
 	algSrc := root.Split()
 	wlSrc := root.Split()
+	root.Split() // stream 4: partition (consumed by the sweep engine)
+	failSrc := root.Split()
 
 	scn, err := s.Materialize(scnSrc)
 	if err != nil {
 		return nil, err
 	}
 	opts := s.PatrolOptions()
+	if s.Events.Enabled() {
+		evs, err := s.Events.Resolve(scn, failSrc)
+		if err != nil {
+			return nil, err
+		}
+		opts.Events = evs
+		if opts.Handoff, err = s.Events.Policy(); err != nil {
+			return nil, err
+		}
+	}
 	data := make([]*wsn.Network, len(s.Workloads))
 	for i, w := range s.Workloads {
 		data[i] = w.Build(scn, wlSrc.Split())

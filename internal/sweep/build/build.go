@@ -336,6 +336,29 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 			return spec, err
 		}
 	}
+	if req.Failures != "" {
+		for _, p := range strings.Split(req.Failures, ",") {
+			fa, err := sweep.ParseFailure(strings.TrimSpace(p))
+			if err != nil {
+				return spec, err
+			}
+			spec.Failures = append(spec.Failures, fa)
+		}
+	}
+	if req.Handoff != "" {
+		// The request-level handoff is the default policy: it fills in
+		// for enabled failure values that do not name their own, so
+		// `-failures 0.5 -handoff absorb` and `-failures 0.5:absorb`
+		// plan the same cell.
+		if _, err := patrol.ParseHandoff(req.Handoff); err != nil {
+			return spec, err
+		}
+		for i, fa := range spec.Failures {
+			if fa.Enabled() && fa.Handoff == "" {
+				spec.Failures[i].Handoff = req.Handoff
+			}
+		}
+	}
 	for _, nt := range spec.Targets {
 		if nt < 1 {
 			return spec, fmt.Errorf("target count %d < 1", nt)
@@ -370,17 +393,30 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 	spec.RepShards = req.RepShards
 	if preset != nil {
 		// The scenario supplies the field geometry (dimensions, cluster
-		// parameters, recharge station); the axes keep the placement.
+		// parameters, recharge station) and any declared event schedule;
+		// the axes keep the placement.
 		presetField := preset.Field
+		presetEvents := preset.Events
 		spec.Configure = func(p sweep.Point, sc *scenario.Scenario) {
 			placement := sc.Field.Placement
 			sc.Field = presetField
 			sc.Field.Placement = placement
+			sc.Events = presetEvents
 		}
 		// The Configure closure is invisible to the checkpoint
-		// fingerprint; serialize the geometry it applies so resuming
-		// (or cache-keying) under an edited scenario is refused.
-		digest, err := json.Marshal(presetField)
+		// fingerprint; serialize what it applies so resuming (or
+		// cache-keying) under an edited scenario is refused. Event-free
+		// scenarios keep the bare-field digest so their cache keys are
+		// unchanged from before the dynamic-world layer existed.
+		var digest []byte
+		if presetEvents == nil {
+			digest, err = json.Marshal(presetField)
+		} else {
+			digest, err = json.Marshal(struct {
+				Field  scenario.Field   `json:"field"`
+				Events *scenario.Events `json:"events"`
+			}{presetField, presetEvents})
+		}
 		if err != nil {
 			return spec, err
 		}
@@ -395,6 +431,20 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 				sweep.Delivered(), sweep.OnTimePct(), sweep.MeanLatency())
 			break
 		}
+	}
+	// Dynamic-world cells — an enabled failure axis value or a
+	// scenario-declared event schedule — additionally report the
+	// degraded-mode coverage metrics.
+	failuresOn := false
+	for _, fa := range spec.Failures {
+		if fa.Enabled() {
+			failuresOn = true
+			break
+		}
+	}
+	dynamic := failuresOn || (preset != nil && preset.Events.Enabled())
+	if dynamic {
+		spec.Metrics = append(spec.Metrics, sweep.CoverageGap(), sweep.TimeToRecover())
 	}
 	// With an enabled partition on the axis, report the group count and
 	// the per-group DCDT/SD columns (group_dcdt_s_1..k,
@@ -421,14 +471,40 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 	if maxK > 0 {
 		spec.Metrics = append(spec.Metrics, sweep.GroupCount())
 		spec.Vectors = append(spec.Vectors, sweep.GroupDCDT(maxK), sweep.GroupSD(maxK))
+		if dynamic {
+			spec.Vectors = append(spec.Vectors,
+				sweep.GroupDCDTPostFailure(maxK), sweep.GroupSDPostFailure(maxK))
+		}
 		for _, v := range spec.Algorithms {
 			_, perr := patrol.Partitioned(v.Make(nil), probeCfg, nil)
 			partitionable[v.Name] = perr == nil
 		}
 	}
+	// Spawn events create dormant targets that only plan-based
+	// algorithms can fold in via a replan; online walkers would chase
+	// targets that do not exist yet. Probe the capability from the
+	// algorithm itself, mirroring the partitionable probe above.
+	spawns := false
+	if preset != nil && preset.Events.Enabled() {
+		for _, ev := range preset.Events.Schedule {
+			if ev.Kind == scenario.EventTargetSpawn {
+				spawns = true
+				break
+			}
+		}
+	}
+	plannable := map[string]bool{}
+	if spawns {
+		for _, v := range spec.Algorithms {
+			plannable[v.Name] = patrol.Plannable(v.Make(nil))
+		}
+	}
 	spec.Skip = func(p sweep.Point) string {
 		if p.Mules > p.Targets+1 {
 			return "sweep needs at least one target per mule"
+		}
+		if spawns && !plannable[p.Algorithm] {
+			return "algorithm cannot plan dormant spawn targets"
 		}
 		if p.Partition != "" {
 			if !partitionable[p.Algorithm] {

@@ -48,6 +48,11 @@ func (s *Spec) cellIdentity(d cellDef) (protocol.CellIdentity, error) {
 			return id, fmt.Errorf("sweep: cell identity: %w", err)
 		}
 	}
+	if d.failure.Enabled() {
+		if id.Failure, err = json.Marshal(d.failure); err != nil {
+			return id, fmt.Errorf("sweep: cell identity: %w", err)
+		}
+	}
 	if s.Adaptive != nil {
 		if id.Adaptive, err = json.Marshal(s.Adaptive); err != nil {
 			return id, fmt.Errorf("sweep: cell identity: %w", err)

@@ -657,6 +657,39 @@ func (e *engine) runOne(j job) (*runValues, error) {
 		d.variant.Options(&opts)
 	}
 
+	// Dynamic world: resolve the scenario's declared event schedule,
+	// then the Failures axis's kill draws, both from the dedicated
+	// failure stream in that fixed order — the resolution is a pure
+	// function of (cell, seed), so shards, worker counts, and cache
+	// replays all see the same world. The axis handoff policy, when
+	// the axis is enabled, wins over the scenario's.
+	if sc.Events.Enabled() || d.failure.Enabled() {
+		failSrc := FailureSource(seed)
+		if sc.Events.Enabled() {
+			evs, eerr := sc.Events.Resolve(scn, failSrc)
+			if eerr != nil {
+				return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, eerr)
+			}
+			opts.Events = append(opts.Events, evs...)
+			if opts.Handoff, eerr = sc.Events.Policy(); eerr != nil {
+				return nil, fmt.Errorf("sweep: cell %v: %w", p, eerr)
+			}
+		}
+		if d.failure.Enabled() {
+			h := opts.Horizon
+			if h == 0 {
+				h = 100_000 // patrol.Options' default horizon
+			}
+			opts.Events = append(opts.Events,
+				patrol.RandomFailures(scn.NumMules(), d.failure.Rate, h, failSrc)...)
+			pol, perr := d.failure.Policy()
+			if perr != nil {
+				return nil, fmt.Errorf("sweep: cell %v: %w", p, perr)
+			}
+			opts.Handoff = pol
+		}
+	}
+
 	// Attach the scenario's workload overlays as peer observers. The
 	// axis workload sits last (cellScenario appends it); Env.Data
 	// points at it when the axis is on, else at the first declared

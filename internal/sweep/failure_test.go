@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"tctp/internal/core"
+	"tctp/internal/patrol"
+)
+
+// failureSpec is a small grid crossing the failure axis against the
+// static baseline, over a partitioned algorithm so the absorb handoff
+// has groups to work with.
+func failureSpec(t *testing.T) Spec {
+	t.Helper()
+	alg, err := patrol.Partitioned(patrol.Planned(&core.BTCTP{}), core.PartitionConfig{
+		Method: core.KMeansMethod, K: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Name:       "failures",
+		Algorithms: []Variant{Algo("cbtctp", alg)},
+		Targets:    []int{10},
+		Mules:      []int{4},
+		Horizons:   []float64{8_000},
+		Failures: []Failure{
+			{},
+			{Rate: 0.5},
+			{Rate: 0.5, Handoff: "absorb"},
+		},
+		Metrics: []Metric{AvgDCDT(), CoverageGap(), TimeToRecover()},
+		Seeds:   4,
+	}
+}
+
+func TestParseFailure(t *testing.T) {
+	good := map[string]Failure{
+		"":            {},
+		"none":        {},
+		"0.5":         {Rate: 0.5},
+		"0.25:absorb": {Rate: 0.25, Handoff: "absorb"},
+		"1:none":      {Rate: 1, Handoff: "none"},
+	}
+	for in, want := range good {
+		got, err := ParseFailure(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFailure(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "-0.1", "1.5", "0.5:teleport", "0.5:absorb:extra"} {
+		if _, err := ParseFailure(in); err == nil {
+			t.Errorf("ParseFailure(%q) accepted", in)
+		}
+	}
+	if (Failure{Rate: 0.5, Handoff: "absorb"}).String() != "0.5:absorb" {
+		t.Error("canonical string form changed")
+	}
+	if (Failure{}).String() != "none" {
+		t.Error("zero failure should render as none")
+	}
+}
+
+// TestFailureAxisDeterministicAcrossWorkers extends the engine's core
+// byte-identity guarantee to the dynamic world: the failure draws and
+// the mid-run replans are pure functions of (cell, seed), so worker
+// count cannot move a single output byte.
+func TestFailureAxisDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, workers := range []int{1, 2, 8} {
+		spec := failureSpec(t)
+		spec.Workers = workers
+		var buf bytes.Buffer
+		if _, err := Run(context.Background(), spec, CSV(&buf), JSONL(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("sink bytes differ between workers=1 and variant %d:\n%s\nvs\n%s",
+				i, outputs[0], outputs[i])
+		}
+	}
+}
+
+// TestFailureAxisDegradedMetrics: the static cell reports zero
+// coverage gap and recovery; the failed cells report positive,
+// finite ones under both handoff policies.
+func TestFailureAxisDegradedMetrics(t *testing.T) {
+	res, err := Run(context.Background(), failureSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	static, none, absorb := res.Cells[0], res.Cells[1], res.Cells[2]
+	if static.Point.Failure != "" || none.Point.Failure != "0.5" || absorb.Point.Failure != "0.5:absorb" {
+		t.Fatalf("failure coordinates %q %q %q",
+			static.Point.Failure, none.Point.Failure, absorb.Point.Failure)
+	}
+	if g := static.Metric("coverage_gap_s"); g.Mean != 0 {
+		t.Fatalf("static cell coverage gap %v, want 0", g.Mean)
+	}
+	if g := none.Metric("coverage_gap_s"); g.Mean <= 0 {
+		t.Fatalf("failure cell coverage gap %v, want > 0", g.Mean)
+	}
+	for _, c := range []*CellResult{none, absorb} {
+		if r := c.Metric("recover_s"); r.Mean <= 0 || r.Mean > 8_000 {
+			t.Fatalf("%s cell recover %v, want in (0, horizon]", c.Point.Failure, r.Mean)
+		}
+		if g := c.Metric("coverage_gap_s"); g.Mean <= 0 {
+			t.Fatalf("%s cell coverage gap %v, want > 0", c.Point.Failure, g.Mean)
+		}
+	}
+}
+
+// TestCellKeyFailureSensitivity: the failure configuration is part of
+// the content-addressed cell identity — differing rates or handoffs
+// hash apart — while the disabled axis value stays invisible, keeping
+// every pre-dynamic-world cache key valid.
+func TestCellKeyFailureSensitivity(t *testing.T) {
+	key := func(f Failure) string {
+		spec := tinySpec()
+		spec.Failures = []Failure{f}
+		j, err := Plan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := j.CellKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	legacy := func() string {
+		j, err := Plan(tinySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := j.CellKey(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}()
+	if key(Failure{}) != legacy {
+		t.Error("an explicit disabled failure changed the cell key; pre-axis caches would all miss")
+	}
+	rate := key(Failure{Rate: 0.5})
+	if rate == legacy {
+		t.Error("failure rate did not change the cell key")
+	}
+	if key(Failure{Rate: 0.25}) == rate {
+		t.Error("different rates share a cell key")
+	}
+	if key(Failure{Rate: 0.5, Handoff: "absorb"}) == rate {
+		t.Error("handoff policy did not change the cell key")
+	}
+
+	// And the identity JSON itself omits the failure field when the
+	// axis is off.
+	spec := tinySpec()
+	spec.Failures = []Failure{{}}
+	sp, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sp.spec.cellIdentity(sp.defs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Failure != nil {
+		t.Errorf("disabled failure serialized into the identity: %s", id.Failure)
+	}
+}
+
+// TestFailureStreamIndependence: enabling the failure axis must not
+// perturb the scenario/algorithm/workload streams — the static cell of
+// a failure-bearing sweep matches the same cell of a failure-free one.
+func TestFailureStreamIndependence(t *testing.T) {
+	base := failureSpec(t)
+	base.Failures = nil
+	withAxis := failureSpec(t)
+
+	a, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), withAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell 0 of the axis run is the disabled value — same world.
+	am, bm := a.Cells[0].Metric("avg_dcdt_s"), b.Cells[0].Metric("avg_dcdt_s")
+	if am.Mean != bm.Mean || am.CI95 != bm.CI95 {
+		t.Fatalf("failure axis perturbed the static cell: %+v vs %+v", am, bm)
+	}
+}
+
+// TestPointStringFailure: the human-facing point rendering names the
+// failure only when present.
+func TestPointStringFailure(t *testing.T) {
+	p := Point{Algorithm: "btctp", Targets: 5, Mules: 2, Speed: 2,
+		Placement: 0, Horizon: 100, Failure: "0.5:absorb"}
+	if s := p.String(); !strings.Contains(s, "failure=0.5:absorb") {
+		t.Fatalf("point string misses the failure: %s", s)
+	}
+	p.Failure = ""
+	if s := p.String(); strings.Contains(s, "failure") {
+		t.Fatalf("static point string mentions failure: %s", s)
+	}
+}

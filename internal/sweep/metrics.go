@@ -177,3 +177,79 @@ func DCDTCurve(maxVisits int) VectorMetric {
 		return e.Result.Recorder.EventDCDTSeries(maxVisits)
 	}}
 }
+
+// Degraded-mode metrics: these read the run's injected-failure record
+// (Result.Failures) and return 0 for static-world cells, so a sweep
+// mixing failure-on and failure-off cells stays well-defined.
+
+// CoverageGap is the degraded-mode exposure metric: the average over
+// targets of the longest visit-free stretch between the first injected
+// failure and the horizon. It captures how long parts of the field
+// went unpatrolled while the fleet was degraded — the quantity the
+// absorb handoff policy exists to shrink.
+func CoverageGap() Metric {
+	return Metric{Name: "coverage_gap_s", Fn: func(e Env) float64 {
+		tF, ok := e.Result.FirstFailureTime()
+		if !ok {
+			return 0
+		}
+		return e.Result.Recorder.AvgMaxGapOver(nil, tF, e.Point.Horizon)
+	}}
+}
+
+// TimeToRecover is the degraded-mode responsiveness metric: how long
+// after the first injected failure until every target has been
+// visited again (censored at the horizon for targets never revisited).
+func TimeToRecover() Metric {
+	return Metric{Name: "recover_s", Fn: func(e Env) float64 {
+		tF, ok := e.Result.FirstFailureTime()
+		if !ok {
+			return 0
+		}
+		return e.Result.Recorder.TimeToRecoverOver(nil, tF, e.Point.Horizon)
+	}}
+}
+
+// GroupDCDTPostFailure is the per-group DCDT vector measured after the
+// first injected failure, in the INITIAL plan's group order — the
+// degraded companion of GroupDCDT (which measures from patrol start).
+// Static-world replications measure from patrol start, so the two
+// coincide there.
+func GroupDCDTPostFailure(maxGroups int) VectorMetric {
+	return VectorMetric{Name: "group_dcdt_fail_s", Len: maxGroups, Fn: func(e Env) []float64 {
+		t0 := e.Warm()
+		if tF, ok := e.Result.FirstFailureTime(); ok {
+			t0 = tF
+		}
+		n := len(e.Result.Groups)
+		if n > maxGroups {
+			n = maxGroups
+		}
+		out := make([]float64, n)
+		for g := 0; g < n; g++ {
+			out[g] = e.Result.GroupDCDTAfter(g, t0)
+		}
+		return out
+	}}
+}
+
+// GroupSDPostFailure is the per-group interval-SD vector after the
+// first injected failure, the regularity companion of
+// GroupDCDTPostFailure.
+func GroupSDPostFailure(maxGroups int) VectorMetric {
+	return VectorMetric{Name: "group_sd_fail_s", Len: maxGroups, Fn: func(e Env) []float64 {
+		t0 := e.Warm()
+		if tF, ok := e.Result.FirstFailureTime(); ok {
+			t0 = tF
+		}
+		n := len(e.Result.Groups)
+		if n > maxGroups {
+			n = maxGroups
+		}
+		out := make([]float64, n)
+		for g := 0; g < n; g++ {
+			out[g] = e.Result.GroupSDAfter(g, t0)
+		}
+		return out
+	}}
+}

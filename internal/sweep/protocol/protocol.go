@@ -82,6 +82,11 @@ type CellIdentity struct {
 	Point    json.RawMessage `json:"point"`
 	Fleet    json.RawMessage `json:"fleet,omitempty"`
 	Workload json.RawMessage `json:"workload,omitempty"`
+	// Failure is the cell's failure-injection configuration when the
+	// Failures axis is enabled; omitted for static-world cells so
+	// pre-failure cache keys stay stable. Scenario-declared event
+	// schedules reach the identity through Digest instead.
+	Failure  json.RawMessage `json:"failure,omitempty"`
 	Seeds    int             `json:"seeds"`
 	BaseSeed uint64          `json:"base_seed"`
 	Adaptive json.RawMessage `json:"adaptive,omitempty"`
@@ -191,6 +196,12 @@ type SweepRequest struct {
 	RepShards int    `json:"rep_shards,omitempty"`
 	Adaptive  string `json:"adaptive,omitempty"`
 	Partition string `json:"partition,omitempty"`
+	// Failures is the comma-separated failure-injection axis
+	// (tctp-sweep -failures), values in "rate[:handoff]" form;
+	// Handoff is the default policy applied to values that do not
+	// name their own (tctp-sweep -handoff).
+	Failures string `json:"failures,omitempty"`
+	Handoff  string `json:"handoff,omitempty"`
 }
 
 // Event is one line of a sweep's NDJSON event stream

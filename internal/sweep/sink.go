@@ -25,6 +25,7 @@ type Sink interface {
 var pointHeader = []string{
 	"algorithm", "targets", "mules", "speed", "fleet", "placement",
 	"horizon", "battery", "vips", "vip_weight", "workload", "partition",
+	"failure",
 }
 
 func pointRecord(p Point) []string {
@@ -41,6 +42,7 @@ func pointRecord(p Point) []string {
 		strconv.Itoa(p.VIPWeight),
 		p.Workload,
 		p.Partition,
+		p.Failure,
 	}
 }
 
@@ -179,6 +181,12 @@ func (s *textSink) Begin(spec *Spec, cells int) error {
 			return "none"
 		}
 		return p.Partition
+	})
+	add(len(spec.Failures) > 1, "failure", func(p Point) string {
+		if p.Failure == "" {
+			return "none"
+		}
+		return p.Failure
 	})
 	if len(s.cols) == 0 {
 		add(true, "algorithm", func(p Point) string { return p.Algorithm })

@@ -73,6 +73,11 @@ type Point struct {
 	// axis (canonical "method:k[:alloc]" form); empty means the
 	// algorithm's own single-circuit planning.
 	Partition string `json:"partition,omitempty"`
+	// Failure names the cell's failure injection on the Failures axis
+	// (canonical "rate[:handoff]" form); empty means the static world.
+	// omitempty keeps the fingerprints and cache keys of pre-failure
+	// specs byte-stable.
+	Failure string `json:"failure,omitempty"`
 }
 
 // String renders the point compactly for skip reports and errors.
@@ -96,6 +101,9 @@ func (p Point) String() string {
 	}
 	if p.Partition != "" {
 		fmt.Fprintf(&sb, " partition=%s", p.Partition)
+	}
+	if p.Failure != "" {
+		fmt.Fprintf(&sb, " failure=%s", p.Failure)
 	}
 	return sb.String()
 }
@@ -187,6 +195,76 @@ func ParsePartition(s string) (Partition, error) {
 		return Partition{}, err
 	}
 	return p, nil
+}
+
+// Failure is one value of the Failures axis: a seeded failure
+// injection the cell's fleet is subjected to. The zero Failure (rate
+// 0) means the static world and is the axis's single default value.
+// Enabled failures derive each replication's kill schedule from the
+// dedicated failure stream (FailureSource): every mule independently
+// dies with probability Rate at a uniform time before the horizon, and
+// the fleet answers with the Handoff policy.
+type Failure struct {
+	// Rate is the per-mule failure probability over the horizon, in
+	// [0, 1].
+	Rate float64 `json:"rate,omitempty"`
+	// Handoff is the replan policy: "" or "none" leaves the surviving
+	// routes untouched, "absorb" swaps in a replanned fleet plan at
+	// each failure (patrol.HandoffAbsorb).
+	Handoff string `json:"handoff,omitempty"`
+}
+
+// Enabled reports whether the failure injection is real.
+func (f Failure) Enabled() bool { return f.Rate > 0 }
+
+// String renders the canonical "rate[:handoff]" form ("none" for the
+// zero value) — the value of the Point.Failure coordinate.
+func (f Failure) String() string {
+	if !f.Enabled() {
+		return "none"
+	}
+	s := strconv.FormatFloat(f.Rate, 'g', -1, 64)
+	if f.Handoff != "" && f.Handoff != "none" {
+		s += ":" + f.Handoff
+	}
+	return s
+}
+
+// name is the Point coordinate: empty for the zero failure.
+func (f Failure) name() string {
+	if !f.Enabled() {
+		return ""
+	}
+	return f.String()
+}
+
+// Policy translates the axis value to the patrol-level handoff.
+func (f Failure) Policy() (patrol.Handoff, error) {
+	return patrol.ParseHandoff(f.Handoff)
+}
+
+// ParseFailure parses "rate[:handoff]" ("none" or "" yields the zero
+// failure), e.g. "0.25" or "0.25:absorb".
+func ParseFailure(s string) (Failure, error) {
+	if s == "" || s == "none" {
+		return Failure{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) > 2 {
+		return Failure{}, fmt.Errorf("sweep: bad failure %q (want rate[:handoff], e.g. 0.25:absorb)", s)
+	}
+	rate, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return Failure{}, fmt.Errorf("sweep: bad failure rate %q (want a probability in [0,1])", parts[0])
+	}
+	f := Failure{Rate: rate}
+	if len(parts) == 2 {
+		f.Handoff = parts[1]
+	}
+	if _, err := f.Policy(); err != nil {
+		return Failure{}, err
+	}
+	return f, nil
 }
 
 // Variant is one value of the algorithm axis: a named constructor for
@@ -320,6 +398,10 @@ type Spec struct {
 	// allocation policy); the zero Partition means "no partitioning"
 	// and is the single default value.
 	Partitions []Partition
+	// Failures is the failure-injection axis (rate × handoff policy);
+	// the zero Failure means the static world and is the single
+	// default value.
+	Failures []Failure
 
 	// Metrics and Vectors are extracted from every replication; at
 	// least one of the two must be non-empty.
@@ -402,6 +484,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Partitions) == 0 {
 		s.Partitions = []Partition{{}}
+	}
+	if len(s.Failures) == 0 {
+		s.Failures = []Failure{{}}
 	}
 	if len(s.Placements) == 0 {
 		s.Placements = []field.Placement{field.Uniform}
@@ -552,6 +637,19 @@ func (s *Spec) validate() error {
 			}
 		}
 	}
+	fnames := map[string]bool{}
+	for _, f := range s.Failures {
+		if fnames[f.name()] {
+			return fmt.Errorf("sweep: spec %q: duplicate failure %q on the axis", s.Name, f)
+		}
+		fnames[f.name()] = true
+		if f.Rate < 0 || f.Rate > 1 {
+			return fmt.Errorf("sweep: spec %q: failure rate %g outside [0,1]", s.Name, f.Rate)
+		}
+		if _, err := f.Policy(); err != nil {
+			return fmt.Errorf("sweep: spec %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -594,10 +692,11 @@ type cellDef struct {
 	fleet     scenario.Fleet
 	workload  scenario.Workload
 	partition Partition
+	failure   Failure
 }
 
 // cells enumerates the cartesian product in canonical order
-// (Algorithms outermost, Partitions innermost).
+// (Algorithms outermost, Failures innermost).
 func (s *Spec) cells() []cellDef {
 	var out []cellDef
 	for _, v := range s.Algorithms {
@@ -610,26 +709,30 @@ func (s *Spec) cells() []cellDef {
 								for _, w := range s.VIPWeights {
 									for _, wl := range s.Workloads {
 										for _, pa := range s.Partitions {
-											out = append(out, cellDef{
-												point: Point{
-													Algorithm: v.Name,
-													Targets:   nt,
-													Mules:     fc.mules,
-													Speed:     fc.speed,
-													Fleet:     fc.name,
-													Placement: pl,
-													Horizon:   h,
-													Battery:   b,
-													VIPs:      nv,
-													VIPWeight: w,
-													Workload:  wl.Name,
-													Partition: pa.name(),
-												},
-												variant:   v,
-												fleet:     fc.fleet,
-												workload:  wl,
-												partition: pa,
-											})
+											for _, fa := range s.Failures {
+												out = append(out, cellDef{
+													point: Point{
+														Algorithm: v.Name,
+														Targets:   nt,
+														Mules:     fc.mules,
+														Speed:     fc.speed,
+														Fleet:     fc.name,
+														Placement: pl,
+														Horizon:   h,
+														Battery:   b,
+														VIPs:      nv,
+														VIPWeight: w,
+														Workload:  wl.Name,
+														Partition: pa.name(),
+														Failure:   fa.name(),
+													},
+													variant:   v,
+													fleet:     fc.fleet,
+													workload:  wl,
+													partition: pa,
+													failure:   fa,
+												})
+											}
 										}
 									}
 								}
@@ -693,6 +796,20 @@ func PartitionSource(seed uint64) *xrand.Source {
 	s.Split() // scenario stream
 	s.Split() // algorithm stream
 	s.Split() // workload stream
+	return s.Split()
+}
+
+// FailureSource derives the failure-injection stream (the Failures
+// axis's kill schedules and scenario-event attrition picks) for a
+// replication seed — stream 5, independent of every other stream so
+// enabling failure injection never perturbs the world the fleet
+// patrols or the algorithm's own randomness.
+func FailureSource(seed uint64) *xrand.Source {
+	s := xrand.New(seed)
+	s.Split() // scenario stream
+	s.Split() // algorithm stream
+	s.Split() // workload stream
+	s.Split() // partition stream
 	return s.Split()
 }
 
