@@ -41,6 +41,16 @@
 //
 //	benchgate -history BENCH_engine_build1.json BENCH_engine_build2.json ...
 //
+// The -qualitygate mode is the solution-quality twin of the bench
+// gate: it compares the `tctp-experiments -run quality` CSV given as
+// -head against a committed golden fixture and fails when any
+// planner's approximation ratio regressed beyond -quality-tolerance,
+// went missing, or dropped below 1.0 (a bound violation). See
+// quality.go for the full policy:
+//
+//	tctp-experiments -run quality -format csv -seeds 5 > head.csv
+//	benchgate -qualitygate internal/experiment/testdata/quality_golden.csv -head head.csv
+//
 // # Gating policy
 //
 // Two gates run per pull request, split by benchmark family because a
@@ -106,10 +116,19 @@ func main() {
 		threshold = flag.Float64("threshold", 0.15, "relative time/op regression that fails the gate")
 		jsonOut   = flag.String("json", "", `write the machine-readable comparison verdict to this file ("-" = stdout)`)
 		history   = flag.Bool("history", false, "fold the BENCH_*.json artifacts given as arguments into a per-benchmark time-series table (never fails)")
+		qGolden   = flag.String("qualitygate", "", "quality-gate mode: compare the -head quality-study CSV against this golden fixture CSV instead of benchmarks")
+		qTol      = flag.Float64("quality-tolerance", 0.02, "relative approximation-ratio regression the quality gate tolerates")
 	)
 	flag.Parse()
 	if *history {
 		if err := runHistory(flag.Args(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *qGolden != "" {
+		if err := runQualityGate(*qGolden, *headPath, *qTol, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,150 @@
+package main
+
+// The qualitygate mode: benchgate's solution-quality twin. Where the
+// bench gate judges time/op against a base run, the quality gate
+// judges the `quality` study's approximation-ratio CSV against a
+// committed golden fixture. Three ways to fail:
+//
+//   - a head ratio below 1.0 — the reference bound (or the solver
+//     under it) is wrong, regardless of any fixture;
+//   - a head ratio above the golden ratio by more than the tolerance
+//     — the planner's solution quality regressed;
+//   - a (preset, algorithm, column) present in the golden fixture but
+//     missing from the head run — dropping a rated planner must not
+//     dodge the gate.
+//
+// Ratios shrinking (closer to optimal) pass and are reported as
+// improvements; refresh the fixture to lock them in. The study's
+// output is byte-deterministic, so the tolerance only absorbs
+// intentional cross-PR drift (e.g. a retuned heuristic), not noise.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ratioKey identifies one gated value: a study row and ratio column.
+type ratioKey struct {
+	Preset    string
+	Algorithm string
+	Column    string
+}
+
+func (k ratioKey) String() string {
+	return k.Preset + "/" + k.Algorithm + " " + k.Column
+}
+
+// readRatios parses a quality-study CSV (header row + data rows) into
+// its ratio values, keyed by (preset, algorithm, ratio column). Every
+// column whose name starts with "ratio" is gated.
+func readRatios(path string) (map[ratioKey]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("%s holds no quality rows", path)
+	}
+	header := rows[0]
+	preset, algorithm := -1, -1
+	var ratioCols []int
+	for i, name := range header {
+		switch {
+		case name == "preset":
+			preset = i
+		case name == "algorithm":
+			algorithm = i
+		case strings.HasPrefix(name, "ratio"):
+			ratioCols = append(ratioCols, i)
+		}
+	}
+	if preset < 0 || algorithm < 0 || len(ratioCols) == 0 {
+		return nil, fmt.Errorf("%s: header %v is not a quality-study CSV (want preset, algorithm, ratio_* columns)", path, header)
+	}
+	out := make(map[ratioKey]float64)
+	for _, row := range rows[1:] {
+		for _, c := range ratioCols {
+			v, perr := strconv.ParseFloat(row[c], 64)
+			if perr != nil {
+				return nil, fmt.Errorf("%s: row %v: bad ratio %q", path, row, row[c])
+			}
+			out[ratioKey{row[preset], row[algorithm], header[c]}] = v
+		}
+	}
+	return out, nil
+}
+
+// runQualityGate compares the head quality CSV against the golden
+// fixture and returns an error when any gated ratio fails.
+func runQualityGate(goldenPath, headPath string, tolerance float64, w io.Writer) error {
+	if headPath == "" {
+		return fmt.Errorf("-head is required (the freshly generated quality CSV)")
+	}
+	if tolerance < 0 {
+		return fmt.Errorf("-quality-tolerance %g must be non-negative", tolerance)
+	}
+	golden, err := readRatios(goldenPath)
+	if err != nil {
+		return err
+	}
+	head, err := readRatios(headPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]ratioKey, 0, len(golden))
+	for k := range golden {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	failures := 0
+	for _, k := range keys {
+		want := golden[k]
+		got, ok := head[k]
+		switch {
+		case !ok:
+			failures++
+			fmt.Fprintf(w, "✗ %-40s missing from head run (golden %.4f)\n", k, want)
+		case got < 1:
+			failures++
+			fmt.Fprintf(w, "✗ %-40s ratio %.4f < 1.0 — reference bound violated\n", k, got)
+		case got > want*(1+tolerance):
+			failures++
+			fmt.Fprintf(w, "✗ %-40s %.4f → %.4f (+%.2f%%, tolerance %.2f%%)\n",
+				k, want, got, 100*(got-want)/want, 100*tolerance)
+		case got < want:
+			fmt.Fprintf(w, "✓ %-40s %.4f → %.4f (improved; refresh the fixture to lock in)\n",
+				k, want, got)
+		default:
+			fmt.Fprintf(w, "✓ %-40s %.4f → %.4f\n", k, want, got)
+		}
+	}
+	// Head-only rows (a planner added without a golden entry) never
+	// fail, but surface so the fixture gets extended.
+	for k, got := range head {
+		if _, ok := golden[k]; !ok {
+			if got < 1 {
+				failures++
+				fmt.Fprintf(w, "✗ %-40s ratio %.4f < 1.0 — reference bound violated\n", k, got)
+			} else {
+				fmt.Fprintf(w, "  %-40s %.4f (no golden entry; extend the fixture)\n", k, got)
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("solution-quality regression: %d gated ratio(s) failed against %s (tolerance %g%%)",
+			failures, goldenPath, 100*tolerance)
+	}
+	return nil
+}

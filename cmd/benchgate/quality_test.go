@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goldenCSV = `preset,algorithm,ratio_tour,ratio_dcdt,avg DCDT (s),tour length (m)
+paper51,btctp,1.0755,1.1126,510.67,3561.67
+paper51,chb,1.1968,1.2441,570.92,3963.26
+clustered,btctp,1.0420,1.0811,495.11,3450.80
+`
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQualityGatePassesIdenticalHead(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	head := writeCSV(t, dir, "head.csv", goldenCSV)
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err != nil {
+		t.Fatalf("identical head failed: %v\n%s", err, sb.String())
+	}
+}
+
+// The acceptance criterion: a deliberately seeded ratio regression
+// must fail the gate.
+func TestQualityGateFailsSeededRegression(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	// btctp's tour ratio on paper51 regresses 1.0755 → 1.2000 (+11.6%,
+	// far past the 2% tolerance).
+	head := writeCSV(t, dir, "head.csv",
+		strings.Replace(goldenCSV, "paper51,btctp,1.0755", "paper51,btctp,1.2000", 1))
+	var sb strings.Builder
+	err := runQualityGate(golden, head, 0.02, &sb)
+	if err == nil {
+		t.Fatalf("seeded regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "paper51/btctp ratio_tour") {
+		t.Fatalf("failure does not name the regressed ratio:\n%s", sb.String())
+	}
+}
+
+func TestQualityGateToleranceAbsorbsSmallDrift(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	// +0.9% drift sits inside the 2% tolerance.
+	head := writeCSV(t, dir, "head.csv",
+		strings.Replace(goldenCSV, "paper51,btctp,1.0755", "paper51,btctp,1.0850", 1))
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err != nil {
+		t.Fatalf("in-tolerance drift failed: %v\n%s", err, sb.String())
+	}
+}
+
+// A ratio below 1.0 is a bound violation and fails even when it
+// "beats" the golden value.
+func TestQualityGateFailsSubUnityRatio(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	head := writeCSV(t, dir, "head.csv",
+		strings.Replace(goldenCSV, "paper51,btctp,1.0755", "paper51,btctp,0.9500", 1))
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err == nil {
+		t.Fatalf("sub-unity ratio passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "reference bound violated") {
+		t.Fatalf("failure does not flag the bound violation:\n%s", sb.String())
+	}
+}
+
+// Dropping a rated planner from the head run must not dodge the gate.
+func TestQualityGateFailsMissingRow(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	var kept []string
+	for _, line := range strings.Split(strings.TrimSpace(goldenCSV), "\n") {
+		if !strings.HasPrefix(line, "paper51,chb") {
+			kept = append(kept, line)
+		}
+	}
+	head := writeCSV(t, dir, "head.csv", strings.Join(kept, "\n")+"\n")
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err == nil {
+		t.Fatalf("missing planner row passed:\n%s", sb.String())
+	}
+}
+
+// A new planner in head without a golden entry is informational, not
+// a failure — unless its ratio violates the 1.0 floor.
+func TestQualityGateHeadOnlyRows(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	head := writeCSV(t, dir, "head.csv",
+		goldenCSV+"clustered,wtctp,1.1500,1.2000,600.00,4000.00\n")
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err != nil {
+		t.Fatalf("head-only row failed: %v\n%s", err, sb.String())
+	}
+	head2 := writeCSV(t, dir, "head2.csv",
+		goldenCSV+"clustered,wtctp,0.8000,1.2000,600.00,4000.00\n")
+	sb.Reset()
+	if err := runQualityGate(golden, head2, 0.02, &sb); err == nil {
+		t.Fatalf("sub-unity head-only row passed:\n%s", sb.String())
+	}
+}
+
+// The gate must refuse CSVs that are not quality-study output rather
+// than silently passing an empty comparison.
+func TestQualityGateRejectsForeignCSV(t *testing.T) {
+	dir := t.TempDir()
+	golden := writeCSV(t, dir, "golden.csv", goldenCSV)
+	head := writeCSV(t, dir, "head.csv", "a,b\n1,2\n")
+	var sb strings.Builder
+	if err := runQualityGate(golden, head, 0.02, &sb); err == nil {
+		t.Fatal("foreign CSV accepted")
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	tctp-server -addr :8080
 //	tctp-server -addr :8080 -cache-dir /var/cache/tctp -cache-bytes 1073741824
+//	tctp-server -addr :8080 -cache-dir /var/cache/tctp -cache-dir-bytes 10737418240
 //	tctp-server -addr :8080 -gate 8 -max-sweeps 4
 //
 //	# then, from any client machine:
@@ -36,19 +37,21 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		cacheDir   = flag.String("cache-dir", "", "directory for the persistent cell-cache layer (empty = memory only)")
-		cacheBytes = flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory cell-cache budget in bytes")
-		gate       = flag.Int("gate", runtime.GOMAXPROCS(0), "max cell simulations running at once across all sweeps")
-		maxSweeps  = flag.Int("max-sweeps", 8, "max sweeps in flight before POST /sweeps answers 429")
-		parallel   = flag.Int("parallel", 0, "per-sweep cell-resolution concurrency (0 = GOMAXPROCS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheDir      = flag.String("cache-dir", "", "directory for the persistent cell-cache layer (empty = memory only)")
+		cacheBytes    = flag.Int64("cache-bytes", cache.DefaultMaxBytes, "in-memory cell-cache budget in bytes")
+		cacheDirBytes = flag.Int64("cache-dir-bytes", 0, "disk cell-cache budget in bytes; oldest entries are evicted past it (0 = unbounded)")
+		gate          = flag.Int("gate", runtime.GOMAXPROCS(0), "max cell simulations running at once across all sweeps")
+		maxSweeps     = flag.Int("max-sweeps", 8, "max sweeps in flight before POST /sweeps answers 429")
+		parallel      = flag.Int("parallel", 0, "per-sweep cell-resolution concurrency (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	store, err := cache.New(cache.Options{
-		MaxBytes: *cacheBytes,
-		Dir:      *cacheDir,
-		Gate:     *gate,
+		MaxBytes:    *cacheBytes,
+		Dir:         *cacheDir,
+		DirMaxBytes: *cacheDirBytes,
+		Gate:        *gate,
 	})
 	if err != nil {
 		log.Fatalln("tctp-server:", err)
@@ -64,6 +67,9 @@ func main() {
 	persistence := "memory-only cache"
 	if *cacheDir != "" {
 		persistence = fmt.Sprintf("cache dir %s", *cacheDir)
+		if *cacheDirBytes > 0 {
+			persistence += fmt.Sprintf(" (≤ %d bytes)", *cacheDirBytes)
+		}
 	}
 	log.Printf("tctp-server: listening on %s (%s, %d-byte budget, gate %d, max %d sweeps)",
 		*addr, persistence, *cacheBytes, *gate, *maxSweeps)

@@ -102,7 +102,7 @@ func main() {
 		speeds     = flag.String("speeds", "", "comma-separated mule speeds in m/s (default 2)")
 		fleets     = flag.String("fleets", "", `semicolon-separated fleet specs, e.g. "4x2;2x1+2x3" (replaces -mules and -speeds; combining them is an error)`)
 		placements = flag.String("placements", "", "comma-separated placements: "+field.PlacementNames+" (default uniform)")
-		workloads  = flag.String("workloads", "", "comma-separated workload axis values: off, on, bursts (default off)")
+		workloads  = flag.String("workloads", "", "comma-separated workload axis values: off, on, bursts, priority (default off)")
 		wlGen      = flag.Float64("workload-gen", 60, "packet generation interval in seconds for -workloads on")
 		wlBuf      = flag.Int("workload-buffer", 50, "node buffer capacity in packets for -workloads on")
 		wlDeadline = flag.Float64("workload-deadline", 3600, "delivery deadline in seconds for -workloads on and bursts")
@@ -127,6 +127,7 @@ func main() {
 		shard      = flag.String("shard", "", `run one shard of the grid as "i/n" (1-based), e.g. -shard 2/3`)
 		merge      = flag.String("merge", "", `merge the shard checkpoint files given as arguments, writing the full sweep to this path ("-" = stdout)`)
 		server     = flag.String("server", "", "submit the sweep to this tctp-server base URL instead of running locally")
+		quality    = flag.Bool("quality", false, "add the approximation-ratio columns (ratio_tour, ratio_dcdt) computed against the internal/optimal reference bounds")
 	)
 	flag.Parse()
 
@@ -143,7 +144,7 @@ func main() {
 		Partition: *partition,
 		Failures:  *failures, Handoff: *handoff,
 		Shard: *shard, Merge: *merge, MergeInputs: flag.Args(),
-		Server: *server,
+		Server: *server, Quality: *quality,
 	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tctp-sweep:", err)
@@ -181,6 +182,7 @@ type config struct {
 	Merge                                                       string
 	MergeInputs                                                 []string
 	Server                                                      string
+	Quality                                                     bool
 }
 
 // request renders the sweep-defining flags as the transport-neutral
@@ -199,6 +201,7 @@ func (cfg config) request() (protocol.SweepRequest, error) {
 		Workers: cfg.Workers, RepShards: cfg.RepShards,
 		Adaptive: cfg.Adaptive, Partition: cfg.Partition,
 		Failures: cfg.Failures, Handoff: cfg.Handoff,
+		Quality: cfg.Quality,
 	}
 	if cfg.Scenario != "" {
 		b, err := os.ReadFile(cfg.Scenario)

@@ -149,6 +149,13 @@ var Registry = map[string]Runner{
 		}
 		return renderTable(t, w, f)
 	},
+	"quality": func(p Params, w io.Writer, f Format) error {
+		t, err := QualityStudy(p, QualityConfig{})
+		if err != nil {
+			return err
+		}
+		return renderTable(t, w, f)
+	},
 	"a1-tour":      tableRunner(TourHeuristics),
 	"a2-break":     tableRunner(BreakPolicies),
 	"a3-init":      tableRunner(LocationInit),

@@ -1,0 +1,38 @@
+package optimal
+
+import (
+	"fmt"
+	"testing"
+
+	"tctp/internal/xrand"
+)
+
+// BenchmarkOptimalHeldKarp is benchgate-gated: the exact tier runs
+// inside quality sweeps, so a regression here slows every ratio
+// column. n=15 is the ExactThreshold worst case TourBound can hit.
+func BenchmarkOptimalHeldKarp(b *testing.B) {
+	for _, n := range []int{10, 15} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := randPts(n, xrand.New(7))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, l := HeldKarp(pts)
+				if l <= 0 {
+					b.Fatal("degenerate length")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOptimalMinDCDT(b *testing.B) {
+	pts := randPts(12, xrand.New(7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, d := MinDCDT(pts, 4, 2)
+		if d <= 0 {
+			b.Fatal("degenerate DCDT")
+		}
+	}
+}

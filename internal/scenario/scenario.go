@@ -133,6 +133,10 @@ const (
 	// KindBursts is the event-driven model: a subset of targets emits
 	// packets in Poisson bursts (exponential inter-burst gaps).
 	KindBursts = "bursts"
+	// KindPriority is the periodic model with per-class delivery
+	// accounting: VIP targets (weight > 1) emit high-priority packets
+	// and the overlay splits its delay statistics by priority.
+	KindPriority = "priority"
 )
 
 // Workload is one data workload layered on a run: sensor nodes at the
@@ -146,7 +150,8 @@ type Workload struct {
 	Name string `json:"name"`
 	// Kind selects the generation model: "" or "packets" for the
 	// periodic model parameterized by Data, "bursts" for Poisson
-	// bursts parameterized by Bursts.
+	// bursts parameterized by Bursts, "priority" for the periodic
+	// model with priority-split delivery statistics (also Data).
 	Kind string `json:"kind,omitempty"`
 	// Data parameterizes the periodic packet workload.
 	Data wsn.Config `json:"data"`
@@ -172,6 +177,9 @@ func (w Workload) Build(s *field.Scenario, src *xrand.Source) *wsn.Network {
 		}
 		return wsn.NewBursts(s, cfg, src)
 	}
+	if w.Kind == KindPriority {
+		return wsn.NewPriority(s, w.Data)
+	}
 	return wsn.New(s, w.Data)
 }
 
@@ -179,6 +187,15 @@ func (w Workload) Build(s *field.Scenario, src *xrand.Source) *wsn.Network {
 // node per minute, 50-packet buffers, a one-hour delivery deadline.
 func Packets() Workload {
 	return Workload{Name: "packets", Data: wsn.Config{
+		GenInterval: 60, BufferCap: 50, Deadline: 3600,
+	}}
+}
+
+// Priority returns the conventional priority workload: the packet
+// workload's parameters with per-class delivery accounting (VIP
+// origins are high-priority).
+func Priority() Workload {
+	return Workload{Name: "priority", Kind: KindPriority, Data: wsn.Config{
 		GenInterval: 60, BufferCap: 50, Deadline: 3600,
 	}}
 }
@@ -267,7 +284,7 @@ func (s *Scenario) Validate() error {
 		}
 		seen[w.Name] = true
 		switch w.Kind {
-		case "", KindPackets:
+		case "", KindPackets, KindPriority:
 			if w.Data.GenInterval < 0 || w.Data.BufferCap < 0 || w.Data.Deadline < 0 {
 				return fmt.Errorf("scenario: workload %q has negative parameters", w.Name)
 			}
@@ -282,8 +299,8 @@ func (s *Scenario) Validate() error {
 				}
 			}
 		default:
-			return fmt.Errorf("scenario: workload %q has unknown kind %q (valid: %s, %s)",
-				w.Name, w.Kind, KindPackets, KindBursts)
+			return fmt.Errorf("scenario: workload %q has unknown kind %q (valid: %s, %s, %s)",
+				w.Name, w.Kind, KindPackets, KindBursts, KindPriority)
 		}
 	}
 	return s.Events.validate(s.Fleet.Size(), s.Targets.Count)

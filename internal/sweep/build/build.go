@@ -104,11 +104,13 @@ func Fleets(s string) ([]scenario.Fleet, error) {
 	return out, nil
 }
 
-// Workloads maps the request's off/on/bursts axis values to workloads;
-// "on" is the periodic packet workload parameterized by the workload
-// knobs, "bursts" the event-driven Poisson-burst workload
-// parameterized by the burst knobs. The request must already carry
-// its defaults (see withDefaults).
+// Workloads maps the request's off/on/bursts/priority axis values to
+// workloads; "on" is the periodic packet workload parameterized by
+// the workload knobs, "bursts" the event-driven Poisson-burst
+// workload parameterized by the burst knobs, and "priority" the
+// periodic workload with priority-split delivery statistics (VIP
+// origins are high-priority). The request must already carry its
+// defaults (see withDefaults).
 func Workloads(req protocol.SweepRequest) ([]scenario.Workload, error) {
 	var out []scenario.Workload
 	for _, p := range strings.Split(req.Workloads, ",") {
@@ -132,8 +134,17 @@ func Workloads(req protocol.SweepRequest) ([]scenario.Workload, error) {
 					Deadline:  req.WorkloadDeadline,
 				},
 			})
+		case "priority":
+			out = append(out, scenario.Workload{
+				Name: "priority", Kind: scenario.KindPriority,
+				Data: wsn.Config{
+					GenInterval: req.WorkloadGen,
+					BufferCap:   req.WorkloadBuffer,
+					Deadline:    req.WorkloadDeadline,
+				},
+			})
 		default:
-			return nil, fmt.Errorf("unknown workload %q (valid: off, on, bursts)", p)
+			return nil, fmt.Errorf("unknown workload %q (valid: off, on, bursts, priority)", p)
 		}
 	}
 	return out, nil
@@ -328,6 +339,13 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 	if spec.Placements, err = Placements(req.Placements); err != nil {
 		return spec, err
 	}
+	if preset != nil && preset.Targets.VIPs > 0 {
+		// The scenario's VIP population rides the (singleton) VIP axis,
+		// so priority workloads and weighted planners see the declared
+		// Very Important Points.
+		spec.VIPs = []int{preset.Targets.VIPs}
+		spec.VIPWeights = []int{preset.Targets.VIPWeight}
+	}
 	if spec.Workloads, err = Workloads(req); err != nil {
 		return spec, err
 	}
@@ -431,6 +449,18 @@ func Spec(req protocol.SweepRequest) (sweep.Spec, error) {
 				sweep.Delivered(), sweep.OnTimePct(), sweep.MeanLatency())
 			break
 		}
+	}
+	// A priority workload on the axis additionally reports the
+	// per-class delivery split.
+	for _, w := range spec.Workloads {
+		if w.Kind == scenario.KindPriority {
+			spec.Metrics = append(spec.Metrics,
+				sweep.DeliveredHigh(), sweep.MeanLatencyHigh(), sweep.MeanLatencyLow())
+			break
+		}
+	}
+	if req.Quality {
+		spec.Metrics = append(spec.Metrics, sweep.Quality()...)
 	}
 	// Dynamic-world cells — an enabled failure axis value or a
 	// scenario-declared event schedule — additionally report the

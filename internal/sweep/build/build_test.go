@@ -1,0 +1,96 @@
+package build
+
+import (
+	"testing"
+
+	"tctp/internal/scenario"
+	"tctp/internal/sweep/protocol"
+)
+
+func metricNames(t *testing.T, req protocol.SweepRequest) map[string]bool {
+	t.Helper()
+	spec, err := Spec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, m := range spec.Metrics {
+		names[m.Name] = true
+	}
+	return names
+}
+
+// The priority workload rides the axis like any other value and pulls
+// in the per-class delivery columns alongside the aggregate ones.
+func TestSpecPriorityWorkloadMetrics(t *testing.T) {
+	names := metricNames(t, protocol.SweepRequest{Workloads: "priority"})
+	for _, want := range []string{"delivered", "delivered_hi", "mean_latency_hi_s", "mean_latency_lo_s"} {
+		if !names[want] {
+			t.Errorf("priority spec lacks metric %q (have %v)", want, names)
+		}
+	}
+	names = metricNames(t, protocol.SweepRequest{Workloads: "on"})
+	if names["delivered_hi"] {
+		t.Error("plain packet workload reports the priority split")
+	}
+
+	spec, err := Spec(protocol.SweepRequest{Workloads: "priority"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Workloads) != 1 || spec.Workloads[0].Kind != scenario.KindPriority {
+		t.Fatalf("workloads = %+v, want one priority workload", spec.Workloads)
+	}
+}
+
+// Quality on the request appends the ratio columns; off leaves the
+// spec (and therefore every cell key) unchanged.
+func TestSpecQualityMetrics(t *testing.T) {
+	names := metricNames(t, protocol.SweepRequest{Quality: true})
+	for _, want := range []string{"ratio_tour", "ratio_dcdt"} {
+		if !names[want] {
+			t.Errorf("quality spec lacks metric %q (have %v)", want, names)
+		}
+	}
+	names = metricNames(t, protocol.SweepRequest{})
+	if names["ratio_tour"] || names["ratio_dcdt"] {
+		t.Error("default spec reports quality ratios")
+	}
+}
+
+func TestWorkloadsRejectsUnknownKind(t *testing.T) {
+	if _, err := Spec(protocol.SweepRequest{Workloads: "vip"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// A scenario document's VIP population must reach the spec's VIP
+// axis — without it, priority workloads over VIP scenarios would
+// silently simulate an all-normal field.
+func TestSpecScenarioVIPs(t *testing.T) {
+	doc := []byte(`{
+		"name": "vip-spec",
+		"field": {"placement": "uniform"},
+		"targets": {"count": 10, "vips": 3, "vip_weight": 4},
+		"fleet": {"mules": [{"speed": 2}, {"speed": 2}]},
+		"horizon": 20000
+	}`)
+	spec, err := Spec(protocol.SweepRequest{Scenario: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.VIPs) != 1 || spec.VIPs[0] != 3 {
+		t.Fatalf("VIPs axis = %v, want [3]", spec.VIPs)
+	}
+	if len(spec.VIPWeights) != 1 || spec.VIPWeights[0] != 4 {
+		t.Fatalf("VIPWeights axis = %v, want [4]", spec.VIPWeights)
+	}
+	// VIP-free scenarios keep the default axis (and their cell keys).
+	spec, err = Spec(protocol.SweepRequest{Preset: "paper51"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.VIPs) != 0 {
+		t.Fatalf("VIP-free preset set the axis: %v", spec.VIPs)
+	}
+}

@@ -16,7 +16,10 @@
 //     A disk entry whose payload does not round-trip, or whose
 //     embedded key does not match its file name, is refused and the
 //     cell recomputed: a corrupt cache may cost time, never
-//     correctness.
+//     correctness. An optional byte budget (Options.DirMaxBytes)
+//     bounds the directory with an oldest-first sweep, on open and
+//     after writes, so a long-lived server's disk layer stops growing
+//     without bound.
 //
 //   - Single-flight deduplication: concurrent Folds of the same key
 //     elect one leader to run the compute; the others wait and share
@@ -35,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -49,6 +53,14 @@ type Options struct {
 	// Dir, when non-empty, enables the disk layer in that directory
 	// (created if absent).
 	Dir string
+	// DirMaxBytes, when > 0, bounds the disk layer: whenever the
+	// summed size of the cached entries exceeds it, the oldest files
+	// (by modification time) are deleted until the budget holds again.
+	// The sweep runs on open — so a restarted server trims a directory
+	// that grew under a previous, larger budget — and after any write
+	// that pushes the total over. 0 means unbounded, the historical
+	// behavior.
+	DirMaxBytes int64
 	// Gate, when > 0, bounds how many computes run at once across all
 	// Folds of this store. Hits, disk hits, and single-flight joins
 	// are never gated — only the leaders actually simulating. This is
@@ -71,8 +83,11 @@ type Stats struct {
 	// Joins counts Folds that waited on another caller's in-flight
 	// compute of the same key.
 	Joins int64 `json:"joins"`
-	// Evictions counts entries dropped to keep memory under budget.
-	Evictions int64 `json:"evictions"`
+	// Evictions counts entries dropped to keep memory under budget;
+	// DiskEvictions counts files deleted to keep the disk layer under
+	// Options.DirMaxBytes.
+	Evictions     int64 `json:"evictions"`
+	DiskEvictions int64 `json:"disk_evictions"`
 	// Corrupt counts disk entries refused (unreadable, malformed, or
 	// key-mismatched); each refusal forces a recompute.
 	Corrupt int64 `json:"corrupt"`
@@ -104,16 +119,22 @@ type flight struct {
 // implementing sweep.CellStore. Callers must treat returned states as
 // immutable — they are shared across every Fold of the same key.
 type Store struct {
-	dir  string
-	gate chan struct{}
+	dir         string
+	dirMaxBytes int64
+	gate        chan struct{}
 
-	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	lru      *list.List // front = most recently used; values are *entry
-	entries  map[string]*entry
-	inflight map[string]*flight
-	stats    Stats
+	// gcMu serializes disk sweeps; only one scan-and-delete runs at a
+	// time even when many leaders finish writes together.
+	gcMu sync.Mutex
+
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	diskBytes int64      // approximate; corrected by every sweep's rescan
+	lru       *list.List // front = most recently used; values are *entry
+	entries   map[string]*entry
+	inflight  map[string]*flight
+	stats     Stats
 }
 
 // New opens a store. The disk directory, when configured, is created
@@ -130,16 +151,23 @@ func New(opts Options) (*Store, error) {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
 	}
+	if opts.DirMaxBytes < 0 {
+		return nil, fmt.Errorf("cache: negative DirMaxBytes %d", opts.DirMaxBytes)
+	}
 	s := &Store{
-		dir:      opts.Dir,
-		maxBytes: opts.MaxBytes,
-		lru:      list.New(),
-		entries:  make(map[string]*entry),
-		inflight: make(map[string]*flight),
+		dir:         opts.Dir,
+		dirMaxBytes: opts.DirMaxBytes,
+		maxBytes:    opts.MaxBytes,
+		lru:         list.New(),
+		entries:     make(map[string]*entry),
+		inflight:    make(map[string]*flight),
 	}
 	if opts.Gate > 0 {
 		s.gate = make(chan struct{}, opts.Gate)
 	}
+	// Trim a directory inherited from a run with a larger (or no)
+	// budget before serving from it.
+	s.gcDisk()
 	return s, nil
 }
 
@@ -328,11 +356,81 @@ func (s *Store) writeDisk(key string, st protocol.FoldState) {
 		if err := tmp.Close(); err != nil {
 			return err
 		}
-		return os.Rename(tmp.Name(), s.diskPath(key))
+		if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.diskBytes += int64(len(b))
+		over := s.dirMaxBytes > 0 && s.diskBytes > s.dirMaxBytes
+		s.mu.Unlock()
+		if over {
+			s.gcDisk()
+		}
+		return nil
 	}()
 	if err != nil {
 		s.mu.Lock()
 		s.stats.DiskErrors++
 		s.mu.Unlock()
 	}
+}
+
+// gcDisk enforces Options.DirMaxBytes: rescan the disk layer and
+// delete entries oldest-first (by modification time, ties broken by
+// name for determinism) until the budget holds. The newest entry is
+// never deleted, mirroring the memory layer — a single state larger
+// than the whole budget still persists (alone). The rescan also
+// corrects the approximate byte counter that write-time checks use,
+// so files deleted behind the store's back only delay a sweep, never
+// break it.
+func (s *Store) gcDisk() {
+	if s.dir == "" || s.dirMaxBytes <= 0 {
+		return
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DiskErrors++
+		s.mu.Unlock()
+		return
+	}
+	type file struct {
+		name string
+		size int64
+		mod  int64
+	}
+	var files []file
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue // leave temp files to their writers
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent delete
+		}
+		files = append(files, file{de.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	var evicted int64
+	for i := 0; i < len(files)-1 && total > s.dirMaxBytes; i++ {
+		if err := os.Remove(filepath.Join(s.dir, files[i].name)); err != nil {
+			continue
+		}
+		total -= files[i].size
+		evicted++
+	}
+	s.mu.Lock()
+	s.diskBytes = total
+	s.stats.DiskEvictions += evicted
+	s.mu.Unlock()
 }

@@ -1,0 +1,184 @@
+package cache_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/protocol"
+)
+
+// keyFile maps a cell key to its on-disk file name, mirroring the
+// store's layout (validated hex key, "sha256:" prefix trimmed).
+func keyFile(dir, key string) string {
+	return filepath.Join(dir, strings.TrimPrefix(key, "sha256:")+".json")
+}
+
+// fillDisk folds n fabricated keys through a budget-free store over
+// dir, then stamps each file with a strictly increasing modification
+// time (key i older than key i+1) so eviction order is unambiguous.
+func fillDisk(t *testing.T, dir string, n int) {
+	t.Helper()
+	store, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < n; i++ {
+		st := fakeState(i, 400)
+		if _, _, err := store.Fold(fakeKey(i), func() (protocol.FoldState, error) {
+			return st, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(keyFile(dir, fakeKey(i)), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// TestDiskGCOnOpen: a store opened with a byte budget over a directory
+// that outgrew it (e.g. written by a previous run with a larger
+// budget) trims the oldest entries until the budget holds, and the
+// survivors still serve disk hits.
+func TestDiskGCOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
+	fillDisk(t, dir, n)
+
+	// Budget exactly the three newest files: the sweep must delete
+	// keys 0 and 1 and stop.
+	var budget int64
+	for i := 2; i < n; i++ {
+		budget += fileSize(t, keyFile(dir, fakeKey(i)))
+	}
+	store, err := cache.New(cache.Options{Dir: dir, DirMaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.DiskEvictions != 2 {
+		t.Fatalf("open-time evictions %d, want 2 (stats %+v)", st.DiskEvictions, st)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(keyFile(dir, fakeKey(i))); !os.IsNotExist(err) {
+			t.Errorf("evicted key %d still on disk (err %v)", i, err)
+		}
+	}
+	for i := 2; i < n; i++ {
+		if _, err := os.Stat(keyFile(dir, fakeKey(i))); err != nil {
+			t.Errorf("surviving key %d: %v", i, err)
+		}
+	}
+
+	// Survivors serve from disk; evicted keys recompute.
+	if _, src, err := store.Fold(fakeKey(n-1), func() (protocol.FoldState, error) {
+		t.Fatal("survivor recomputed")
+		return protocol.FoldState{}, nil
+	}); err != nil || src != protocol.SourceHit {
+		t.Fatalf("survivor fold: src %q err %v", src, err)
+	}
+	if _, src, err := store.Fold(fakeKey(0), func() (protocol.FoldState, error) {
+		return fakeState(0, 400), nil
+	}); err != nil || src != protocol.SourceComputed {
+		t.Fatalf("evicted fold: src %q err %v", src, err)
+	}
+}
+
+// TestDiskGCAfterWrite: a write that pushes the directory past the
+// budget triggers a sweep that deletes the oldest entry, never the one
+// just written.
+func TestDiskGCAfterWrite(t *testing.T) {
+	dir := t.TempDir()
+	fillDisk(t, dir, 1)
+	size0 := fileSize(t, keyFile(dir, fakeKey(0)))
+
+	// Room for one entry plus change, but not two.
+	store, err := cache.New(cache.Options{Dir: dir, DirMaxBytes: size0 + size0/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.DiskEvictions != 0 {
+		t.Fatalf("under-budget open evicted: %+v", st)
+	}
+	if _, _, err := store.Fold(fakeKey(1), func() (protocol.FoldState, error) {
+		return fakeState(1, 400), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(keyFile(dir, fakeKey(0))); !os.IsNotExist(err) {
+		t.Errorf("oldest entry survived the write-time sweep (err %v)", err)
+	}
+	if _, err := os.Stat(keyFile(dir, fakeKey(1))); err != nil {
+		t.Errorf("freshly written entry evicted: %v", err)
+	}
+	if st := store.Stats(); st.DiskEvictions != 1 {
+		t.Fatalf("write-time evictions %d, want 1 (stats %+v)", st.DiskEvictions, st)
+	}
+}
+
+// TestDiskGCKeepsNewestEntry: like the memory layer, a single entry
+// larger than the whole budget still persists alone — the budget
+// bounds accumulation, it does not refuse service.
+func TestDiskGCKeepsNewestEntry(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.New(cache.Options{Dir: dir, DirMaxBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Fold(fakeKey(0), func() (protocol.FoldState, error) {
+		return fakeState(0, 400), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(keyFile(dir, fakeKey(0))); err != nil {
+		t.Errorf("sole oversized entry evicted: %v", err)
+	}
+	if st := store.Stats(); st.DiskEvictions != 0 {
+		t.Fatalf("sole entry counted as eviction: %+v", st)
+	}
+}
+
+// TestDiskGCIgnoresTempFiles: in-flight temp files from concurrent
+// writers are not GC victims.
+func TestDiskGCIgnoresTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	fillDisk(t, dir, 2)
+	tmp := filepath.Join(dir, "put-123.tmp")
+	if err := os.WriteFile(tmp, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	budget := fileSize(t, keyFile(dir, fakeKey(1)))
+	if _, err := cache.New(cache.Options{Dir: dir, DirMaxBytes: budget}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("temp file deleted by GC: %v", err)
+	}
+	if _, err := os.Stat(keyFile(dir, fakeKey(0))); !os.IsNotExist(err) {
+		t.Errorf("oldest entry survived despite budget (err %v)", err)
+	}
+}
+
+func TestNegativeDirMaxBytesRefused(t *testing.T) {
+	if _, err := cache.New(cache.Options{Dir: t.TempDir(), DirMaxBytes: -1}); err == nil {
+		t.Fatal("negative DirMaxBytes accepted")
+	}
+}

@@ -726,7 +726,7 @@ func (e *engine) runOne(j job) (*runValues, error) {
 		return nil, fmt.Errorf("sweep: cell %v seed %d: %w", p, seed, err)
 	}
 
-	env := Env{Point: p, Variant: d.variant, Seed: seed, Scenario: scn, Result: res, Data: data}
+	env := Env{Point: p, Variant: d.variant, Seed: seed, Scenario: scn, Result: res, Fleet: sc.Fleet, Data: data}
 	vals := &runValues{scalars: make([]float64, len(sp.Metrics))}
 	for i, m := range sp.Metrics {
 		vals.scalars[i] = m.Fn(env)

@@ -170,6 +170,43 @@ func MaxLatency() Metric {
 	}}
 }
 
+// Priority metrics: these split the delivery statistics by packet
+// class and return 0 for cells whose workload does not track
+// priorities (wsn overlays built without NewPriority report 0 on the
+// class accessors).
+
+// DeliveredHigh is the number of delivered high-priority (VIP-origin)
+// packets.
+func DeliveredHigh() Metric {
+	return Metric{Name: "delivered_hi", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return float64(e.Data.DeliveredHigh())
+	}}
+}
+
+// MeanLatencyHigh is the mean delivery latency of high-priority
+// packets.
+func MeanLatencyHigh() Metric {
+	return Metric{Name: "mean_latency_hi_s", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return e.Data.MeanLatencyHigh()
+	}}
+}
+
+// MeanLatencyLow is the mean delivery latency of low-priority packets.
+func MeanLatencyLow() Metric {
+	return Metric{Name: "mean_latency_lo_s", Fn: func(e Env) float64 {
+		if e.Data == nil {
+			return 0
+		}
+		return e.Data.MeanLatencyLow()
+	}}
+}
+
 // DCDTCurve is the Fig. 7 vector metric: the event-indexed DCDT
 // trajectory over the first maxVisits visiting intervals.
 func DCDTCurve(maxVisits int) VectorMetric {

@@ -202,6 +202,12 @@ type SweepRequest struct {
 	// name their own (tctp-sweep -handoff).
 	Failures string `json:"failures,omitempty"`
 	Handoff  string `json:"handoff,omitempty"`
+	// Quality adds the approximation-ratio metric columns
+	// (ratio_tour, ratio_dcdt) computed against the internal/optimal
+	// reference bounds (tctp-sweep -quality). The extra metric names
+	// enter every cell's content-addressed identity, so quality cells
+	// never collide with plain cells in a shared cache.
+	Quality bool `json:"quality,omitempty"`
 }
 
 // Event is one line of a sweep's NDJSON event stream

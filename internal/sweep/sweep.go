@@ -298,6 +298,11 @@ type Env struct {
 	Seed     uint64
 	Scenario *field.Scenario
 	Result   *patrol.Result
+	// Fleet is the cell's materialized fleet configuration (the
+	// Fleets-axis fleet, or the homogeneous fleet implied by the
+	// point's Mules × Speed), giving metrics per-mule speeds that
+	// patrol.Result does not carry.
+	Fleet scenario.Fleet
 	// Data is the cell's data-workload overlay with the replication's
 	// delivery statistics: the Workloads-axis overlay when the cell's
 	// workload is enabled, else the first scenario-declared overlay,
@@ -308,6 +313,19 @@ type Env struct {
 // Warm returns the conventional warm-up cutoff for steady-state
 // metrics: just after the synchronized patrol start.
 func (e Env) Warm() float64 { return e.Result.PatrolStart + 1 }
+
+// MuleSpeed returns mule i's speed: the fleet member's speed when the
+// cell declares one, else the point's homogeneous speed, else the
+// patrol default of 2 m/s.
+func (e Env) MuleSpeed(i int) float64 {
+	if i >= 0 && i < e.Fleet.Size() && e.Fleet.Mules[i].Speed > 0 {
+		return e.Fleet.Mules[i].Speed
+	}
+	if e.Point.Speed > 0 {
+		return e.Point.Speed
+	}
+	return 2
+}
 
 // Metric is a named scalar extracted from every replication and
 // aggregated per cell.
