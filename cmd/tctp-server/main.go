@@ -11,17 +11,23 @@
 //	tctp-server -addr :8080 -cache-dir /var/cache/tctp -cache-bytes 1073741824
 //	tctp-server -addr :8080 -cache-dir /var/cache/tctp -cache-dir-bytes 10737418240
 //	tctp-server -addr :8080 -gate 8 -max-sweeps 4
+//	tctp-server -addr :8080 -workers remote -lease-ttl 30s
 //
 //	# then, from any client machine:
 //	tctp-sweep -alg btctp -preset paper51 -seeds 5 -server http://host:8080 > sweep.csv
 //	curl -s http://host:8080/stats
 //
+//	# and, with -workers remote, from each compute machine:
+//	tctp-worker -server http://host:8080
+//
 // Endpoints: POST /sweeps, GET /sweeps/{id}, GET /sweeps/{id}/events
 // (NDJSON), GET /sweeps/{id}/result.csv, GET /sweeps/{id}/result.jsonl,
-// GET /stats. See internal/sweep/server for semantics — admission
-// control (429 + Retry-After beyond -max-sweeps), the -gate compute
-// bound shared by all sweeps, and single-flight dedup of concurrent
-// identical submissions.
+// GET /stats, and — with -workers remote — POST /workers/lease,
+// /workers/result, /workers/heartbeat for the tctp-worker fleet. See
+// internal/sweep/server for semantics — admission control (429 +
+// Retry-After beyond -max-sweeps), the -gate compute bound shared by
+// all sweeps, single-flight dedup of concurrent identical submissions,
+// and internal/sweep/dispatch for the cache-aware lease scheduler.
 package main
 
 import (
@@ -30,8 +36,10 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"time"
 
 	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/dispatch"
 	"tctp/internal/sweep/server"
 )
 
@@ -44,6 +52,8 @@ func main() {
 		gate          = flag.Int("gate", runtime.GOMAXPROCS(0), "max cell simulations running at once across all sweeps")
 		maxSweeps     = flag.Int("max-sweeps", 8, "max sweeps in flight before POST /sweeps answers 429")
 		parallel      = flag.Int("parallel", 0, "per-sweep cell-resolution concurrency (0 = GOMAXPROCS)")
+		workers       = flag.String("workers", "local", "where cells compute: local (in-process) or remote (leased to a tctp-worker fleet)")
+		leaseTTL      = flag.Duration("lease-ttl", 30*time.Second, "remote-worker lease deadline; an unreported cell is reassigned past it")
 	)
 	flag.Parse()
 
@@ -56,11 +66,22 @@ func main() {
 	if err != nil {
 		log.Fatalln("tctp-server:", err)
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Store:     store,
 		MaxSweeps: *maxSweeps,
 		Parallel:  *parallel,
-	})
+	}
+	switch *workers {
+	case "local":
+	case "remote":
+		cfg.Dispatch, err = dispatch.New(dispatch.Options{Store: store, LeaseTTL: *leaseTTL})
+		if err != nil {
+			log.Fatalln("tctp-server:", err)
+		}
+	default:
+		log.Fatalf("tctp-server: -workers %q: want local or remote", *workers)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalln("tctp-server:", err)
 	}
@@ -71,7 +92,11 @@ func main() {
 			persistence += fmt.Sprintf(" (≤ %d bytes)", *cacheDirBytes)
 		}
 	}
-	log.Printf("tctp-server: listening on %s (%s, %d-byte budget, gate %d, max %d sweeps)",
-		*addr, persistence, *cacheBytes, *gate, *maxSweeps)
+	compute := "local compute"
+	if cfg.Dispatch != nil {
+		compute = fmt.Sprintf("remote workers, %s leases", *leaseTTL)
+	}
+	log.Printf("tctp-server: listening on %s (%s, %d-byte budget, gate %d, max %d sweeps, %s)",
+		*addr, persistence, *cacheBytes, *gate, *maxSweeps, compute)
 	log.Fatalln("tctp-server:", http.ListenAndServe(*addr, srv))
 }

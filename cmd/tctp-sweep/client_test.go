@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/dispatch"
 	"tctp/internal/sweep/server"
+	"tctp/internal/sweep/worker"
 )
 
 // startServer brings up an in-process tctp-server for client-mode
@@ -73,7 +78,7 @@ func TestClientModeProgress(t *testing.T) {
 	if err := run(cfg, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(errw.String(), "computed") || !strings.Contains(errw.String(), "done:") {
+	if !strings.Contains(errw.String(), "local") || !strings.Contains(errw.String(), "done:") {
 		t.Fatalf("cold progress summary missing:\n%s", errw.String())
 	}
 
@@ -81,12 +86,63 @@ func TestClientModeProgress(t *testing.T) {
 	if err := run(cfg, &out2, &errw2); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(errw2.String(), "0 computed") ||
+	if !strings.Contains(errw2.String(), "0 local") ||
 		!strings.Contains(errw2.String(), "8 cached") {
 		t.Fatalf("warm run should report all cells cached:\n%s", errw2.String())
 	}
 	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
 		t.Fatal("warm run output diverged from cold run")
+	}
+}
+
+// TestClientModeRemoteWorkers: against a -workers remote server with a
+// fleet attached, the client's bytes still match the local run and the
+// -progress summary attributes cells to worker:<id>.
+func TestClientModeRemoteWorkers(t *testing.T) {
+	store, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := dispatch.New(dispatch.Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Close)
+	ts := startServer(t, server.Config{Store: store, Dispatch: sched})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for _, id := range []string{"w1", "w2"} {
+		done := make(chan struct{})
+		go func(id string) {
+			defer close(done)
+			_ = worker.Run(ctx, worker.Options{Server: ts.URL, ID: id, Poll: time.Second})
+		}(id)
+		t.Cleanup(func() { cancel(); <-done })
+	}
+
+	local := goldenConfig()
+	var want, lerr bytes.Buffer
+	if err := run(local, &want, &lerr); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := local
+	remote.Server = ts.URL
+	remote.Progress = true
+	var got, errw bytes.Buffer
+	if err := run(remote, &got, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("remote-fleet output diverged from local run:\n%s\nvs\n%s", got.Bytes(), want.Bytes())
+	}
+	summary := errw.String()
+	if !regexp.MustCompile(`\d+ worker:w[12]`).MatchString(summary) {
+		t.Fatalf("summary does not attribute cells to workers:\n%s", summary)
+	}
+	if !strings.Contains(summary, "0 local") {
+		t.Fatalf("remote sweep reported local computes:\n%s", summary)
 	}
 }
 

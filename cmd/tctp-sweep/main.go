@@ -83,6 +83,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -462,9 +463,8 @@ func streamEvents(base, id string, errw io.Writer) error {
 			if progressed {
 				fmt.Fprintln(errw)
 			}
-			fmt.Fprintf(errw, "tctp-sweep: %s done: %d cells (%d runs), %d computed, %d cached, %d joined\n",
-				id, ev.Cells, ev.Runs, source[protocol.SourceComputed],
-				source[protocol.SourceHit], source[protocol.SourceJoined])
+			fmt.Fprintf(errw, "tctp-sweep: %s done: %d cells (%d runs), %s\n",
+				id, ev.Cells, ev.Runs, sourceSummary(source))
 			return nil
 		case "error":
 			if progressed {
@@ -474,6 +474,29 @@ func streamEvents(base, id string, errw io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// sourceSummary renders the cell-source tally of a server run:
+// in-process computes as "local", cache hits as "cached", joins as
+// "joined", and — when the server runs a worker fleet — one
+// "worker:<id>" count per worker, sorted by id.
+func sourceSummary(source map[protocol.Source]int) string {
+	parts := []string{
+		fmt.Sprintf("%d local", source[protocol.SourceComputed]),
+		fmt.Sprintf("%d cached", source[protocol.SourceHit]),
+		fmt.Sprintf("%d joined", source[protocol.SourceJoined]),
+	}
+	var workers []string
+	for src := range source {
+		if strings.HasPrefix(string(src), "worker:") {
+			workers = append(workers, string(src))
+		}
+	}
+	sort.Strings(workers)
+	for _, w := range workers {
+		parts = append(parts, fmt.Sprintf("%d %s", source[protocol.Source(w)], w))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // runMerge rebuilds the full sweep from shard checkpoint files and

@@ -1,0 +1,55 @@
+// Command tctp-worker is one member of a remote compute fleet: a
+// long-lived process that pulls cell leases from a tctp-server running
+// with -workers remote, computes each cell through the engine's
+// single-cell sub-job path, and posts the bit-exact fold state back.
+//
+// Usage:
+//
+//	tctp-worker -server http://host:8080
+//	tctp-worker -server http://host:8080 -id rack3-a -concurrency 2
+//
+// Workers are stateless and interchangeable: attach as many as the
+// sweep load needs, kill them freely — a cell lost with its worker is
+// reassigned by the server when the lease expires, and the sweep's
+// output bytes are identical at any fleet size. See the README's
+// "Worker fleet" section for the lease lifecycle.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tctp/internal/sweep/worker"
+)
+
+func main() {
+	var (
+		server      = flag.String("server", "", "tctp-server base URL (required), e.g. http://host:8080")
+		id          = flag.String("id", "", "worker id reported to the scheduler (default <hostname>-<pid>)")
+		concurrency = flag.Int("concurrency", 1, "cells computed at once (each cell already parallelizes its replications)")
+		poll        = flag.Duration("poll", 15*time.Second, "lease long-poll horizon")
+	)
+	flag.Parse()
+	if *server == "" {
+		log.Fatalln("tctp-worker: -server is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("tctp-worker: pulling leases from %s (concurrency %d)", *server, *concurrency)
+	if err := worker.Run(ctx, worker.Options{
+		Server:      *server,
+		ID:          *id,
+		Concurrency: *concurrency,
+		Poll:        *poll,
+		Logf:        log.Printf,
+	}); err != nil {
+		log.Fatalln("tctp-worker:", err)
+	}
+	log.Printf("tctp-worker: shut down")
+}

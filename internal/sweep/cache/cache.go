@@ -223,6 +223,46 @@ func (s *Store) Fold(key string, compute func() (protocol.FoldState, error)) (pr
 	return st, src, err
 }
 
+// Probe returns the state cached under key, if any, without computing,
+// joining an in-flight computation, or registering a single-flight.
+// Memory hits refresh the LRU; disk hits are promoted to memory. This
+// is the dispatch scheduler's cache-aware admission check: a warm cell
+// is served here and never enters the lease queue.
+func (s *Store) Probe(key string) (protocol.FoldState, bool) {
+	if !protocol.ValidKey(key) {
+		return protocol.FoldState{}, false
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.stats.Hits++
+		st := e.state
+		s.mu.Unlock()
+		return st, true
+	}
+	s.mu.Unlock()
+	if st, ok := s.readDisk(key); ok {
+		s.insert(key, st)
+		s.mu.Lock()
+		s.stats.DiskHits++
+		s.mu.Unlock()
+		return st, true
+	}
+	return protocol.FoldState{}, false
+}
+
+// Put publishes a state under its key to both layers — how remotely
+// computed cells (validated by the scheduler before this call) enter
+// the cache. A malformed key is dropped; the disk layer, as always,
+// accelerates rather than gates.
+func (s *Store) Put(key string, st protocol.FoldState) {
+	if !protocol.ValidKey(key) {
+		return
+	}
+	s.insert(key, st)
+	s.writeDisk(key, st)
+}
+
 // lead resolves a key on behalf of all its current callers: disk
 // first, then the gated compute.
 func (s *Store) lead(key string, compute func() (protocol.FoldState, error)) (protocol.FoldState, protocol.Source, error) {

@@ -398,3 +398,57 @@ func TestMalformedKeyRefused(t *testing.T) {
 		}
 	}
 }
+
+// TestProbePut covers the dispatch-facing face of the store: Probe
+// never computes and hits both layers; Put publishes to both layers;
+// malformed keys are inert for both.
+func TestProbePut(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key, want := fakeKey(1), fakeState(1, 100)
+	if _, ok := store.Probe(key); ok {
+		t.Fatalf("Probe hit an empty store")
+	}
+	store.Put(key, want)
+	got, ok := store.Probe(key)
+	if !ok || got.Next != want.Next {
+		t.Fatalf("Probe after Put: ok=%v state=%+v", ok, got)
+	}
+
+	// Put reached the disk layer: a fresh store over the same directory
+	// probes warm, and the hit promotes to its memory layer.
+	fresh, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Probe(key); !ok {
+		t.Fatalf("Put did not persist to disk")
+	}
+	if st := fresh.Stats(); st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("fresh stats after disk probe: %+v", st)
+	}
+	if _, ok := fresh.Probe(key); !ok {
+		t.Fatalf("promoted entry lost")
+	}
+	if st := fresh.Stats(); st.Hits != 1 {
+		t.Fatalf("second probe missed memory: %+v", st)
+	}
+
+	// A probed state folds without computing — Probe and Fold agree on
+	// what "cached" means.
+	if _, src, err := store.Fold(key, func() (protocol.FoldState, error) {
+		t.Fatalf("compute ran for a Put key")
+		return protocol.FoldState{}, nil
+	}); err != nil || src != protocol.SourceHit {
+		t.Fatalf("Fold after Put: src=%q err=%v", src, err)
+	}
+
+	store.Put("not-a-key", want)
+	if _, ok := store.Probe("not-a-key"); ok {
+		t.Fatalf("malformed key round-tripped")
+	}
+}

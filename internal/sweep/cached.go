@@ -50,10 +50,38 @@ type CellUpdate struct {
 	Result *CellResult
 }
 
+// ResolveCell is one cell handed to CacheRunOpts.Resolve: its identity
+// plus the closures a resolver needs to compute it locally or to
+// validate a state obtained elsewhere.
+type ResolveCell struct {
+	// Index is the plan-global cell index; Key the cell's
+	// content-addressed cache key.
+	Index int
+	Key   string
+	// Compute runs the cell as a single-cell sub-job in this process
+	// (the same closure a CellStore.Fold miss would run).
+	Compute func() (protocol.FoldState, error)
+	// Validate checks a fold state obtained outside this process (a
+	// cache layer, a remote worker) against the job's spec: accumulator
+	// shapes, replication counts, adaptive-stop consistency. Resolvers
+	// that accept third-party states should validate before trusting
+	// them — a refused state beats a poisoned aggregate.
+	Validate func(*protocol.FoldState) error
+}
+
 // CacheRunOpts configures one Job.RunCached.
 type CacheRunOpts struct {
-	// Store is the cell cache (required).
+	// Store is the cell cache (required unless Resolve is set).
 	Store CellStore
+	// Resolve, when non-nil, replaces Store.Fold as the per-cell
+	// resolution: it receives each cell (with its compute and validate
+	// closures) and returns the cell's fold state, how it was obtained,
+	// and any error. This is the seam the dispatch scheduler plugs into
+	// — probing the shared cache, leasing cold cells to remote workers,
+	// and falling back however it chooses — while emission stays on the
+	// engine's shared byte-identical path. The returned state is still
+	// validated centrally, whatever the resolver did.
+	Resolve func(ctx context.Context, cell ResolveCell) (protocol.FoldState, protocol.Source, error)
 	// Parallel bounds how many cells are resolved concurrently
 	// (default GOMAXPROCS). Cells that miss additionally parallelize
 	// their replications over Spec.Workers inside the compute, so the
@@ -91,6 +119,21 @@ func (j *Job) computeCell(ctx context.Context, i int) (protocol.FoldState, error
 	return rec.FoldState, nil
 }
 
+// ComputeCell computes the job's i-th cell (job-local index) as a
+// single-cell sub-job and returns its final fold state — the exported
+// face of the compute path RunCached uses on a cache miss. It is what
+// a remote worker runs for a leased cell: same seeds, same seed-ordered
+// fold, same adaptive stop decisions as the cell would see inside any
+// larger run of the same spec, so the returned state is bit-identical
+// to the one a local run would hold and restores byte-identically
+// through the shared emission path.
+func (j *Job) ComputeCell(ctx context.Context, i int) (protocol.FoldState, error) {
+	if i < 0 || i >= len(j.defs) {
+		return protocol.FoldState{}, fmt.Errorf("sweep: cell %d outside [0,%d)", i, len(j.defs))
+	}
+	return j.computeCell(ctx, i)
+}
+
 // checkFinalState guards a fold state arriving from outside the
 // process (a cache layer, a wire partial) before it is folded into
 // output: the accumulator shapes must match the spec and the state
@@ -125,8 +168,8 @@ func (sp *Spec) checkFinalState(st *protocol.FoldState) error {
 // lowest-indexed failing cell wins, matching the engine's
 // deterministic error selection.
 func (j *Job) RunCached(ctx context.Context, opts CacheRunOpts) (*Result, error) {
-	if opts.Store == nil {
-		return nil, fmt.Errorf("sweep: RunCached needs a Store")
+	if opts.Store == nil && opts.Resolve == nil {
+		return nil, fmt.Errorf("sweep: RunCached needs a Store or a Resolve hook")
 	}
 	keys, err := j.CellKeys()
 	if err != nil {
@@ -171,9 +214,24 @@ func (j *Job) RunCached(ctx context.Context, opts CacheRunOpts) (*Result, error)
 				if failed() {
 					continue
 				}
-				st, src, err := opts.Store.Fold(keys[i], func() (protocol.FoldState, error) {
+				compute := func() (protocol.FoldState, error) {
 					return j.computeCell(ctx, i)
-				})
+				}
+				var (
+					st  protocol.FoldState
+					src protocol.Source
+					err error
+				)
+				if opts.Resolve != nil {
+					st, src, err = opts.Resolve(ctx, ResolveCell{
+						Index:    j.offset + i,
+						Key:      keys[i],
+						Compute:  compute,
+						Validate: func(s *protocol.FoldState) error { return sp.checkFinalState(s) },
+					})
+				} else {
+					st, src, err = opts.Store.Fold(keys[i], compute)
+				}
 				if err == nil {
 					if verr := sp.checkFinalState(&st); verr != nil {
 						err = fmt.Errorf("sweep: cached state %s %v", keys[i], verr)

@@ -321,3 +321,87 @@ func TestPartialWireRoundTrip(t *testing.T) {
 		t.Fatalf("duplicate wire cell accepted: %v", err)
 	}
 }
+
+// TestRunCachedResolveHook pins the dispatch seam: a run resolved
+// through CacheRunOpts.Resolve — computing via the cell's own Compute
+// closure, as a remote worker would — is byte-identical to a plain
+// Run, the hook sees every cell exactly once with a valid key, and a
+// resolver returning a tampered state is refused by the central
+// validation.
+func TestRunCachedResolveHook(t *testing.T) {
+	ctx := context.Background()
+	spec := tinySpec()
+
+	plainCSV, plainJSONL := sinkBytes(t, func(sinks ...Sink) error {
+		_, err := Run(ctx, spec, sinks...)
+		return err
+	})
+
+	j, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	csv, jsonl := sinkBytes(t, func(sinks ...Sink) error {
+		_, err := j.RunCached(ctx, CacheRunOpts{
+			Resolve: func(ctx context.Context, cell ResolveCell) (protocol.FoldState, protocol.Source, error) {
+				if !protocol.ValidKey(cell.Key) {
+					t.Errorf("cell %d: malformed key %q", cell.Index, cell.Key)
+				}
+				st, err := cell.Compute()
+				if err != nil {
+					return st, "", err
+				}
+				if verr := cell.Validate(&st); verr != nil {
+					t.Errorf("cell %d: own compute fails validation: %v", cell.Index, verr)
+				}
+				mu.Lock()
+				seen[cell.Key]++
+				mu.Unlock()
+				return st, protocol.Source("worker:test"), nil
+			},
+			Sinks: sinks,
+		})
+		return err
+	})
+	if !bytes.Equal(csv, plainCSV) || !bytes.Equal(jsonl, plainJSONL) {
+		t.Fatal("resolve-hook run differs from plain Run")
+	}
+	if len(seen) != j.Cells() {
+		t.Fatalf("resolver saw %d distinct cells, want %d", len(seen), j.Cells())
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %s resolved %d times", key, n)
+		}
+	}
+
+	// A resolver that hands back a truncated state must be refused by
+	// the run's central validation, naming the cell's key.
+	j2, err := Plan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := j2.CellKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j2.RunCached(ctx, CacheRunOpts{
+		Parallel: 1,
+		Resolve: func(ctx context.Context, cell ResolveCell) (protocol.FoldState, protocol.Source, error) {
+			st, err := cell.Compute()
+			if err != nil {
+				return st, "", err
+			}
+			st.Scalars = st.Scalars[:1] // tamper: drop metrics
+			return st, protocol.Source("worker:evil"), nil
+		},
+	})
+	if err == nil {
+		t.Fatal("tampered resolver state was accepted")
+	}
+	if !strings.Contains(err.Error(), keys[0]) {
+		t.Fatalf("error should name the cell key, got: %v", err)
+	}
+}

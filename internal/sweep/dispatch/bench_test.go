@@ -1,0 +1,56 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tctp/internal/sweep/protocol"
+)
+
+// BenchmarkRemoteDispatch measures the scheduler's per-cell lease
+// round-trip overhead: enqueue → lease grant → result accept →
+// resolver wake, with the worker's compute reduced to building the
+// state. This is everything the remote plane adds on top of the cell
+// computation itself, so it is gated like the other hot paths.
+func BenchmarkRemoteDispatch(b *testing.B) {
+	fs := newFakeStore()
+	s, err := New(Options{Store: fs, LeaseTTL: time.Minute})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for w := 0; w < 2; w++ {
+		go func(id string) {
+			for {
+				l, err := s.Lease(ctx, id)
+				if err != nil || ctx.Err() != nil {
+					return
+				}
+				if l == nil {
+					continue
+				}
+				st := stateFor(l.Cell)
+				s.Complete(protocol.FoldResult{Lease: l.ID, Worker: id, Key: l.Key, State: &st})
+			}
+		}(fmt.Sprintf("bw%d", w))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell := Cell{
+			Sweep:    "bench",
+			Index:    i,
+			Key:      fmt.Sprintf("bench-%d", i),
+			Validate: acceptAll,
+		}
+		if _, _, err := s.Resolve(ctx, cell); err != nil {
+			b.Fatalf("Resolve %d: %v", i, err)
+		}
+	}
+}

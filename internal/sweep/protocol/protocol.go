@@ -240,7 +240,10 @@ type SweepStatus struct {
 	Hits        int    `json:"hits"`
 	Computed    int    `json:"computed"`
 	Joined      int    `json:"joined"`
-	Error       string `json:"error,omitempty"`
+	// Remote counts cells computed by remote workers (sources with the
+	// "worker:" prefix) when the server runs a worker fleet.
+	Remote int    `json:"remote,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // SubmitResponse is the POST /sweeps reply.

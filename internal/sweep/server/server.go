@@ -17,14 +17,30 @@
 //	                             hit / joined), then "done" or "error"
 //	GET  /sweeps/{id}/result.csv    the sweep's CSV, blocking until done
 //	GET  /sweeps/{id}/result.jsonl  the sweep's JSONL, blocking until done
-//	GET  /stats                  cache and admission counters
+//	GET  /stats                  cache, admission, and scheduler counters
+//
+// With a dispatch scheduler attached (Config.Dispatch; tctp-server
+// -workers remote), the server stops computing cells in-process and
+// instead serves a worker fleet over three more endpoints:
+//
+//	POST /workers/lease          long-poll for a CellLease (204 = no work)
+//	POST /workers/result         post a leased cell's FoldState; stale
+//	                             leases answer 409, invalid states 422
+//	POST /workers/heartbeat      extend a lease mid-computation
+//
+// Scheduling stays cache-aware — every cell is probed against the
+// shared store before it can enter the lease queue, so warm cells are
+// never dispatched — and results stay byte-identical to local runs at
+// any fleet size (see internal/sweep/dispatch).
 //
 // Backpressure is two-layered: admission (at most MaxSweeps sweeps in
 // flight; beyond that POST /sweeps returns 429 with Retry-After) and
 // the cache's compute gate (cache.Options.Gate), which bounds how many
 // cell simulations run at once across all admitted sweeps — cache
 // hits and single-flight joins bypass the gate entirely, so a warm
-// server stays responsive even at its compute limit.
+// server stays responsive even at its compute limit. A sweep holds its
+// admission slot only while it runs: capacity is released the moment
+// the sweep finishes, never held until its result is fetched.
 package server
 
 import (
@@ -36,10 +52,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"tctp/internal/sweep"
 	"tctp/internal/sweep/build"
 	"tctp/internal/sweep/cache"
+	"tctp/internal/sweep/dispatch"
 	"tctp/internal/sweep/protocol"
 )
 
@@ -48,6 +66,12 @@ type Config struct {
 	// Store is the shared cell cache (required). Its Gate option is
 	// the server's compute-concurrency bound.
 	Store *cache.Store
+	// Dispatch, when non-nil, switches the server to remote compute:
+	// missing cells are leased to the worker fleet through this
+	// scheduler instead of simulated in-process. The scheduler must
+	// share Store (its probe is what keeps warm cells out of the
+	// queue).
+	Dispatch *dispatch.Scheduler
 	// MaxSweeps bounds concurrently executing sweeps; submissions
 	// beyond it receive 429 + Retry-After. Default 8. Negative means
 	// zero (every submission rejected — useful only in tests).
@@ -63,7 +87,8 @@ type Config struct {
 }
 
 // Stats is the GET /stats document: the shared cache's counters plus
-// the admission counters.
+// the admission counters, and — when a worker fleet is attached — the
+// dispatch scheduler's.
 type Stats struct {
 	Cache cache.Stats `json:"cache"`
 	// Submitted counts accepted sweeps, Rejected 429s, Active the
@@ -73,12 +98,17 @@ type Stats struct {
 	Active    int   `json:"active"`
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
+	// Scheduler is the remote plane's counters (queued/leased/expired/
+	// reassigned/remote-computed and per-worker rows); absent when the
+	// server computes locally.
+	Scheduler *dispatch.Stats `json:"scheduler,omitempty"`
 }
 
 // sweepRun is the server-side state of one submitted sweep.
 type sweepRun struct {
-	id string
-	fp string
+	id  string
+	fp  string
+	req protocol.SweepRequest // normalized request, what leases carry
 
 	mu       sync.Mutex
 	state    string // "running", "done", "failed"
@@ -89,6 +119,7 @@ type sweepRun struct {
 	hits     int
 	computed int
 	joined   int
+	remote   int
 	csv      []byte
 	jsonl    []byte
 	errMsg   string
@@ -135,6 +166,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /sweeps/{id}/result.csv", s.handleResult)
 	s.mux.HandleFunc("GET /sweeps/{id}/result.jsonl", s.handleResult)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /workers/lease", s.handleLease)
+	s.mux.HandleFunc("POST /workers/result", s.handleWorkerResult)
+	s.mux.HandleFunc("POST /workers/heartbeat", s.handleHeartbeat)
 	return s, nil
 }
 
@@ -188,6 +222,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sr := &sweepRun{
 		id:       fmt.Sprintf("s%d", s.nextID),
 		fp:       job.Fingerprint(),
+		req:      req,
 		state:    "running",
 		cells:    job.Cells(),
 		notify:   make(chan struct{}),
@@ -204,16 +239,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// execute runs the sweep through the shared cache and records its
+// execute runs the sweep — through the shared cache in-process, or
+// through the dispatch scheduler's worker fleet — and records its
 // events and final artifacts.
 func (s *Server) execute(sr *sweepRun, job *sweep.Job) {
 	var csvBuf, jsonlBuf bytes.Buffer
-	_, err := job.RunCached(context.Background(), sweep.CacheRunOpts{
+	opts := sweep.CacheRunOpts{
 		Store:    s.cfg.Store,
 		Parallel: s.cfg.Parallel,
 		Sinks:    []sweep.Sink{sweep.CSV(&csvBuf), sweep.JSONL(&jsonlBuf)},
 		OnCell:   sr.cell,
-	})
+	}
+	if s.cfg.Dispatch != nil {
+		// Remote plane: each cell is probed against the shared cache and,
+		// on a miss, leased to the worker fleet. The engine's central
+		// validation still re-checks whatever comes back.
+		opts.Resolve = func(ctx context.Context, rc sweep.ResolveCell) (protocol.FoldState, protocol.Source, error) {
+			return s.cfg.Dispatch.Resolve(ctx, dispatch.Cell{
+				Sweep:       sr.id,
+				Index:       rc.Index,
+				Key:         rc.Key,
+				Fingerprint: sr.fp,
+				Request:     sr.req,
+				Validate:    rc.Validate,
+			})
+		}
+	}
+	_, err := job.RunCached(context.Background(), opts)
+
+	// Release the admission slot before the sweep becomes observably
+	// finished: a client that sees "done" (or receives the result) and
+	// immediately submits again must never bounce off capacity this
+	// sweep was still holding.
+	s.mu.Lock()
+	s.active--
+	if err != nil {
+		s.failedN++
+	} else {
+		s.doneN++
+	}
+	s.mu.Unlock()
 
 	sr.mu.Lock()
 	if err != nil {
@@ -228,15 +293,6 @@ func (s *Server) execute(sr *sweepRun, job *sweep.Job) {
 	}
 	sr.mu.Unlock()
 	close(sr.finished)
-
-	s.mu.Lock()
-	s.active--
-	if err != nil {
-		s.failedN++
-	} else {
-		s.doneN++
-	}
-	s.mu.Unlock()
 }
 
 // runsOf sums folded replications over the recorded cell events.
@@ -264,11 +320,13 @@ func (sr *sweepRun) cell(u sweep.CellUpdate) {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	sr.done++
-	switch u.Source {
-	case protocol.SourceHit:
+	switch {
+	case u.Source == protocol.SourceHit:
 		sr.hits++
-	case protocol.SourceJoined:
+	case u.Source == protocol.SourceJoined:
 		sr.joined++
+	case strings.HasPrefix(string(u.Source), "worker:"):
+		sr.remote++
 	default:
 		sr.computed++
 	}
@@ -291,7 +349,8 @@ func (sr *sweepRun) status() protocol.SweepStatus {
 		ID: sr.id, State: sr.state, Fingerprint: sr.fp,
 		Cells: sr.cells, CellsDone: sr.done,
 		Hits: sr.hits, Computed: sr.computed, Joined: sr.joined,
-		Error: sr.errMsg,
+		Remote: sr.remote,
+		Error:  sr.errMsg,
 	}
 }
 
@@ -387,5 +446,98 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	st.Cache = s.cfg.Store.Stats()
+	if s.cfg.Dispatch != nil {
+		sched := s.cfg.Dispatch.Stats()
+		st.Scheduler = &sched
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// requireDispatch answers the worker endpoints on a local-compute
+// server: there is no scheduler to talk to.
+func (s *Server) requireDispatch(w http.ResponseWriter) bool {
+	if s.cfg.Dispatch == nil {
+		httpError(w, http.StatusConflict, "this server computes locally (-workers local); no leases to serve")
+		return false
+	}
+	return true
+}
+
+// handleLease long-polls the scheduler for one cell lease. 204 means
+// the poll elapsed with no work.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if !s.requireDispatch(w) {
+		return
+	}
+	var req protocol.LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request needs a worker id")
+		return
+	}
+	wait := req.WaitSeconds
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > 30 {
+		wait = 30
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(wait)*time.Second)
+	defer cancel()
+	lease, err := s.cfg.Dispatch.Lease(ctx, req.Worker)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "lease: %v", err)
+		return
+	}
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+// handleWorkerResult accepts a leased cell's fold state. Stale leases
+// (expired, reassigned, already completed) answer 409; states the
+// scheduler refuses answer 422 — in both cases with the LeaseAck body,
+// so workers act on the ack rather than the status line.
+func (s *Server) handleWorkerResult(w http.ResponseWriter, r *http.Request) {
+	if !s.requireDispatch(w) {
+		return
+	}
+	var res protocol.FoldResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&res); err != nil {
+		httpError(w, http.StatusBadRequest, "bad fold result: %v", err)
+		return
+	}
+	ack := s.cfg.Dispatch.Complete(res)
+	switch {
+	case ack.Stale:
+		writeJSON(w, http.StatusConflict, ack)
+	case !ack.Accepted:
+		writeJSON(w, http.StatusUnprocessableEntity, ack)
+	default:
+		writeJSON(w, http.StatusOK, ack)
+	}
+}
+
+// handleHeartbeat extends a live lease; stale leases answer 409 so the
+// worker abandons the cell.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.requireDispatch(w) {
+		return
+	}
+	var hb protocol.LeaseHeartbeat
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&hb); err != nil {
+		httpError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	ack := s.cfg.Dispatch.Heartbeat(hb)
+	if ack.Stale {
+		writeJSON(w, http.StatusConflict, ack)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
 }

@@ -1,0 +1,359 @@
+// Package worker is the compute side of the remote plane: a loop that
+// pulls cell leases from a tctp-server, computes each cell through the
+// engine's single-cell sub-job path, and posts the bit-exact fold
+// state back.
+//
+// The loop is deliberately paranoid about identity. For every lease it
+// rebuilds the sweep spec from the lease's transport-neutral request
+// (internal/sweep/build — the same translator the server and the CLI
+// use), checks the plan fingerprint, and recomputes the leased cell's
+// content-addressed key; any mismatch means this binary would compute
+// different numbers than the server expects, so the worker reports an
+// error instead of posting a silently wrong state. Within a matching
+// build, the computed state is identical to what a local run would
+// fold — same seeds, same seed-ordered fold, same adaptive stops — so
+// a fleet of these workers changes sweep throughput, never bytes.
+//
+// Long cells are kept alive by heartbeats at a third of the lease TTL;
+// a stale heartbeat ack (the server expired or reassigned the lease)
+// cancels the computation rather than wasting the rest of it.
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"tctp/internal/sweep"
+	"tctp/internal/sweep/build"
+	"tctp/internal/sweep/protocol"
+)
+
+// Options configures one worker process.
+type Options struct {
+	// Server is the tctp-server base URL (required), e.g.
+	// "http://host:8080".
+	Server string
+	// ID identifies this worker to the scheduler; stable across its
+	// leases. Default "<hostname>-<pid>".
+	ID string
+	// Concurrency is how many cells this worker computes at once
+	// (each cell additionally parallelizes its replications over the
+	// machine's cores). Default 1.
+	Concurrency int
+	// Poll is the long-poll horizon sent with each lease request.
+	// Default 15s.
+	Poll time.Duration
+	// Client, when non-nil, replaces http.DefaultClient.
+	Client *http.Client
+	// Logf, when non-nil, receives the worker's progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if opts.Server == "" {
+		return opts, fmt.Errorf("worker: Options.Server is required")
+	}
+	opts.Server = strings.TrimRight(opts.Server, "/")
+	if opts.ID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		opts.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 15 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return opts, nil
+}
+
+// Run pulls and computes leases until ctx is cancelled (clean
+// shutdown, returns nil) or the options are unusable. Transient
+// failures — server down, network errors, refused results — are
+// logged and retried with backoff, never fatal: a worker outlives the
+// server restarts around it.
+func Run(ctx context.Context, o Options) error {
+	opts, err := o.withDefaults()
+	if err != nil {
+		return err
+	}
+	w := &worker{opts: opts, jobs: make(map[string]*sweep.Job)}
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(ctx)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+type worker struct {
+	opts Options
+
+	mu   sync.Mutex
+	jobs map[string]*sweep.Job // by plan fingerprint
+}
+
+// loop is one lease slot: poll, compute, report, repeat.
+func (w *worker) loop(ctx context.Context) {
+	for ctx.Err() == nil {
+		lease, err := w.pullLease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.opts.Logf("worker %s: lease poll: %v", w.opts.ID, err)
+			w.sleep(ctx, time.Second)
+			continue
+		}
+		if lease == nil {
+			continue // empty poll; ask again
+		}
+		w.serve(ctx, lease)
+	}
+}
+
+// pullLease long-polls the server for one lease; nil means the poll
+// came back empty.
+func (w *worker) pullLease(ctx context.Context) (*protocol.CellLease, error) {
+	// Bound the request a margin past the server's poll horizon so a
+	// hung connection cannot park the slot forever.
+	rctx, cancel := context.WithTimeout(ctx, w.opts.Poll+15*time.Second)
+	defer cancel()
+	req := protocol.LeaseRequest{Worker: w.opts.ID, WaitSeconds: int(w.opts.Poll / time.Second)}
+	status, body, err := w.post(rctx, "/workers/lease", req)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var lease protocol.CellLease
+		if err := json.Unmarshal(body, &lease); err != nil {
+			return nil, fmt.Errorf("malformed lease: %w", err)
+		}
+		return &lease, nil
+	default:
+		return nil, fmt.Errorf("lease: %s", httpError(status, body))
+	}
+}
+
+// serve computes one leased cell and reports the outcome.
+func (w *worker) serve(ctx context.Context, lease *protocol.CellLease) {
+	res := protocol.FoldResult{Lease: lease.ID, Worker: w.opts.ID, Key: lease.Key}
+
+	st, err := w.compute(ctx, lease)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // dying mid-cell: say nothing, the lease will expire
+		}
+		res.Error = err.Error()
+		w.opts.Logf("worker %s: cell %d (%s): %v", w.opts.ID, lease.Cell, lease.ID, err)
+	} else {
+		res.State = &st
+	}
+	w.report(ctx, lease, res)
+}
+
+// compute rebuilds the sweep from the lease's request, verifies the
+// lease names the cell this binary would compute, and runs it. The
+// cell context is cancelled if a heartbeat comes back stale.
+func (w *worker) compute(ctx context.Context, lease *protocol.CellLease) (protocol.FoldState, error) {
+	job, err := w.job(lease)
+	if err != nil {
+		return protocol.FoldState{}, err
+	}
+	if lease.Cell < 0 || lease.Cell >= job.Cells() {
+		return protocol.FoldState{}, fmt.Errorf("lease cell %d outside plan of %d cells", lease.Cell, job.Cells())
+	}
+	key, err := job.CellKey(lease.Cell)
+	if err != nil {
+		return protocol.FoldState{}, err
+	}
+	if key != lease.Key {
+		return protocol.FoldState{}, fmt.Errorf("cell %d key mismatch: lease says %s, this build computes %s",
+			lease.Cell, lease.Key, key)
+	}
+
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := w.heartbeat(cellCtx, cancel, lease)
+	defer stop()
+
+	start := time.Now()
+	st, err := job.ComputeCell(cellCtx, lease.Cell)
+	if err != nil {
+		if cellCtx.Err() != nil && ctx.Err() == nil {
+			return protocol.FoldState{}, fmt.Errorf("lease %s went stale mid-compute", lease.ID)
+		}
+		return protocol.FoldState{}, err
+	}
+	w.opts.Logf("worker %s: computed cell %d of %s in %v", w.opts.ID, lease.Cell, lease.Sweep, time.Since(start).Round(time.Millisecond))
+	return st, nil
+}
+
+// job returns the planned job for the lease's request, memoized by
+// plan fingerprint — a fleet serving one sweep plans it once, not once
+// per cell.
+func (w *worker) job(lease *protocol.CellLease) (*sweep.Job, error) {
+	w.mu.Lock()
+	if job, ok := w.jobs[lease.Fingerprint]; ok {
+		w.mu.Unlock()
+		return job, nil
+	}
+	w.mu.Unlock()
+
+	spec, err := build.Spec(lease.Request)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding sweep from lease: %w", err)
+	}
+	job, err := sweep.Plan(spec)
+	if err != nil {
+		return nil, fmt.Errorf("planning leased sweep: %w", err)
+	}
+	if lease.Fingerprint != "" && job.Fingerprint() != lease.Fingerprint {
+		return nil, fmt.Errorf("plan fingerprint mismatch: lease says %s, this build plans %s",
+			lease.Fingerprint, job.Fingerprint())
+	}
+	w.mu.Lock()
+	w.jobs[lease.Fingerprint] = job
+	w.mu.Unlock()
+	return job, nil
+}
+
+// heartbeat extends the lease at a third of its TTL until stopped; a
+// stale ack cancels the cell's computation. Returns the stop function.
+func (w *worker) heartbeat(ctx context.Context, cancel context.CancelFunc, lease *protocol.CellLease) func() {
+	ttl := time.Duration(lease.TTLSeconds) * time.Second
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	interval := ttl / 3
+	if interval < 200*time.Millisecond {
+		interval = 200 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				hctx, hcancel := context.WithTimeout(ctx, interval)
+				status, body, err := w.post(hctx, "/workers/heartbeat",
+					protocol.LeaseHeartbeat{Lease: lease.ID, Worker: w.opts.ID})
+				hcancel()
+				if err != nil {
+					continue // transient; the next beat retries
+				}
+				var ack protocol.LeaseAck
+				if json.Unmarshal(body, &ack) == nil && (ack.Stale || status == http.StatusConflict) {
+					w.opts.Logf("worker %s: lease %s went stale; abandoning cell %d", w.opts.ID, lease.ID, lease.Cell)
+					cancel()
+					return
+				}
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// report posts the cell's result, retrying transient transport errors
+// briefly — an unreported success costs a whole recompute elsewhere. A
+// stale ack is normal after reassignment and just logged.
+func (w *worker) report(ctx context.Context, lease *protocol.CellLease, res protocol.FoldResult) {
+	for attempt := 0; attempt < 5; attempt++ {
+		rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		status, body, err := w.post(rctx, "/workers/result", res)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.opts.Logf("worker %s: posting result of lease %s: %v", w.opts.ID, lease.ID, err)
+			w.sleep(ctx, time.Second)
+			continue
+		}
+		var ack protocol.LeaseAck
+		_ = json.Unmarshal(body, &ack)
+		switch {
+		case ack.Accepted:
+		case ack.Stale || status == http.StatusConflict:
+			w.opts.Logf("worker %s: result of lease %s refused as stale (cell was reassigned)", w.opts.ID, lease.ID)
+		default:
+			w.opts.Logf("worker %s: result of lease %s refused: %s", w.opts.ID, lease.ID, httpError(status, body))
+		}
+		return
+	}
+}
+
+// post sends one JSON request and returns the status and body.
+func (w *worker) post(ctx context.Context, path string, v any) (int, []byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Server+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// sleep waits d or until ctx is done.
+func (w *worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// httpError renders a non-2xx response for logs.
+func httpError(status int, body []byte) string {
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200] + "…"
+	}
+	if msg == "" {
+		return fmt.Sprintf("HTTP %d", status)
+	}
+	return fmt.Sprintf("HTTP %d: %s", status, msg)
+}
